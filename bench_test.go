@@ -1,0 +1,266 @@
+package demikernel
+
+// Benchmarks regenerating the paper's evaluation artifacts (one benchmark
+// per table/figure; see DESIGN.md §4 for the index). The measured numbers
+// are virtual-time results from the deterministic simulated testbed and
+// are reported as custom metrics (virtual microseconds, kops/s, Gbps);
+// ns/op reflects only host simulation speed. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Microbenchmarks for §5.4 (scheduler switch) and §6.3 (TCP ingress) live
+// in internal/sched and internal/catnip.
+
+import (
+	"testing"
+	"time"
+
+	"demikernel/internal/baseline"
+	"demikernel/internal/bench"
+)
+
+// reportEcho runs one echo measurement per iteration and reports virtual
+// RTT.
+func reportEcho(b *testing.B, sys bench.System, opts bench.EchoOpts) {
+	b.Helper()
+	var last bench.EchoRow
+	for i := 0; i < b.N; i++ {
+		row, err := bench.RunEcho(sys, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = row
+	}
+	b.ReportMetric(float64(last.Avg)/float64(time.Microsecond), "virt-us/rtt")
+	b.ReportMetric(float64(last.OSTimePerIO.Nanoseconds()), "virt-ns/io")
+}
+
+func quickEchoOpts() bench.EchoOpts {
+	o := bench.DefaultEchoOpts()
+	o.Rounds, o.Warmup = 300, 30
+	return o
+}
+
+// BenchmarkFig5 regenerates Figure 5's bars (64 B echo RTT per system).
+func BenchmarkFig5(b *testing.B) {
+	systems := map[string]bench.System{
+		"Linux":     bench.SysLinux(baseline.EnvNative),
+		"Catnap":    bench.SysCatnap(baseline.EnvNative),
+		"Catmint":   bench.SysCatmint(0),
+		"CatnipUDP": bench.SysCatnipUDP(),
+		"CatnipTCP": bench.SysCatnipTCP(),
+		"eRPC":      bench.SysERPC(),
+		"Shenango":  bench.SysShenango(),
+		"Caladan":   bench.SysCaladan(),
+	}
+	for name, sys := range systems {
+		b.Run(name, func(b *testing.B) { reportEcho(b, sys, quickEchoOpts()) })
+	}
+	b.Run("RawDPDK", func(b *testing.B) {
+		var row bench.EchoRow
+		for i := 0; i < b.N; i++ {
+			row = bench.RunRawDPDKEcho(64, 300)
+		}
+		b.ReportMetric(float64(row.Avg)/float64(time.Microsecond), "virt-us/rtt")
+	})
+	b.Run("RawRDMA", func(b *testing.B) {
+		var row bench.EchoRow
+		for i := 0; i < b.N; i++ {
+			row = bench.RunRawRDMAEcho(64, 300)
+		}
+		b.ReportMetric(float64(row.Avg)/float64(time.Microsecond), "virt-us/rtt")
+	})
+}
+
+// BenchmarkFig6a regenerates Figure 6a (Windows/WSL environment).
+func BenchmarkFig6a(b *testing.B) {
+	opts := quickEchoOpts()
+	opts.Switch = bench.SwitchIB()
+	b.Run("WSL", func(b *testing.B) { reportEcho(b, bench.SysLinux(baseline.EnvWSL), opts) })
+	b.Run("CatnapWSL", func(b *testing.B) { reportEcho(b, bench.SysCatnap(baseline.EnvWSL), opts) })
+	b.Run("Catpaw", func(b *testing.B) { reportEcho(b, bench.SysCatpaw(), opts) })
+}
+
+// BenchmarkFig6b regenerates Figure 6b (Azure VM environment).
+func BenchmarkFig6b(b *testing.B) {
+	opts := quickEchoOpts()
+	b.Run("LinuxVM", func(b *testing.B) { reportEcho(b, bench.SysLinux(baseline.EnvAzureVM), opts) })
+	b.Run("CatnapVM", func(b *testing.B) { reportEcho(b, bench.SysCatnap(baseline.EnvAzureVM), opts) })
+	b.Run("CatnipVM", func(b *testing.B) { reportEcho(b, bench.SysCatnipVM(), opts) })
+	b.Run("CatmintIB", func(b *testing.B) { reportEcho(b, bench.SysCatmint(0), opts) })
+}
+
+// BenchmarkFig7 regenerates Figure 7 (echo with synchronous logging).
+func BenchmarkFig7(b *testing.B) {
+	opts := quickEchoOpts()
+	opts.Log = true
+	b.Run("Linux", func(b *testing.B) { reportEcho(b, bench.SysLinux(baseline.EnvNative), opts) })
+	b.Run("Catnap", func(b *testing.B) { reportEcho(b, bench.SysCatnap(baseline.EnvNative), opts) })
+	b.Run("CatmintXCattree", func(b *testing.B) {
+		sys := bench.SysCatmint(0)
+		sys.Storage = true
+		reportEcho(b, sys, opts)
+	})
+	b.Run("CatnipXCattree", func(b *testing.B) {
+		sys := bench.SysCatnipTCP()
+		sys.Storage = true
+		reportEcho(b, sys, opts)
+	})
+}
+
+// BenchmarkFig8 regenerates Figure 8's bandwidth points (subset of sizes
+// per series; `demi-bench fig8` prints the full sweep).
+func BenchmarkFig8(b *testing.B) {
+	for _, size := range []int{1024, 65536, 262144} {
+		size := size
+		b.Run("CatnipTCP/"+itoa(size), func(b *testing.B) {
+			var bw float64
+			for i := 0; i < b.N; i++ {
+				var err error
+				bw, err = bench.RunNetPipe(bench.SysCatnipTCP(), size)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(bw, "virt-Gbps")
+		})
+		b.Run("Catmint/"+itoa(size), func(b *testing.B) {
+			var bw float64
+			for i := 0; i < b.N; i++ {
+				var err error
+				bw, err = bench.RunNetPipe(bench.SysCatmint(1<<20), size)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(bw, "virt-Gbps")
+		})
+	}
+}
+
+// BenchmarkFig9 regenerates two Figure 9 load points per system.
+func BenchmarkFig9(b *testing.B) {
+	for _, sys := range []bench.System{bench.SysCatnipTCP(), bench.SysCatmint(0)} {
+		for _, clients := range []int{1, 16} {
+			sys, clients := sys, clients
+			b.Run(sys.Name+"/"+itoa(clients)+"clients", func(b *testing.B) {
+				var tput float64
+				var h *bench.Hist
+				for i := 0; i < b.N; i++ {
+					var err error
+					tput, h, err = bench.RunLoad(sys, clients, 200)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(tput/1e3, "virt-kops")
+				b.ReportMetric(float64(h.Mean())/float64(time.Microsecond), "virt-us/avg")
+			})
+		}
+	}
+}
+
+// BenchmarkFig10 regenerates Figure 10 (UDP relay latency).
+func BenchmarkFig10(b *testing.B) {
+	for _, sys := range []bench.System{
+		bench.SysLinux(baseline.EnvNative),
+		bench.SysIOUring(),
+		bench.SysCatnipUDP(),
+	} {
+		sys := sys
+		b.Run(sys.Name, func(b *testing.B) {
+			var h *bench.Hist
+			for i := 0; i < b.N; i++ {
+				var err error
+				h, err = bench.RunRelay(sys, 500)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(h.Mean())/float64(time.Microsecond), "virt-us/avg")
+			b.ReportMetric(float64(h.P99())/float64(time.Microsecond), "virt-us/p99")
+		})
+	}
+}
+
+// BenchmarkFig11 regenerates Figure 11 (Redis throughput) for the
+// in-memory and AOF modes on the Demikernel stacks.
+func BenchmarkFig11(b *testing.B) {
+	opts := bench.DefaultRedisOpts()
+	opts.Keys, opts.Ops = 2000, 800
+	run := func(b *testing.B, sys bench.System, aof bool) {
+		o := opts
+		o.AOF = aof
+		var get, set float64
+		for i := 0; i < b.N; i++ {
+			var err error
+			get, set, err = bench.RunRedis(sys, o)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(get/1e3, "virt-GET-kops")
+		b.ReportMetric(set/1e3, "virt-SET-kops")
+	}
+	b.Run("Linux/mem", func(b *testing.B) { run(b, bench.SysLinux(baseline.EnvNative), false) })
+	b.Run("CatnipTCP/mem", func(b *testing.B) { run(b, bench.SysCatnipTCP(), false) })
+	b.Run("Linux/aof", func(b *testing.B) { run(b, bench.SysLinux(baseline.EnvNative), true) })
+	b.Run("CatnipXCattree/aof", func(b *testing.B) { run(b, bench.SysCatnipTCP(), true) })
+}
+
+// BenchmarkFig12 regenerates Figure 12 (TxnStore YCSB-t latency).
+func BenchmarkFig12(b *testing.B) {
+	opts := bench.DefaultTxnOpts()
+	opts.Keys, opts.Txns = 500, 400
+	for _, sys := range []bench.System{
+		bench.SysLinux(baseline.EnvNative),
+		bench.SysTxnStoreRDMA(),
+		bench.SysCatmint(0),
+		bench.SysCatnipTCP(),
+	} {
+		sys := sys
+		b.Run(sys.Name, func(b *testing.B) {
+			var h *bench.Hist
+			for i := 0; i < b.N; i++ {
+				var err error
+				h, err = bench.RunTxnStore(sys, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(h.Mean())/float64(time.Microsecond), "virt-us/avg")
+			b.ReportMetric(float64(h.P99())/float64(time.Microsecond), "virt-us/p99")
+		})
+	}
+}
+
+// BenchmarkTable2LoC regenerates Table 2 (libOS lines of code).
+func BenchmarkTable2LoC(b *testing.B) {
+	var loc int
+	for i := 0; i < b.N; i++ {
+		loc = bench.ModuleLoC("internal/catnip")
+	}
+	b.ReportMetric(float64(loc), "catnip-loc")
+}
+
+// BenchmarkAblationZeroCopy regenerates the zero-copy ablation at 16 KiB.
+func BenchmarkAblationZeroCopy(b *testing.B) {
+	opts := quickEchoOpts()
+	opts.MsgSize = 16384
+	b.Run("zerocopy", func(b *testing.B) { reportEcho(b, bench.SysCatnipTCP(), opts) })
+	b.Run("forcecopy", func(b *testing.B) { reportEcho(b, bench.SysCatnipForceCopy(), opts) })
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

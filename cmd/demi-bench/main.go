@@ -1,0 +1,83 @@
+// demi-bench regenerates the paper's tables and figures on the simulated
+// testbed. Each subcommand reproduces one artifact; `all` runs everything.
+//
+// Usage:
+//
+//	demi-bench table2|table3|fig5|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|fig12|ablation|all
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"demikernel/internal/bench"
+)
+
+type runner struct {
+	name string
+	run  func() ([]*bench.Table, error)
+}
+
+func one(f func() (*bench.Table, error)) func() ([]*bench.Table, error) {
+	return func() ([]*bench.Table, error) {
+		t, err := f()
+		if err != nil {
+			return nil, err
+		}
+		return []*bench.Table{t}, nil
+	}
+}
+
+func main() {
+	runners := []runner{
+		{"table1", func() ([]*bench.Table, error) { return []*bench.Table{bench.Table1()}, nil }},
+		{"table2", func() ([]*bench.Table, error) { return []*bench.Table{bench.Table2()}, nil }},
+		{"table3", func() ([]*bench.Table, error) { return []*bench.Table{bench.Table3()}, nil }},
+		{"fig5", one(bench.Fig5)},
+		{"fig6a", one(bench.Fig6a)},
+		{"fig6b", one(bench.Fig6b)},
+		{"fig7", one(bench.Fig7)},
+		{"fig8", one(bench.Fig8)},
+		{"fig9", one(bench.Fig9)},
+		{"fig10", one(bench.Fig10)},
+		{"fig11", one(bench.Fig11)},
+		{"fig12", one(bench.Fig12)},
+		{"ablation", bench.Ablations},
+	}
+	if len(os.Args) != 2 {
+		usage(runners)
+	}
+	want := os.Args[1]
+	var selected []runner
+	if want == "all" {
+		selected = runners
+	} else {
+		for _, r := range runners {
+			if r.name == want {
+				selected = []runner{r}
+			}
+		}
+	}
+	if len(selected) == 0 {
+		usage(runners)
+	}
+	for _, r := range selected {
+		tables, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "demi-bench %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			t.Print(os.Stdout)
+		}
+	}
+}
+
+func usage(runners []runner) {
+	fmt.Fprint(os.Stderr, "usage: demi-bench <experiment>\nexperiments: all")
+	for _, r := range runners {
+		fmt.Fprintf(os.Stderr, " %s", r.name)
+	}
+	fmt.Fprintln(os.Stderr)
+	os.Exit(2)
+}

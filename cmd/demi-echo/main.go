@@ -1,0 +1,57 @@
+// demi-echo runs the PDPIX echo server (and optionally a measuring client)
+// on the real OS through the Catnap library OS.
+//
+// Usage:
+//
+//	demi-echo -port 7000 [-log dir]          # server
+//	demi-echo -port 7000 -client -n 10000    # client
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	demikernel "demikernel"
+	"demikernel/internal/apps/echo"
+	"demikernel/internal/sim"
+)
+
+func main() {
+	port := flag.Int("port", 7000, "TCP port")
+	client := flag.Bool("client", false, "run the closed-loop client instead of the server")
+	n := flag.Int("n", 10000, "client rounds")
+	size := flag.Int("size", 64, "message size (bytes)")
+	logDir := flag.String("log", "", "directory for the echo log (server; empty = no logging)")
+	flag.Parse()
+
+	los := demikernel.NewCatnap(*logDir)
+	addr := demikernel.Addr{Port: uint16(*port)}
+	if *client {
+		res, err := echo.Client(los, addr, *size, *n, *n/10, sim.NewWallClock())
+		if err != nil {
+			log.Fatalf("client: %v", err)
+		}
+		sort.Slice(res.RTTs, func(i, j int) bool { return res.RTTs[i] < res.RTTs[j] })
+		var sum time.Duration
+		for _, d := range res.RTTs {
+			sum += d
+		}
+		fmt.Printf("rounds=%d avg=%v p99=%v goodput=%.1f MB/s\n",
+			len(res.RTTs), sum/time.Duration(len(res.RTTs)),
+			res.RTTs[len(res.RTTs)*99/100], res.BytesPerS/1e6)
+		return
+	}
+	cfg := echo.ServerConfig{Addr: addr}
+	if *logDir != "" {
+		cfg.LogName = "echo.log"
+	}
+	fmt.Printf("echo server on 127.0.0.1:%d (log=%q)\n", *port, cfg.LogName)
+	if err := echo.Server(los, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "server: %v\n", err)
+		os.Exit(1)
+	}
+}

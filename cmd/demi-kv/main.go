@@ -1,0 +1,34 @@
+// demi-kv runs the mini-Redis server on the real OS through Catnap. Any
+// RESP client (including redis-cli) can talk to it.
+//
+// Usage:
+//
+//	demi-kv -port 6380 [-aof dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	demikernel "demikernel"
+	"demikernel/internal/apps/kv"
+)
+
+func main() {
+	port := flag.Int("port", 6380, "TCP port")
+	aofDir := flag.String("aof", "", "directory for the append-only file (empty = in-memory only)")
+	flag.Parse()
+
+	los := demikernel.NewCatnap(*aofDir)
+	cfg := kv.ServerConfig{Addr: demikernel.Addr{Port: uint16(*port)}}
+	if *aofDir != "" {
+		cfg.AOFName = "appendonly.aof"
+	}
+	var stats kv.ServerStats
+	fmt.Printf("mini-redis on 127.0.0.1:%d (aof=%q)\n", *port, cfg.AOFName)
+	if err := kv.Server(los, cfg, &stats); err != nil {
+		fmt.Fprintf(os.Stderr, "server: %v\n", err)
+		os.Exit(1)
+	}
+}

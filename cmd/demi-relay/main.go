@@ -1,0 +1,29 @@
+// demi-relay runs the TURN-style UDP relay server on the real OS through
+// Catnap.
+//
+// Usage:
+//
+//	demi-relay -port 3478
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	demikernel "demikernel"
+	"demikernel/internal/apps/relay"
+)
+
+func main() {
+	port := flag.Int("port", 3478, "UDP port")
+	flag.Parse()
+
+	los := demikernel.NewCatnap("")
+	var stats relay.Stats
+	fmt.Printf("UDP relay on 127.0.0.1:%d\n", *port)
+	if err := relay.Server(los, demikernel.Addr{Port: uint16(*port)}, &stats); err != nil {
+		fmt.Fprintf(os.Stderr, "relay: %v\n", err)
+		os.Exit(1)
+	}
+}

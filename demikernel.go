@@ -1,0 +1,89 @@
+// Package demikernel is a from-scratch Go implementation of the Demikernel
+// datapath OS architecture (Zhang et al., SOSP 2021): PDPIX — the portable
+// datapath API — implemented by interchangeable library OSes over
+// kernel-bypass devices.
+//
+// The package is a facade: it re-exports the PDPIX types and the library
+// OS constructors so applications import one package.
+//
+//	los := demikernel.NewCatnap("/tmp/demi-logs") // runs on the real OS
+//	qd, _ := los.Socket(demikernel.SockStream)
+//	los.Bind(qd, demikernel.Addr{Port: 7000})
+//	los.Listen(qd, 16)
+//	qt, _ := los.Accept(qd)
+//	ev, _ := los.Wait(qt)             // completes with the connected queue
+//	pqt, _ := los.Pop(ev.NewQD)       // ask for data
+//	ev, _ = los.Wait(pqt)             // ev.SGA holds the received buffers
+//	los.Push(ev.NewQD, ev.SGA)        // zero-copy echo
+//
+// Three families of library OS are provided:
+//
+//   - Catnap (NewCatnap) runs over the legacy OS kernel — no special
+//     hardware, used for development and the runnable examples.
+//   - Catnip, Catmint and Cattree run over simulated kernel-bypass
+//     devices (DPDK NIC, RDMA NIC, NVMe SSD) on a deterministic
+//     discrete-event testbed; the benchmark harness reproduces the
+//     paper's evaluation on them. See internal/bench and DESIGN.md.
+//   - demi.Combined integrates a network and a storage libOS on one core
+//     (Catnip×Cattree, Catmint×Cattree).
+package demikernel
+
+import (
+	"demikernel/internal/catnap"
+	"demikernel/internal/core"
+	"demikernel/internal/demi"
+	"demikernel/internal/memory"
+)
+
+// PDPIX types, re-exported.
+type (
+	// QDesc names an I/O queue (PDPIX's replacement for file descriptors).
+	QDesc = core.QDesc
+	// QToken names an outstanding asynchronous operation.
+	QToken = core.QToken
+	// SGArray is a scatter-gather array of DMA-capable buffers.
+	SGArray = core.SGArray
+	// QEvent is an operation completion.
+	QEvent = core.QEvent
+	// Addr is a network endpoint.
+	Addr = core.Addr
+	// SockType selects stream or datagram transport.
+	SockType = core.SockType
+	// Buf is one zero-copy I/O buffer from the DMA-capable heap.
+	Buf = memory.Buf
+	// Heap is the DMA-capable application heap (PDPIX malloc/free).
+	Heap = memory.Heap
+	// LibOS is the full application-facing PDPIX interface.
+	LibOS = demi.LibOS
+	// StorageOS extends LibOS with log cursor control.
+	StorageOS = demi.StorageOS
+)
+
+// Socket types.
+const (
+	// SockStream is connection-oriented transport (TCP on Catnip).
+	SockStream = core.SockStream
+	// SockDgram is datagram transport (UDP on Catnip).
+	SockDgram = core.SockDgram
+)
+
+// Errors, re-exported.
+var (
+	ErrBadQDesc     = core.ErrBadQDesc
+	ErrBadQToken    = core.ErrBadQToken
+	ErrTimeout      = core.ErrTimeout
+	ErrStopped      = core.ErrStopped
+	ErrNotSupported = core.ErrNotSupported
+	ErrQueueClosed  = core.ErrQueueClosed
+	ErrInUse        = core.ErrInUse
+	ErrConnRefused  = core.ErrConnRefused
+	ErrNotBound     = core.ErrNotBound
+	ErrEmptySGA     = core.ErrEmptySGA
+)
+
+// SGA builds a scatter-gather array from buffers.
+func SGA(bufs ...*Buf) SGArray { return core.SGA(bufs...) }
+
+// NewCatnap builds the POSIX library OS on the real operating system.
+// logDir hosts storage logs opened with Open ("" disables storage).
+func NewCatnap(logDir string) *catnap.LibOS { return catnap.New(logDir) }

@@ -1,0 +1,90 @@
+// Event-loop example: the libevent-style callback API the paper hopes for
+// (§4.2), over Catnap on the real OS. A handler receives each message
+// directly — no epoll, no follow-up read — and replies through the loop.
+//
+//	go run ./examples/eventloop
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	demikernel "demikernel"
+	"demikernel/internal/core"
+	"demikernel/internal/evloop"
+	"demikernel/internal/memory"
+)
+
+const port = 7733
+
+// upcase replies with the upper-cased message.
+type upcase struct {
+	loop *evloop.Loop
+	los  demikernel.LibOS
+}
+
+func (h *upcase) OnData(conn core.QDesc, sga core.SGArray) bool {
+	msg := strings.ToUpper(string(sga.Flatten()))
+	sga.Free()
+	out := memory.CopyFrom(h.los.Heap(), []byte(msg))
+	h.loop.Send(conn, demikernel.SGA(out))
+	return true
+}
+
+func (h *upcase) OnClose(core.QDesc) {}
+
+func main() {
+	srv := demikernel.NewCatnap("")
+	loop := evloop.New(srv)
+	go func() {
+		if err := loop.Listen(demikernel.Addr{Port: port}, 8, func(conn core.QDesc) evloop.ConnHandler {
+			return &upcase{loop: loop, los: srv}
+		}); err != nil {
+			log.Fatal(err)
+		}
+		loop.Run()
+	}()
+
+	cli := demikernel.NewCatnap("")
+	defer cli.Shutdown()
+	var qd demikernel.QDesc
+	for attempt := 0; ; attempt++ {
+		var err error
+		qd, err = cli.Socket(demikernel.SockStream)
+		must(err)
+		cqt, err := cli.Connect(qd, demikernel.Addr{Port: port})
+		must(err)
+		ev, err := cli.Wait(cqt)
+		must(err)
+		if ev.Err == nil {
+			break
+		}
+		cli.Close(qd)
+		if attempt > 100 {
+			log.Fatal(ev.Err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, text := range []string{"hello", "event-driven", "demikernel"} {
+		msg := memory.CopyFrom(cli.Heap(), []byte(text))
+		qt, err := cli.Push(qd, demikernel.SGA(msg))
+		must(err)
+		cli.Wait(qt)
+		msg.Free()
+		pqt, err := cli.Pop(qd)
+		must(err)
+		ev, err := cli.Wait(pqt)
+		must(err)
+		fmt.Printf("%s -> %s\n", text, ev.SGA.Flatten())
+		ev.SGA.Free()
+	}
+	cli.Close(qd)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

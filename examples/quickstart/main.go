@@ -1,0 +1,99 @@
+// Quickstart: the PDPIX echo flow on the real OS (Catnap libOS), server
+// and client in one process. This is the paper's Figure 4 loop in Go:
+// pop -> wait -> process -> push, with zero-copy buffer ownership.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	demikernel "demikernel"
+	"demikernel/internal/memory"
+)
+
+const port = 7711
+
+func main() {
+	go server()
+
+	cli := demikernel.NewCatnap("")
+	defer cli.Shutdown()
+
+	// Connect (asynchronous: redeem the qtoken with Wait). Retry briefly
+	// while the server goroutine finishes binding.
+	var qd demikernel.QDesc
+	var ev demikernel.QEvent
+	for attempt := 0; ; attempt++ {
+		var err error
+		qd, err = cli.Socket(demikernel.SockStream)
+		must(err)
+		cqt, err := cli.Connect(qd, demikernel.Addr{Port: port})
+		must(err)
+		ev, err = cli.Wait(cqt)
+		must(err)
+		if ev.Err == nil {
+			break
+		}
+		cli.Close(qd)
+		if attempt > 100 {
+			log.Fatalf("connect: %v", ev.Err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Push a complete message from the DMA-capable heap. Ownership of the
+	// buffer transfers to the libOS until the qtoken completes; freeing
+	// right after push is safe (use-after-free protection).
+	msg := memory.CopyFrom(cli.Heap(), []byte("hello, demikernel!"))
+	pqt, err := cli.Push(qd, demikernel.SGA(msg))
+	must(err)
+	_, err = cli.Wait(pqt)
+	must(err)
+	msg.Free()
+
+	// Pop the echo; wait returns the data directly (no epoll, no extra
+	// syscall-equivalent to fetch it).
+	rqt, err := cli.Pop(qd)
+	must(err)
+	ev, err = cli.Wait(rqt)
+	must(err)
+	must(ev.Err)
+	fmt.Printf("echoed: %q\n", ev.SGA.Flatten())
+	ev.SGA.Free()
+	cli.Close(qd)
+}
+
+// server accepts one connection and echoes one message.
+func server() {
+	srv := demikernel.NewCatnap("")
+	qd, err := srv.Socket(demikernel.SockStream)
+	must(err)
+	must(srv.Bind(qd, demikernel.Addr{Port: port}))
+	must(srv.Listen(qd, 4))
+
+	aqt, err := srv.Accept(qd)
+	must(err)
+	ev, err := srv.Wait(aqt)
+	must(err)
+	conn := ev.NewQD
+
+	pqt, err := srv.Pop(conn)
+	must(err)
+	ev, err = srv.Wait(pqt)
+	must(err)
+	// Echo the received scatter-gather array back, zero-copy.
+	wqt, err := srv.Push(conn, ev.SGA)
+	must(err)
+	_, err = srv.Wait(wqt)
+	must(err)
+	ev.SGA.Free()
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,249 @@
+// Package echo implements the paper's echo system (§7.2): a server that
+// returns every message, optionally logging it synchronously to the
+// storage queue first (§7.3, Figure 7), and a closed-loop client measuring
+// per-round RTTs. Both sides are written against the PDPIX interface, so
+// the same code runs over Catnip, Catmint, Catnap, the integrations and
+// every baseline — which is the portability claim the paper demonstrates.
+package echo
+
+import (
+	"fmt"
+	"time"
+
+	"demikernel/internal/core"
+	"demikernel/internal/demi"
+	"demikernel/internal/memory"
+	"demikernel/internal/sim"
+)
+
+// ServerConfig configures an echo server.
+type ServerConfig struct {
+	Addr core.Addr
+	// LogName, when non-empty, makes the server push each message to this
+	// storage log and wait for durability before echoing.
+	LogName string
+	// MaxConns bounds the concurrent connections served (0 = 16).
+	MaxConns int
+	// MessageSize, when non-zero, makes the server accumulate exactly
+	// that many bytes before echoing (NetPIPE message semantics on a
+	// byte stream). Zero echoes data as it arrives.
+	MessageSize int
+}
+
+// pendingKind tags what a token in the wait set represents.
+type pendingKind int
+
+const (
+	kindAccept pendingKind = iota
+	kindPop
+	kindPush
+)
+
+// pending is per-token server state.
+type pending struct {
+	kind pendingKind
+	conn core.QDesc
+	sga  core.SGArray // kindPush: buffers to release on completion
+}
+
+// connAcc accumulates a partial message for MessageSize framing.
+type connAcc struct {
+	segs  []*memory.Buf
+	bytes int
+}
+
+// Server runs the echo server until the libOS stops. One thread serves
+// every connection through a single wait_any set holding the accept, one
+// pop per connection, and every in-flight reply push — replies complete
+// asynchronously so a slow client never blocks the others (the paper's
+// replacement for the epoll loop).
+func Server(l demi.LibOS, cfg ServerConfig) error {
+	if cfg.MaxConns == 0 {
+		cfg.MaxConns = 16
+	}
+	lqd, err := l.Socket(core.SockStream)
+	if err != nil {
+		return err
+	}
+	if err := l.Bind(lqd, cfg.Addr); err != nil {
+		return fmt.Errorf("echo: bind %v: %w", cfg.Addr, err)
+	}
+	if err := l.Listen(lqd, cfg.MaxConns); err != nil {
+		return err
+	}
+	logQD := core.InvalidQD
+	if cfg.LogName != "" {
+		logQD, err = l.Open(cfg.LogName)
+		if err != nil {
+			return fmt.Errorf("echo: open log: %w", err)
+		}
+	}
+
+	tokens := make([]core.QToken, 0, 2*cfg.MaxConns+1)
+	state := make(map[core.QToken]pending)
+	add := func(qt core.QToken, p pending) {
+		tokens = append(tokens, qt)
+		state[qt] = p
+	}
+	remove := func(i int) {
+		delete(state, tokens[i])
+		tokens = append(tokens[:i], tokens[i+1:]...)
+	}
+
+	acc := make(map[core.QDesc]*connAcc)
+
+	aqt, err := l.Accept(lqd)
+	if err != nil {
+		return err
+	}
+	add(aqt, pending{kind: kindAccept})
+
+	for {
+		i, ev, err := l.WaitAny(tokens, -1)
+		if err != nil {
+			return nil // stopped
+		}
+		p := state[tokens[i]]
+		switch p.kind {
+		case kindAccept:
+			remove(i)
+			if ev.Err == nil {
+				if pqt, perr := l.Pop(ev.NewQD); perr == nil {
+					add(pqt, pending{kind: kindPop, conn: ev.NewQD})
+				}
+			}
+			if aqt, err = l.Accept(lqd); err != nil {
+				return err
+			}
+			add(aqt, pending{kind: kindAccept})
+
+		case kindPush:
+			remove(i)
+			p.sga.Free() // reply delivered: buffers come home
+
+		case kindPop:
+			remove(i)
+			if ev.Err != nil || len(ev.SGA.Segs) == 0 {
+				delete(acc, p.conn)
+				l.Close(p.conn) // error or EOF
+				continue
+			}
+			// NetPIPE framing: hold partial messages until complete.
+			if cfg.MessageSize > 0 {
+				a := acc[p.conn]
+				if a == nil {
+					a = &connAcc{}
+					acc[p.conn] = a
+				}
+				a.segs = append(a.segs, ev.SGA.Segs...)
+				a.bytes += ev.SGA.TotalLen()
+				if a.bytes < cfg.MessageSize {
+					if pqt, perr := l.Pop(p.conn); perr == nil {
+						add(pqt, pending{kind: kindPop, conn: p.conn})
+					}
+					continue
+				}
+				ev.SGA = core.SGArray{Segs: a.segs}
+				acc[p.conn] = nil
+				delete(acc, p.conn)
+			}
+			// Optional synchronous logging before the reply (Figure 7:
+			// NIC -> app -> disk -> NIC without copies). Durability is
+			// part of the request's critical path, so this wait is
+			// semantic, not incidental.
+			if logQD != core.InvalidQD {
+				lqt, lerr := l.Push(logQD, ev.SGA)
+				if lerr != nil {
+					return lerr
+				}
+				if lev, lerr := l.Wait(lqt); lerr != nil || lev.Err != nil {
+					return fmt.Errorf("echo: log write failed: %v %v", lerr, lev.Err)
+				}
+			}
+			wqt, werr := l.Push(p.conn, ev.SGA)
+			if werr != nil {
+				l.Close(p.conn)
+				continue
+			}
+			add(wqt, pending{kind: kindPush, conn: p.conn, sga: ev.SGA})
+			if pqt, perr := l.Pop(p.conn); perr == nil {
+				add(pqt, pending{kind: kindPop, conn: p.conn})
+			}
+		}
+	}
+}
+
+// ClientResult holds a closed-loop client's measurements.
+type ClientResult struct {
+	RTTs      []time.Duration
+	BytesPerS float64 // goodput over the measured rounds
+}
+
+// Client runs a closed-loop echo client: connect, then rounds of
+// push-and-wait-for-reply of msgSize bytes. warmup rounds are excluded
+// from the result.
+func Client(l demi.LibOS, server core.Addr, msgSize, rounds, warmup int, clock sim.Clock) (ClientResult, error) {
+	qd, err := l.Socket(core.SockStream)
+	if err != nil {
+		return ClientResult{}, err
+	}
+	cqt, err := l.Connect(qd, server)
+	if err != nil {
+		return ClientResult{}, err
+	}
+	if ev, err := l.Wait(cqt); err != nil {
+		return ClientResult{}, err
+	} else if ev.Err != nil {
+		return ClientResult{}, ev.Err
+	}
+	res := ClientResult{RTTs: make([]time.Duration, 0, rounds)}
+	var measuredStart sim.Time
+	for i := 0; i < rounds+warmup; i++ {
+		if i == warmup {
+			measuredStart = clock.Now()
+		}
+		start := clock.Now()
+		msg := l.Heap().Alloc(msgSize)
+		fill(msg, byte(i))
+		if _, err := l.Push(qd, core.SGA(msg)); err != nil {
+			return res, err
+		}
+		msg.Free() // UAF protection covers the in-flight buffer
+		got := 0
+		for got < msgSize {
+			pqt, err := l.Pop(qd)
+			if err != nil {
+				return res, err
+			}
+			ev, err := l.Wait(pqt)
+			if err != nil {
+				return res, err
+			}
+			if ev.Err != nil {
+				return res, ev.Err
+			}
+			if len(ev.SGA.Segs) == 0 {
+				return res, core.ErrQueueClosed
+			}
+			got += ev.SGA.TotalLen()
+			ev.SGA.Free()
+		}
+		if i >= warmup {
+			res.RTTs = append(res.RTTs, clock.Now().Sub(start))
+		}
+	}
+	elapsed := clock.Now().Sub(measuredStart)
+	if elapsed > 0 {
+		res.BytesPerS = float64(2*msgSize*rounds) / elapsed.Seconds()
+	}
+	l.Close(qd)
+	return res, nil
+}
+
+// fill writes a recognizable pattern.
+func fill(b *memory.Buf, seed byte) {
+	p := b.Bytes()
+	for i := range p {
+		p[i] = seed + byte(i)
+	}
+}

@@ -1,0 +1,81 @@
+package echo
+
+import (
+	"testing"
+	"time"
+
+	"demikernel/internal/catnip"
+	"demikernel/internal/core"
+	"demikernel/internal/dpdkdev"
+	"demikernel/internal/sim"
+	"demikernel/internal/simnet"
+	"demikernel/internal/wire"
+)
+
+var (
+	ipS = wire.IPAddr{10, 6, 0, 1}
+	ipC = wire.IPAddr{10, 6, 0, 2}
+)
+
+func pair(t *testing.T) (*sim.Engine, *catnip.LibOS, *catnip.LibOS) {
+	t.Helper()
+	eng := sim.NewEngine(71)
+	sw := simnet.NewSwitch(eng, simnet.DefaultSwitch())
+	ns, nc := eng.NewNode("srv"), eng.NewNode("cli")
+	ps := dpdkdev.Attach(sw, ns, simnet.DefaultLink(), 8192, 0)
+	pc := dpdkdev.Attach(sw, nc, simnet.DefaultLink(), 8192, 0)
+	ls := catnip.New(ns, ps, catnip.DefaultConfig(ipS))
+	lc := catnip.New(nc, pc, catnip.DefaultConfig(ipC))
+	ls.SeedARP(ipC, pc.MAC())
+	lc.SeedARP(ipS, ps.MAC())
+	return eng, ls, lc
+}
+
+func TestEchoClientServer(t *testing.T) {
+	eng, ls, lc := pair(t)
+	eng.Spawn(ls.Node(), func() {
+		Server(ls, ServerConfig{Addr: core.Addr{IP: ipS, Port: 80}})
+	})
+	var res ClientResult
+	var cerr error
+	eng.Spawn(lc.Node(), func() {
+		res, cerr = Client(lc, core.Addr{IP: ipS, Port: 80}, 64, 100, 10, lc.Node())
+	})
+	eng.Run()
+	if cerr != nil {
+		t.Fatalf("client: %v", cerr)
+	}
+	if len(res.RTTs) != 100 {
+		t.Fatalf("measured %d rounds", len(res.RTTs))
+	}
+	for _, rtt := range res.RTTs {
+		if rtt <= 0 || rtt > 100*time.Microsecond {
+			t.Fatalf("implausible RTT %v", rtt)
+		}
+	}
+	if res.BytesPerS <= 0 {
+		t.Error("no goodput computed")
+	}
+}
+
+func TestEchoServerServesConcurrentClients(t *testing.T) {
+	eng, ls, lc := pair(t)
+	eng.Spawn(ls.Node(), func() {
+		Server(ls, ServerConfig{Addr: core.Addr{IP: ipS, Port: 80}})
+	})
+	done := 0
+	// Two sequential client sessions on one node exercise accept reuse.
+	eng.Spawn(lc.Node(), func() {
+		for i := 0; i < 2; i++ {
+			if _, err := Client(lc, core.Addr{IP: ipS, Port: 80}, 128, 20, 0, lc.Node()); err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			done++
+		}
+	})
+	eng.Run()
+	if done != 2 {
+		t.Fatalf("completed %d sessions", done)
+	}
+}

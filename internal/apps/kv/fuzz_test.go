@@ -1,0 +1,75 @@
+package kv
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The RESP parser faces untrusted client bytes: it must never panic and
+// must always make progress (consume bytes or report incomplete).
+func TestParseCommandNeverPanics(t *testing.T) {
+	f := func(b []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		cmd, n, complete, _ := ParseCommand(b)
+		if complete && n <= 0 && len(b) > 0 {
+			return false // claimed completion without consuming
+		}
+		_ = cmd
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseReplyNeverPanics(t *testing.T) {
+	f := func(b []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		ParseReply(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Adversarial RESP headers must be rejected without huge allocations.
+func TestParseCommandHostileHeaders(t *testing.T) {
+	for _, in := range []string{
+		"*99999999999999999999\r\n",    // overflow array count
+		"*1048577\r\n",                 // over the element cap
+		"*2\r\n$-5\r\nxx\r\n",          // negative bulk length
+		"*1\r\n$99999999999999999\r\n", // overflow bulk length
+		"*1\r\nnotabulk\r\n",           // wrong element type
+	} {
+		cmd, _, complete, err := ParseCommand([]byte(in))
+		if complete && err == nil && cmd != nil {
+			t.Errorf("hostile input %q accepted as %q", in, cmd)
+		}
+	}
+}
+
+// Execute must tolerate arbitrary command arrays.
+func TestExecuteNeverPanics(t *testing.T) {
+	f := func(args [][]byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		s := NewStore()
+		reply := s.Execute(Command(args))
+		return len(reply) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,242 @@
+package kv
+
+import (
+	"fmt"
+
+	"demikernel/internal/core"
+	"demikernel/internal/demi"
+	"demikernel/internal/memory"
+)
+
+// ServerConfig configures the KV server.
+type ServerConfig struct {
+	Addr core.Addr
+	// AOFName enables the append-only file: every write command is pushed
+	// to this storage log and made durable before the reply (the paper
+	// fsyncs after each SET for strong guarantees, §7.5).
+	AOFName string
+	// MaxConns bounds concurrent connections (0 = 64).
+	MaxConns int
+}
+
+// ServerStats counts server activity.
+type ServerStats struct {
+	Commands, Writes uint64
+	AOFRecords       uint64
+	ReplayedRecords  uint64
+	Connections      uint64
+}
+
+// connState buffers one connection's partial commands.
+type connState struct {
+	qd  core.QDesc
+	buf []byte
+}
+
+// Server runs the KV server until the libOS stops. Startup replays the
+// AOF (if any); the event loop is pop/push/wait_any over all connections.
+func Server(l demi.LibOS, cfg ServerConfig, stats *ServerStats) error {
+	if cfg.MaxConns == 0 {
+		cfg.MaxConns = 64
+	}
+	store := NewStore()
+	logQD := core.InvalidQD
+	if cfg.AOFName != "" {
+		var err error
+		logQD, err = l.Open(cfg.AOFName)
+		if err != nil {
+			return fmt.Errorf("kv: open aof: %w", err)
+		}
+		if err := replayAOF(l, logQD, store, stats); err != nil {
+			return fmt.Errorf("kv: aof replay: %w", err)
+		}
+	}
+
+	lqd, err := l.Socket(core.SockStream)
+	if err != nil {
+		return err
+	}
+	if err := l.Bind(lqd, cfg.Addr); err != nil {
+		return err
+	}
+	if err := l.Listen(lqd, cfg.MaxConns); err != nil {
+		return err
+	}
+	aqt, err := l.Accept(lqd)
+	if err != nil {
+		return err
+	}
+	tokens := []core.QToken{aqt}
+	conns := map[core.QToken]*connState{}
+
+	drop := func(i int, c *connState) {
+		l.Close(c.qd)
+		tokens = append(tokens[:i], tokens[i+1:]...)
+	}
+
+	for {
+		i, ev, err := l.WaitAny(tokens, -1)
+		if err != nil {
+			return nil // stopped
+		}
+		if ev.Op == core.OpAccept {
+			if ev.Err == nil {
+				stats.Connections++
+				c := &connState{qd: ev.NewQD}
+				if pqt, perr := l.Pop(c.qd); perr == nil {
+					tokens = append(tokens, pqt)
+					conns[pqt] = c
+				}
+			}
+			if aqt, err = l.Accept(lqd); err != nil {
+				return err
+			}
+			tokens[i] = aqt
+			continue
+		}
+		// Pop on a connection.
+		qt := tokens[i]
+		c := conns[qt]
+		delete(conns, qt)
+		if ev.Err != nil || len(ev.SGA.Segs) == 0 {
+			drop(i, c)
+			continue
+		}
+		c.buf = append(c.buf, ev.SGA.Flatten()...)
+		ev.SGA.Free()
+		reply, fatal := serveBuffered(l, store, logQD, c, stats)
+		if fatal != nil {
+			return nil
+		}
+		if reply == nil {
+			// Malformed protocol: hang up.
+			drop(i, c)
+			continue
+		}
+		if len(reply) > 0 {
+			out := memory.CopyFrom(l.Heap(), reply)
+			wqt, werr := l.Push(c.qd, core.SGA(out))
+			if werr != nil {
+				drop(i, c)
+				continue
+			}
+			if _, werr := l.Wait(wqt); werr != nil {
+				return nil
+			}
+			out.Free()
+		}
+		pqt, perr := l.Pop(c.qd)
+		if perr != nil {
+			drop(i, c)
+			continue
+		}
+		tokens[i] = pqt
+		conns[pqt] = c
+	}
+}
+
+// serveBuffered executes every complete command in the connection buffer,
+// returning the concatenated replies. A nil reply signals a protocol
+// error; a non-nil error signals libOS shutdown.
+func serveBuffered(l demi.LibOS, store *Store, logQD core.QDesc, c *connState, stats *ServerStats) ([]byte, error) {
+	var replies []byte
+	for {
+		cmd, n, ok, perr := ParseCommand(c.buf)
+		if perr != nil {
+			return nil, nil
+		}
+		if !ok {
+			break
+		}
+		c.buf = c.buf[n:]
+		stats.Commands++
+		// AOF rewrite: compact the log to one SET per live key (Redis's
+		// BGREWRITEAOF, done in the foreground as the paper's Cattree is
+		// a synchronous log).
+		if cmd.Name() == "REWRITEAOF" && logQD != core.InvalidQD {
+			if err := rewriteAOF(l, logQD, store, stats); err != nil {
+				return nil, err
+			}
+			replies = append(replies, SimpleString("OK")...)
+			continue
+		}
+		if logQD != core.InvalidQD && IsWrite(cmd.Name()) {
+			stats.Writes++
+			rec := memory.CopyFrom(l.Heap(), EncodeCommand(cmd...))
+			lqt, lerr := l.Push(logQD, core.SGA(rec))
+			if lerr != nil {
+				return nil, lerr
+			}
+			if lev, lerr := l.Wait(lqt); lerr != nil {
+				return nil, lerr
+			} else if lev.Err != nil {
+				return nil, lev.Err
+			}
+			rec.Free()
+			stats.AOFRecords++
+		}
+		replies = append(replies, store.Execute(cmd)...)
+	}
+	return replies, nil
+}
+
+// rewriteAOF truncates the log and writes a snapshot: one SET per key.
+func rewriteAOF(l demi.LibOS, logQD core.QDesc, store *Store, stats *ServerStats) error {
+	s, ok := l.(demi.StorageOS)
+	if !ok {
+		return core.ErrNotSupported
+	}
+	if err := s.Truncate(logQD); err != nil {
+		return err
+	}
+	for _, cmd := range store.Snapshot() {
+		rec := memory.CopyFrom(l.Heap(), EncodeCommand(cmd...))
+		qt, err := l.Push(logQD, core.SGA(rec))
+		if err != nil {
+			return err
+		}
+		if ev, err := l.Wait(qt); err != nil {
+			return err
+		} else if ev.Err != nil {
+			return ev.Err
+		}
+		rec.Free()
+		stats.AOFRecords++
+	}
+	return nil
+}
+
+// replayAOF re-executes the write log from the start (paper: Redis AOF
+// recovery; exercised after crashes in the tests).
+func replayAOF(l demi.LibOS, logQD core.QDesc, store *Store, stats *ServerStats) error {
+	if s, ok := l.(demi.StorageOS); ok {
+		s.Seek(logQD, 0)
+	}
+	for {
+		pqt, err := l.Pop(logQD)
+		if err != nil {
+			return err
+		}
+		ev, err := l.Wait(pqt)
+		if err != nil {
+			return err
+		}
+		if ev.Err != nil {
+			return ev.Err
+		}
+		if len(ev.SGA.Segs) == 0 {
+			return nil // EOF
+		}
+		data := ev.SGA.Flatten()
+		ev.SGA.Free()
+		for len(data) > 0 {
+			cmd, n, ok, perr := ParseCommand(data)
+			if perr != nil || !ok {
+				break
+			}
+			data = data[n:]
+			store.Execute(cmd)
+			stats.ReplayedRecords++
+		}
+	}
+}

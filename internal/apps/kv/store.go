@@ -1,0 +1,162 @@
+package kv
+
+import (
+	"sort"
+	"strconv"
+)
+
+// Store is the in-memory keyspace. Keys and values are immutable once
+// stored (Redis strings are not updated in place), which is exactly the
+// property that lets Demikernel's use-after-free protection give Redis
+// zero-copy I/O with no code changes (paper §4.1, §7.2).
+type Store struct {
+	m map[string][]byte
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{m: make(map[string][]byte)} }
+
+// Len returns the number of keys.
+func (s *Store) Len() int { return len(s.m) }
+
+// IsWrite reports whether the command mutates the store (and therefore
+// must be logged to the AOF before replying).
+func IsWrite(name string) bool {
+	switch name {
+	case "SET", "DEL", "INCR", "DECR", "APPEND", "FLUSHALL", "SETNX":
+		return true
+	}
+	return false
+}
+
+// Snapshot returns one SET command per key in sorted key order (so AOF
+// rewrites are deterministic), the store's canonical compact form.
+func (s *Store) Snapshot() []Command {
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Command, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, Command{[]byte("SET"), []byte(k), s.m[k]})
+	}
+	return out
+}
+
+// Execute runs one command and returns the RESP-encoded reply.
+func (s *Store) Execute(cmd Command) []byte {
+	switch name := cmd.Name(); name {
+	case "PING":
+		if len(cmd) > 1 {
+			return BulkString(cmd[1])
+		}
+		return SimpleString("PONG")
+	case "ECHO":
+		if len(cmd) != 2 {
+			return wrongArity(name)
+		}
+		return BulkString(cmd[1])
+	case "SET":
+		if len(cmd) < 3 {
+			return wrongArity(name)
+		}
+		s.m[string(cmd[1])] = cloneValue(cmd[2])
+		return SimpleString("OK")
+	case "SETNX":
+		if len(cmd) != 3 {
+			return wrongArity(name)
+		}
+		if _, exists := s.m[string(cmd[1])]; exists {
+			return Integer(0)
+		}
+		s.m[string(cmd[1])] = cloneValue(cmd[2])
+		return Integer(1)
+	case "GET":
+		if len(cmd) != 2 {
+			return wrongArity(name)
+		}
+		v, ok := s.m[string(cmd[1])]
+		if !ok {
+			return BulkString(nil)
+		}
+		return BulkString(v)
+	case "DEL":
+		if len(cmd) < 2 {
+			return wrongArity(name)
+		}
+		n := int64(0)
+		for _, k := range cmd[1:] {
+			if _, ok := s.m[string(k)]; ok {
+				delete(s.m, string(k))
+				n++
+			}
+		}
+		return Integer(n)
+	case "EXISTS":
+		if len(cmd) < 2 {
+			return wrongArity(name)
+		}
+		n := int64(0)
+		for _, k := range cmd[1:] {
+			if _, ok := s.m[string(k)]; ok {
+				n++
+			}
+		}
+		return Integer(n)
+	case "INCR", "DECR":
+		if len(cmd) != 2 {
+			return wrongArity(name)
+		}
+		delta := int64(1)
+		if name == "DECR" {
+			delta = -1
+		}
+		cur := int64(0)
+		if v, ok := s.m[string(cmd[1])]; ok {
+			parsed, err := strconv.ParseInt(string(v), 10, 64)
+			if err != nil {
+				return ErrorReply("ERR value is not an integer or out of range")
+			}
+			cur = parsed
+		}
+		cur += delta
+		s.m[string(cmd[1])] = []byte(strconv.FormatInt(cur, 10))
+		return Integer(cur)
+	case "APPEND":
+		if len(cmd) != 3 {
+			return wrongArity(name)
+		}
+		// Append builds a new value; the old one stays untouched for any
+		// in-flight zero-copy send (no update in place).
+		old := s.m[string(cmd[1])]
+		next := make([]byte, 0, len(old)+len(cmd[2]))
+		next = append(append(next, old...), cmd[2]...)
+		s.m[string(cmd[1])] = next
+		return Integer(int64(len(next)))
+	case "STRLEN":
+		if len(cmd) != 2 {
+			return wrongArity(name)
+		}
+		return Integer(int64(len(s.m[string(cmd[1])])))
+	case "DBSIZE":
+		return Integer(int64(len(s.m)))
+	case "FLUSHALL":
+		s.m = make(map[string][]byte)
+		return SimpleString("OK")
+	case "":
+		return ErrorReply("ERR empty command")
+	default:
+		return ErrorReply("ERR unknown command '" + name + "'")
+	}
+}
+
+// cloneValue copies a value, keeping empty values non-nil so GET can
+// distinguish an empty string from a missing key.
+func cloneValue(v []byte) []byte {
+	return append(make([]byte, 0, len(v)), v...)
+}
+
+func wrongArity(name string) []byte {
+	return ErrorReply("ERR wrong number of arguments for '" + name + "' command")
+}

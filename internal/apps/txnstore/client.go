@@ -1,0 +1,190 @@
+package txnstore
+
+import (
+	"fmt"
+
+	"demikernel/internal/core"
+	"demikernel/internal/demi"
+	"demikernel/internal/memory"
+	"demikernel/internal/sim"
+)
+
+// Client coordinates transactions against a replica group using the
+// paper's weakly consistent quorum-write protocol: gets read one replica,
+// puts replicate to all (§7.6).
+type Client struct {
+	lib   demi.LibOS
+	conns []core.QDesc
+	bufs  [][]byte
+	rng   *sim.Rand
+	// Stats
+	Txns, Aborts uint64
+}
+
+// Dial connects to every replica.
+func Dial(l demi.LibOS, replicas []core.Addr, rng *sim.Rand) (*Client, error) {
+	c := &Client{lib: l, rng: rng}
+	for _, addr := range replicas {
+		qd, err := l.Socket(core.SockStream)
+		if err != nil {
+			return nil, err
+		}
+		cqt, err := l.Connect(qd, addr)
+		if err != nil {
+			return nil, err
+		}
+		ev, err := l.Wait(cqt)
+		if err != nil {
+			return nil, err
+		}
+		if ev.Err != nil {
+			return nil, fmt.Errorf("txnstore: connect %v: %w", addr, ev.Err)
+		}
+		c.conns = append(c.conns, qd)
+		c.bufs = append(c.bufs, nil)
+	}
+	return c, nil
+}
+
+// Close releases all connections.
+func (c *Client) Close() {
+	for _, qd := range c.conns {
+		c.lib.Close(qd)
+	}
+}
+
+// call performs one framed request/response on replica i.
+func (c *Client) call(i int, req any) (any, error) {
+	framed := Frame(Encode(req))
+	out := memory.CopyFrom(c.lib.Heap(), framed)
+	qt, err := c.lib.Push(c.conns[i], core.SGA(out))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.lib.Wait(qt); err != nil {
+		return nil, err
+	}
+	out.Free()
+	return c.receive(i)
+}
+
+// receive reads one reply frame from replica i.
+func (c *Client) receive(i int) (any, error) {
+	for {
+		if body, n, ok := Deframe(c.bufs[i]); ok {
+			msg, err := Decode(body)
+			c.bufs[i] = c.bufs[i][n:]
+			return msg, err
+		}
+		pqt, err := c.lib.Pop(c.conns[i])
+		if err != nil {
+			return nil, err
+		}
+		ev, err := c.lib.Wait(pqt)
+		if err != nil {
+			return nil, err
+		}
+		if ev.Err != nil {
+			return nil, ev.Err
+		}
+		if len(ev.SGA.Segs) == 0 {
+			return nil, core.ErrQueueClosed
+		}
+		c.bufs[i] = append(c.bufs[i], ev.SGA.Flatten()...)
+		ev.SGA.Free()
+	}
+}
+
+// broadcastPut sends a put to every replica and waits for all replies
+// (the paper replicates every put to three servers).
+func (c *Client) broadcastPut(req PutRequest) (applied int, err error) {
+	framed := Frame(Encode(req))
+	for i := range c.conns {
+		out := memory.CopyFrom(c.lib.Heap(), framed)
+		qt, perr := c.lib.Push(c.conns[i], core.SGA(out))
+		if perr != nil {
+			return 0, perr
+		}
+		if _, perr := c.lib.Wait(qt); perr != nil {
+			return 0, perr
+		}
+		out.Free()
+	}
+	for i := range c.conns {
+		msg, rerr := c.receive(i)
+		if rerr != nil {
+			return applied, rerr
+		}
+		if pr, ok := msg.(PutReply); ok && pr.Applied {
+			applied++
+		}
+	}
+	return applied, nil
+}
+
+// Txn is one optimistic read-modify-write transaction.
+type Txn struct {
+	c      *Client
+	reads  map[string]uint64
+	writes map[string][]byte
+}
+
+// Begin starts a transaction.
+func (c *Client) Begin() *Txn {
+	return &Txn{c: c, reads: make(map[string]uint64), writes: make(map[string][]byte)}
+}
+
+// Get reads a key from one randomly chosen replica, recording the version
+// for commit-time validation.
+func (t *Txn) Get(key []byte) ([]byte, error) {
+	if v, ok := t.writes[string(key)]; ok {
+		return v, nil // read-your-writes
+	}
+	i := t.c.rng.Intn(len(t.c.conns))
+	msg, err := t.c.call(i, GetRequest{Key: key})
+	if err != nil {
+		return nil, err
+	}
+	gr, ok := msg.(GetReply)
+	if !ok {
+		return nil, fmt.Errorf("txnstore: unexpected reply %T", msg)
+	}
+	t.reads[string(key)] = gr.Version
+	if !gr.Found {
+		return nil, nil
+	}
+	return gr.Value, nil
+}
+
+// Put buffers a write until commit.
+func (t *Txn) Put(key, value []byte) {
+	t.writes[string(key)] = append([]byte(nil), value...)
+}
+
+// Commit replicates every buffered write, validating read versions
+// optimistically: a write is applied only if the replica's version still
+// matches the one read. It reports whether the transaction committed on a
+// majority of replicas.
+func (t *Txn) Commit() (bool, error) {
+	t.c.Txns++
+	majority := len(t.c.conns)/2 + 1
+	for key, value := range t.writes {
+		expected, validated := t.reads[key]
+		req := PutRequest{
+			Key:         []byte(key),
+			Value:       value,
+			Version:     expected + 1,
+			Conditional: validated,
+			Expected:    expected,
+		}
+		applied, err := t.c.broadcastPut(req)
+		if err != nil {
+			return false, err
+		}
+		if applied < majority {
+			t.c.Aborts++
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,241 @@
+package txnstore
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"demikernel/internal/catnip"
+	"demikernel/internal/core"
+	"demikernel/internal/dpdkdev"
+	"demikernel/internal/sim"
+	"demikernel/internal/simnet"
+	"demikernel/internal/wire"
+)
+
+func TestWireRoundtrips(t *testing.T) {
+	msgs := []any{
+		GetRequest{Key: []byte("k")},
+		GetReply{Found: true, Value: []byte("v"), Version: 42},
+		GetReply{Found: false},
+		PutRequest{Key: []byte("k"), Value: []byte("v"), Version: 7, Conditional: true, Expected: 6},
+		PutRequest{Key: []byte(""), Value: nil, Version: 0},
+		PutReply{Applied: true},
+		PutReply{Applied: false},
+	}
+	for _, m := range msgs {
+		got, err := Decode(Encode(m))
+		if err != nil {
+			t.Fatalf("decode %+v: %v", m, err)
+		}
+		// Compare via re-encoding (byte slices lose nil-ness).
+		if !bytes.Equal(Encode(got), Encode(m)) {
+			t.Errorf("roundtrip: %+v -> %+v", m, got)
+		}
+	}
+}
+
+func TestWireRoundtripProperty(t *testing.T) {
+	f := func(key, val []byte, ver, expected uint64, cond bool) bool {
+		m := PutRequest{Key: key, Value: val, Version: ver, Conditional: cond, Expected: expected}
+		got, err := Decode(Encode(m))
+		if err != nil {
+			return false
+		}
+		g := got.(PutRequest)
+		return bytes.Equal(g.Key, key) && bytes.Equal(g.Value, val) &&
+			g.Version == ver && g.Conditional == cond && g.Expected == expected
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeframeIncremental(t *testing.T) {
+	framed := Frame([]byte("hello"))
+	for cut := 0; cut < len(framed); cut++ {
+		if _, _, ok := Deframe(framed[:cut]); ok {
+			t.Fatalf("partial frame at %d parsed", cut)
+		}
+	}
+	body, n, ok := Deframe(append(framed, 0xFF))
+	if !ok || n != len(framed) || string(body) != "hello" {
+		t.Fatal("full frame failed")
+	}
+}
+
+func TestReplicaVersioning(t *testing.T) {
+	r := NewReplica()
+	if rep := r.handle(PutRequest{Key: []byte("k"), Value: []byte("v1"), Version: 1}); !rep.(PutReply).Applied {
+		t.Fatal("fresh put rejected")
+	}
+	if rep := r.handle(PutRequest{Key: []byte("k"), Value: []byte("stale"), Version: 1}); rep.(PutReply).Applied {
+		t.Fatal("stale put applied (LWW violated)")
+	}
+	if rep := r.handle(GetRequest{Key: []byte("k")}); !bytes.Equal(rep.(GetReply).Value, []byte("v1")) {
+		t.Fatal("get returned wrong value")
+	}
+	// Conditional (OCC) put with wrong expected version is rejected.
+	if rep := r.handle(PutRequest{Key: []byte("k"), Value: []byte("v2"), Version: 2, Conditional: true, Expected: 0}); rep.(PutReply).Applied {
+		t.Fatal("OCC validation failed to reject")
+	}
+	if rep := r.handle(PutRequest{Key: []byte("k"), Value: []byte("v2"), Version: 2, Conditional: true, Expected: 1}); !rep.(PutReply).Applied {
+		t.Fatal("valid OCC put rejected")
+	}
+}
+
+// testCluster builds one client and three replicas over Catnip.
+func testCluster(t *testing.T) (*sim.Engine, *catnip.LibOS, []*Replica, []core.Addr) {
+	t.Helper()
+	eng := sim.NewEngine(61)
+	sw := simnet.NewSwitch(eng, simnet.DefaultSwitch())
+	clientIP := wire.IPAddr{10, 5, 0, 100}
+	nc := eng.NewNode("txn-client")
+	pc := dpdkdev.Attach(sw, nc, simnet.DefaultLink(), 8192, 0)
+	lc := catnip.New(nc, pc, catnip.DefaultConfig(clientIP))
+
+	var replicas []*Replica
+	var addrs []core.Addr
+	for i := 0; i < 3; i++ {
+		ip := wire.IPAddr{10, 5, 0, byte(1 + i)}
+		n := eng.NewNode("replica")
+		p := dpdkdev.Attach(sw, n, simnet.DefaultLink(), 8192, 0)
+		l := catnip.New(n, p, catnip.DefaultConfig(ip))
+		l.SeedARP(clientIP, pc.MAC())
+		lc.SeedARP(ip, p.MAC())
+		r := NewReplica()
+		replicas = append(replicas, r)
+		addrs = append(addrs, core.Addr{IP: ip, Port: 7000})
+		lCopy, addr := l, addrs[i]
+		eng.Spawn(n, func() { r.Serve(lCopy, addr) })
+	}
+	return eng, lc, replicas, addrs
+}
+
+func TestTransactionalRMWAcrossReplicas(t *testing.T) {
+	eng, lc, replicas, addrs := testCluster(t)
+	eng.Spawn(lc.Node(), func() {
+		c, err := Dial(lc, addrs, sim.NewRand(9))
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		// Seed a key through a blind transactional write.
+		txn := c.Begin()
+		txn.Put([]byte("balance"), []byte("100"))
+		if ok, err := txn.Commit(); err != nil || !ok {
+			t.Errorf("seed commit: ok=%v err=%v", ok, err)
+			return
+		}
+		// Read-modify-write.
+		txn = c.Begin()
+		v, err := txn.Get([]byte("balance"))
+		if err != nil || string(v) != "100" {
+			t.Errorf("get = %q, %v", v, err)
+			return
+		}
+		txn.Put([]byte("balance"), []byte("150"))
+		if ok, err := txn.Commit(); err != nil || !ok {
+			t.Errorf("rmw commit: ok=%v err=%v", ok, err)
+			return
+		}
+		// Verify on a fresh transaction.
+		txn = c.Begin()
+		v, _ = txn.Get([]byte("balance"))
+		if string(v) != "150" {
+			t.Errorf("final balance = %q", v)
+		}
+		c.Close()
+	})
+	eng.Run()
+	// Every replica must hold the final value (puts replicate to all 3).
+	for i, r := range replicas {
+		if r.Puts < 2 {
+			t.Errorf("replica %d saw %d puts", i, r.Puts)
+		}
+		got := r.handle(GetRequest{Key: []byte("balance")}).(GetReply)
+		if string(got.Value) != "150" {
+			t.Errorf("replica %d value = %q", i, got.Value)
+		}
+	}
+}
+
+func TestOCCConflictAborts(t *testing.T) {
+	eng, lc, _, addrs := testCluster(t)
+	eng.Spawn(lc.Node(), func() {
+		c, err := Dial(lc, addrs, sim.NewRand(9))
+		if err != nil {
+			return
+		}
+		seed := c.Begin()
+		seed.Put([]byte("k"), []byte("v0"))
+		seed.Commit()
+
+		// txn1 reads, then txn2 sneaks in a write, then txn1 commits: the
+		// version check must abort txn1.
+		txn1 := c.Begin()
+		txn1.Get([]byte("k"))
+		txn2 := c.Begin()
+		txn2.Get([]byte("k"))
+		txn2.Put([]byte("k"), []byte("v2"))
+		if ok, _ := txn2.Commit(); !ok {
+			t.Error("txn2 should commit")
+			return
+		}
+		txn1.Put([]byte("k"), []byte("v1"))
+		ok, err := txn1.Commit()
+		if err != nil {
+			t.Errorf("commit: %v", err)
+			return
+		}
+		if ok {
+			t.Error("conflicting transaction committed (OCC broken)")
+		}
+		if c.Aborts != 1 {
+			t.Errorf("aborts = %d", c.Aborts)
+		}
+		c.Close()
+	})
+	eng.Run()
+}
+
+func TestGetLoadBalancesAcrossReplicas(t *testing.T) {
+	eng, lc, replicas, addrs := testCluster(t)
+	eng.Spawn(lc.Node(), func() {
+		c, err := Dial(lc, addrs, sim.NewRand(1234))
+		if err != nil {
+			return
+		}
+		seed := c.Begin()
+		seed.Put([]byte("k"), []byte("v"))
+		seed.Commit()
+		for i := 0; i < 90; i++ {
+			txn := c.Begin()
+			txn.Get([]byte("k"))
+		}
+		c.Close()
+	})
+	eng.Run()
+	for i, r := range replicas {
+		if r.Gets < 10 {
+			t.Errorf("replica %d served only %d gets (no balancing)", i, r.Gets)
+		}
+	}
+}
+
+// Decode faces peer-controlled bytes: never panic.
+func TestDecodeNeverPanics(t *testing.T) {
+	f := func(b []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		Decode(b)
+		Deframe(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,174 @@
+// Package txnstore is a functional reimplementation of the paper's
+// TxnStore (§7.2, §7.6): an in-memory, replicated, transactional key-value
+// store with interchangeable RPC transports. It runs the paper's weakly
+// consistent quorum-write protocol: every get reads one replica, every put
+// replicates to three, and transactions are client-coordinated
+// optimistic read-modify-writes with version validation.
+//
+// RPC framing is a 4-byte length prefix plus a compact tag-free binary
+// encoding (uvarint lengths), standing in for the original's protobufs.
+package txnstore
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Message opcodes.
+const (
+	opGet      = 1
+	opGetReply = 2
+	opPut      = 3
+	opPutReply = 4
+)
+
+// GetRequest asks for a key's value and version.
+type GetRequest struct {
+	Key []byte
+}
+
+// GetReply answers a GetRequest.
+type GetReply struct {
+	Found   bool
+	Value   []byte
+	Version uint64
+}
+
+// PutRequest writes a versioned value; the replica applies it only if
+// Version is newer than its current one (last-writer-wins weak
+// consistency), or unconditionally validates equality when Conditional.
+type PutRequest struct {
+	Key         []byte
+	Value       []byte
+	Version     uint64
+	Conditional bool   // OCC validation: apply only if current == Expected
+	Expected    uint64 // version observed at read time
+}
+
+// PutReply answers a PutRequest.
+type PutReply struct {
+	Applied bool
+}
+
+// appendBytes appends a uvarint-length-prefixed byte string.
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// readBytes consumes a uvarint-length-prefixed byte string.
+func readBytes(src []byte) ([]byte, []byte, error) {
+	n, k := binary.Uvarint(src)
+	if k <= 0 || uint64(len(src)-k) < n {
+		return nil, nil, fmt.Errorf("txnstore: truncated field")
+	}
+	return src[k : k+int(n)], src[k+int(n):], nil
+}
+
+// Encode serializes any of the message types with its opcode.
+func Encode(msg any) []byte {
+	switch m := msg.(type) {
+	case GetRequest:
+		return appendBytes([]byte{opGet}, m.Key)
+	case GetReply:
+		out := []byte{opGetReply, 0}
+		if m.Found {
+			out[1] = 1
+		}
+		out = appendBytes(out, m.Value)
+		return binary.AppendUvarint(out, m.Version)
+	case PutRequest:
+		out := appendBytes([]byte{opPut}, m.Key)
+		out = appendBytes(out, m.Value)
+		out = binary.AppendUvarint(out, m.Version)
+		if m.Conditional {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+		return binary.AppendUvarint(out, m.Expected)
+	case PutReply:
+		out := []byte{opPutReply, 0}
+		if m.Applied {
+			out[1] = 1
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("txnstore: cannot encode %T", msg))
+	}
+}
+
+// Decode parses one message.
+func Decode(b []byte) (any, error) {
+	if len(b) < 1 {
+		return nil, fmt.Errorf("txnstore: empty message")
+	}
+	switch b[0] {
+	case opGet:
+		key, _, err := readBytes(b[1:])
+		if err != nil {
+			return nil, err
+		}
+		return GetRequest{Key: key}, nil
+	case opGetReply:
+		if len(b) < 2 {
+			return nil, fmt.Errorf("txnstore: truncated get reply")
+		}
+		val, rest, err := readBytes(b[2:])
+		if err != nil {
+			return nil, err
+		}
+		ver, k := binary.Uvarint(rest)
+		if k <= 0 {
+			return nil, fmt.Errorf("txnstore: truncated version")
+		}
+		return GetReply{Found: b[1] == 1, Value: val, Version: ver}, nil
+	case opPut:
+		key, rest, err := readBytes(b[1:])
+		if err != nil {
+			return nil, err
+		}
+		val, rest, err := readBytes(rest)
+		if err != nil {
+			return nil, err
+		}
+		ver, k := binary.Uvarint(rest)
+		if k <= 0 || len(rest) < k+1 {
+			return nil, fmt.Errorf("txnstore: truncated put")
+		}
+		cond := rest[k] == 1
+		expected, k2 := binary.Uvarint(rest[k+1:])
+		if k2 <= 0 {
+			return nil, fmt.Errorf("txnstore: truncated expected version")
+		}
+		return PutRequest{Key: key, Value: val, Version: ver, Conditional: cond, Expected: expected}, nil
+	case opPutReply:
+		if len(b) < 2 {
+			return nil, fmt.Errorf("txnstore: truncated put reply")
+		}
+		return PutReply{Applied: b[1] == 1}, nil
+	default:
+		return nil, fmt.Errorf("txnstore: unknown opcode %d", b[0])
+	}
+}
+
+// Frame prefixes msg with its 4-byte big-endian length.
+func Frame(msg []byte) []byte {
+	out := make([]byte, 4+len(msg))
+	binary.BigEndian.PutUint32(out, uint32(len(msg)))
+	copy(out[4:], msg)
+	return out
+}
+
+// Deframe extracts one complete frame from buf, returning the body, bytes
+// consumed, and whether a full frame was present.
+func Deframe(buf []byte) (body []byte, n int, ok bool) {
+	if len(buf) < 4 {
+		return nil, 0, false
+	}
+	l := binary.BigEndian.Uint32(buf)
+	if uint32(len(buf)-4) < l {
+		return nil, 0, false
+	}
+	return buf[4 : 4+l], 4 + int(l), true
+}

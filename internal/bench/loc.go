@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// repoRoot locates the module root from this source file's position.
+func repoRoot() string {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		return "."
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+// ModuleLoC counts non-test Go lines under the given repo-relative path.
+func ModuleLoC(rel string) int {
+	total := 0
+	root := filepath.Join(repoRoot(), rel)
+	filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, ferr := os.Open(path)
+		if ferr != nil {
+			return nil
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			total++
+		}
+		return nil
+	})
+	return total
+}
+
+// Table2 regenerates Table 2: library OS lines of code, ours next to the
+// paper's (different languages, comparable scale).
+func Table2() *Table {
+	t := &Table{
+		Title:  "Table 2: Demikernel library operating systems (LoC)",
+		Header: []string{"libOS", "kernel-bypass", "paper LoC", "this repo (Go)"},
+	}
+	rows := []struct {
+		name, dev, paper, dir string
+	}{
+		{"Catnap", "N/A (kernel)", "822 C++", "internal/catnap"},
+		{"Catmint", "RDMA", "1904 Rust", "internal/catmint"},
+		{"Catnip", "DPDK", "9201 Rust", "internal/catnip"},
+		{"Cattree", "SPDK", "2320 Rust", "internal/cattree"},
+		{"(shared PDPIX core)", "-", "-", "internal/core"},
+		{"(coroutine scheduler)", "-", "-", "internal/sched"},
+		{"(memory allocator)", "-", "(Hoard, external)", "internal/memory"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.name, r.dev, r.paper, fmt.Sprintf("%d", ModuleLoC(r.dir)))
+	}
+	return t
+}
+
+// Table3 regenerates Table 3: application lines of code.
+func Table3() *Table {
+	t := &Table{
+		Title:  "Table 3: µs-scale applications (LoC)",
+		Note:   "paper (POSIX -> Demikernel): echo 328->291, UDP relay 1731->2076, Redis 52954->54332, TxnStore 13430->12610",
+		Header: []string{"application", "paper Demikernel LoC", "this repo (Go)"},
+	}
+	rows := []struct{ name, paper, dir string }{
+		{"Echo server+client", "291", "internal/apps/echo"},
+		{"UDP relay", "2076", "internal/apps/relay"},
+		{"Redis (mini)", "54332 (full Redis)", "internal/apps/kv"},
+		{"TxnStore", "12610 (full TxnStore)", "internal/apps/txnstore"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.name, r.paper, fmt.Sprintf("%d", ModuleLoC(r.dir)))
+	}
+	return t
+}
+
+// Table1 regenerates Table 1: the datapath OS service matrix, annotated
+// with where each service lives in this repository.
+func Table1() *Table {
+	t := &Table{
+		Title:  "Table 1: Demikernel datapath OS services (paper) -> implementation here",
+		Header: []string{"service", "paper", "this repo"},
+	}
+	rows := [][3]string{
+		{"I1 Portable high-level API", "full", "internal/core (PDPIX), all libOSes"},
+		{"I2 Microsecond net stack", "full", "internal/catnip (TCP/UDP/ARP/IP), internal/catmint"},
+		{"I3 Microsecond storage stack", "full", "internal/cattree (partitioned logs, recovery)"},
+		{"C1 Alloc CPU to app and I/O", "full", "internal/sched + Runner loops (app > background > fast path)"},
+		{"C2 Alloc I/O req to app workers", "partial (Persephone)", "internal/reqsched (c-FCFS vs DARC)"},
+		{"C3 App request scheduling API", "full", "wait/wait_any/wait_all (internal/core), internal/evloop"},
+		{"M1 Mem ownership semantics", "full", "push/pop ownership transfer (internal/core, memory.Buf)"},
+		{"M2 DMA-capable heap", "full", "internal/memory (lazy get_rkey registration)"},
+		{"M3 Use-after-free protection", "full", "internal/memory refcount bitmap + reference table"},
+	}
+	for _, r := range rows {
+		t.AddRow(r[0], r[1], r[2])
+	}
+	return t
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"demikernel/internal/apps/echo"
+	"demikernel/internal/apps/kv"
+	"demikernel/internal/apps/txnstore"
+	"demikernel/internal/core"
+	"demikernel/internal/sim"
+	"demikernel/internal/wire"
+	"demikernel/internal/ycsb"
+)
+
+// TestSoakMixedWorkloads runs an echo pair, a Redis pair (with AOF) and a
+// TxnStore cluster concurrently on one switch: eight hosts, three
+// applications, two device classes, all interleaved through one
+// deterministic engine. It shakes out cross-stack interference bugs no
+// single-app test reaches.
+func TestSoakMixedWorkloads(t *testing.T) {
+	tb := NewTestbed(1234, SwitchEth())
+
+	// --- echo pair (Catnip TCP) ---
+	echoSrv := tb.NewStack(SysCatnipTCP(), "echo-srv", wire.IPAddr{10, 20, 0, 1})
+	echoCli := tb.NewStack(SysCatnipTCP(), "echo-cli", wire.IPAddr{10, 20, 0, 2})
+
+	// --- Redis pair with AOF (Catnip×Cattree) ---
+	kvSys := catnipCattreeTCP()
+	kvSrv := tb.NewStack(kvSys, "kv-srv", wire.IPAddr{10, 20, 0, 3})
+	kvCli := tb.NewStack(SysCatnipTCP(), "kv-cli", wire.IPAddr{10, 20, 0, 4})
+
+	// --- TxnStore cluster (client + 3 replicas, Catnip) ---
+	txnCli := tb.NewStack(SysCatnipTCP(), "txn-cli", wire.IPAddr{10, 20, 0, 5})
+	var txnAddrs []core.Addr
+	var txnStacks []*Stack
+	for i := 0; i < 3; i++ {
+		ip := wire.IPAddr{10, 20, 0, byte(6 + i)}
+		st := tb.NewStack(SysCatnipTCP(), fmt.Sprintf("txn-replica%d", i), ip)
+		txnStacks = append(txnStacks, st)
+		txnAddrs = append(txnAddrs, core.Addr{IP: ip, Port: 7000})
+	}
+	tb.SeedARP()
+
+	// Servers.
+	echoAddr := core.Addr{IP: echoSrv.IP, Port: 7100}
+	tb.Eng.Spawn(echoSrv.Node, func() {
+		echo.Server(echoSrv.OS, echo.ServerConfig{Addr: echoAddr})
+	})
+	kvAddr := core.Addr{IP: kvSrv.IP, Port: 6379}
+	var kvStats kv.ServerStats
+	tb.Eng.Spawn(kvSrv.Node, func() {
+		kv.Server(kvSrv.OS, kv.ServerConfig{Addr: kvAddr, AOFName: "soak.aof"}, &kvStats)
+	})
+	for i, st := range txnStacks {
+		r := txnstore.NewReplica()
+		st, addr := st, txnAddrs[i]
+		tb.Eng.Spawn(st.Node, func() { r.Serve(st.OS, addr) })
+	}
+
+	// Clients.
+	const rounds = 300
+	echoDone, kvDone, txnDone := false, false, false
+	tb.Eng.Spawn(echoCli.Node, func() {
+		res, err := echo.Client(echoCli.OS, echoAddr, 128, rounds, 10, echoCli.Node)
+		if err != nil || len(res.RTTs) != rounds {
+			t.Errorf("echo client: %v (%d rounds)", err, len(res.RTTs))
+			return
+		}
+		echoDone = true
+	})
+	tb.Eng.Spawn(kvCli.Node, func() {
+		c, err := kv.Dial(kvCli.OS, kvAddr)
+		if err != nil {
+			t.Errorf("kv dial: %v", err)
+			return
+		}
+		rng := sim.NewRand(5)
+		for i := 0; i < rounds; i++ {
+			key := ycsb.Key(rng.Intn(64))
+			if i%2 == 0 {
+				if err := c.Set(key, []byte("soak-value")); err != nil {
+					t.Errorf("kv set: %v", err)
+					return
+				}
+			} else if _, err := c.Get(key); err != nil {
+				t.Errorf("kv get: %v", err)
+				return
+			}
+		}
+		c.Close()
+		kvDone = true
+	})
+	tb.Eng.Spawn(txnCli.Node, func() {
+		c, err := txnstore.Dial(txnCli.OS, txnAddrs, sim.NewRand(6))
+		if err != nil {
+			t.Errorf("txn dial: %v", err)
+			return
+		}
+		for i := 0; i < rounds/3; i++ {
+			txn := c.Begin()
+			key := ycsb.Key(i % 16)
+			v, err := txn.Get(key)
+			if err != nil {
+				t.Errorf("txn get: %v", err)
+				return
+			}
+			next := append([]byte(nil), v...)
+			next = append(next, byte(i))
+			txn.Put(key, next)
+			if ok, err := txn.Commit(); err != nil || !ok {
+				t.Errorf("txn commit %d: ok=%v err=%v", i, ok, err)
+				return
+			}
+		}
+		c.Close()
+		txnDone = true
+	})
+	tb.Eng.Run()
+	if !echoDone || !kvDone || !txnDone {
+		t.Fatalf("clients finished: echo=%v kv=%v txn=%v", echoDone, kvDone, txnDone)
+	}
+	if kvStats.AOFRecords == 0 {
+		t.Error("kv AOF never written during soak")
+	}
+	// Determinism across the whole mixed world.
+	if tb.Eng.EventsRun() == 0 {
+		t.Error("no events processed")
+	}
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+
+	"demikernel/internal/apps/txnstore"
+	"demikernel/internal/baseline"
+	"demikernel/internal/core"
+	"demikernel/internal/sim"
+	"demikernel/internal/wire"
+	"demikernel/internal/ycsb"
+)
+
+// TxnOpts configures Figure 12 (paper: YCSB-t workload F, 64 B keys, 700 B
+// values, quorum writes to 3 replicas; scaled op count).
+type TxnOpts struct {
+	Keys, Txns, ValueSize int
+	Zipf                  bool
+}
+
+// DefaultTxnOpts scales the paper's configuration.
+func DefaultTxnOpts() TxnOpts {
+	return TxnOpts{Keys: 2000, Txns: 1500, ValueSize: 700}
+}
+
+// RunTxnStore measures per-transaction latency for workload F on one
+// stack: 1 client, 3 replicas.
+func RunTxnStore(sys System, opts TxnOpts) (*Hist, error) {
+	tb := NewTestbed(13, SwitchEth())
+	clientIP := wire.IPAddr{10, 12, 0, 100}
+	cli := tb.NewStack(sys, "txn-client", clientIP)
+	var addrs []core.Addr
+	var replicaStacks []*Stack
+	for i := 0; i < 3; i++ {
+		ip := wire.IPAddr{10, 12, 0, byte(1 + i)}
+		st := tb.NewStack(sys, fmt.Sprintf("replica%d", i), ip)
+		replicaStacks = append(replicaStacks, st)
+		addrs = append(addrs, core.Addr{IP: ip, Port: 7000})
+	}
+	tb.SeedARP()
+	for i, st := range replicaStacks {
+		r := txnstore.NewReplica()
+		st := st
+		addr := addrs[i]
+		tb.Eng.Spawn(st.Node, func() { r.Serve(st.OS, addr) })
+	}
+	h := &Hist{}
+	var cerr error
+	tb.Eng.Spawn(cli.Node, func() {
+		defer tb.Eng.Stop()
+		rng := sim.NewRand(23)
+		c, err := txnstore.Dial(cli.OS, addrs, rng.Fork())
+		if err != nil {
+			cerr = err
+			return
+		}
+		// Preload keys through the protocol so replicas agree.
+		value := make([]byte, opts.ValueSize)
+		for i := 0; i < opts.Keys/10; i++ {
+			txn := c.Begin()
+			txn.Put(ycsb.Key(i), value)
+			if ok, err := txn.Commit(); err != nil || !ok {
+				cerr = fmt.Errorf("preload: %v", err)
+				return
+			}
+		}
+		var keys ycsb.KeyChooser = ycsb.NewUniform(opts.Keys/10, rng.Fork())
+		if opts.Zipf {
+			keys = ycsb.NewZipf(opts.Keys/10, 0.99, rng.Fork())
+		}
+		w := ycsb.WorkloadF(keys, rng.Fork())
+		for i := 0; i < opts.Txns; i++ {
+			op := w.Next()
+			start := cli.Node.Now()
+			txn := c.Begin()
+			v, err := txn.Get(ycsb.Key(op.Key))
+			if err != nil {
+				cerr = err
+				return
+			}
+			if op.Kind == ycsb.OpRMW {
+				mod := append([]byte(nil), v...)
+				if len(mod) == 0 {
+					mod = make([]byte, opts.ValueSize)
+				}
+				mod[0]++
+				txn.Put(ycsb.Key(op.Key), mod)
+				if _, err := txn.Commit(); err != nil {
+					cerr = err
+					return
+				}
+			}
+			h.Add(cli.Node.Now().Sub(start))
+		}
+		c.Close()
+	})
+	tb.Eng.Run()
+	if cerr != nil {
+		return nil, fmt.Errorf("%s: %w", sys.Name, cerr)
+	}
+	return h, nil
+}
+
+// Fig12 regenerates Figure 12: TxnStore YCSB-t latency across transports.
+func Fig12() (*Table, error) {
+	t := &Table{
+		Title:  "Figure 12: TxnStore YCSB-t transaction latency (workload F, 700B values, 3-way puts)",
+		Note:   "paper shape: Linux TCP worst; Catnap −69% vs TCP; Catmint and Catnip competitive with (and beating) the custom RDMA stack",
+		Header: []string{"system", "avg (µs)", "p99 (µs)"},
+	}
+	opts := DefaultTxnOpts()
+	for _, sys := range []System{
+		SysLinux(baseline.EnvNative),
+		SysTxnStoreRDMA(),
+		SysCatnap(baseline.EnvNative),
+		SysCatmint(0),
+		SysCatnipTCP(),
+	} {
+		name := sys.Name
+		if name == "Linux" {
+			name = "Linux (TCP)"
+		}
+		h, err := RunTxnStore(sys, opts)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(name, Micros(h.Mean()), Micros(h.P99()))
+	}
+	return t, nil
+}

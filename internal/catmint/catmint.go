@@ -1,0 +1,501 @@
+// Package catmint is Demikernel's RDMA library OS (paper §6.2). The RDMA
+// NIC offloads ordered, reliable transport, so Catmint's software is thin:
+// it multiplexes PDPIX connections over one queue pair per remote device
+// (per-connection queue pairs are unaffordable; paper §6.2 and [35]),
+// manages receive buffers, and implements credit-based flow control whose
+// window updates travel as one-sided RDMA writes into the sender's
+// registered window table — the remote CPU never sees them.
+package catmint
+
+import (
+	"encoding/binary"
+	"time"
+
+	"demikernel/internal/core"
+	"demikernel/internal/costmodel"
+	"demikernel/internal/memory"
+	"demikernel/internal/rdmadev"
+	"demikernel/internal/sched"
+	"demikernel/internal/sim"
+	"demikernel/internal/simnet"
+)
+
+// Config tunes the libOS.
+type Config struct {
+	// MaxMsgSize bounds one message (the receive buffer size); Catmint
+	// "currently only supports messages up to a configurable buffer
+	// size" (paper §6.2).
+	MaxMsgSize int
+	// RecvDepth is the receive buffers posted per link.
+	RecvDepth int
+	// RefillThreshold triggers the flow-control coroutine when posted
+	// buffers fall below it (paper: "the fast-path coroutine checks the
+	// remaining receive buffers on each incoming I/O").
+	RefillThreshold int
+	// CMPort is the device-level connection-manager port.
+	CMPort uint16
+	// Book resolves PDPIX addresses to NIC MACs; instances of one
+	// simulation share a book. New creates one when nil.
+	Book *AddrBook
+	// Per-operation CPU costs; defaults are Catmint's, comparators
+	// (eRPC) override them.
+	PostSendCost, PollCQECost time.Duration
+}
+
+// DefaultConfig returns the standard tuning. Pass the simulation's shared
+// address book.
+func DefaultConfig(book *AddrBook) Config {
+	return Config{
+		MaxMsgSize: 64 << 10, RecvDepth: 64, RefillThreshold: 16, CMPort: 1, Book: book,
+		PostSendCost: costmodel.RDMAPostSend, PollCQECost: costmodel.RDMAPollCQE,
+	}
+}
+
+// Message type tags on the wire (first payload byte).
+const (
+	msgHello   = 1 // link setup: carries the sender's credit-table rkey
+	msgConnect = 2 // open connection: aux = destination port
+	msgAccept  = 3 // connection accepted: aux = acceptor's conn id
+	msgReject  = 4
+	msgData    = 5
+	msgFin     = 6
+)
+
+// msgHeaderLen is type(1) + connID(4) + aux(4).
+const msgHeaderLen = 9
+
+// Stats counts libOS activity.
+type Stats struct {
+	Sends, Recvs     uint64
+	CreditStalls     uint64
+	WindowWrites     uint64
+	ZeroCopyTx       uint64
+	CopiedTx         uint64
+	ConnectsAccepted uint64
+	MessagesTooLarge uint64
+	RecvBufsReposted uint64
+}
+
+// LibOS is a Catmint instance for one node + RDMA NIC.
+type LibOS struct {
+	node   *sim.Node
+	nic    *rdmadev.NIC
+	heap   *memory.Heap
+	sched  *sched.Scheduler
+	tokens *core.TokenTable
+	waiter core.Waiter
+	qds    *core.QDescTable
+	cfg    Config
+
+	cmListener *rdmadev.Listener
+	book       *AddrBook
+	links      map[simnet.MAC]*peerLink
+	listeners  map[uint16]*listener
+	nextConnID uint32
+	stats      Stats
+}
+
+// New builds a Catmint libOS on an RDMA NIC. The application heap registers
+// superblocks with the NIC lazily on first I/O (get_rkey; paper §5.3).
+func New(node *sim.Node, nic *rdmadev.NIC, cfg Config) *LibOS {
+	if cfg.Book == nil {
+		cfg.Book = NewAddrBook()
+	}
+	l := &LibOS{
+		node:      node,
+		nic:       nic,
+		sched:     sched.New(),
+		tokens:    core.NewTokenTable(),
+		qds:       core.NewQDescTable(),
+		cfg:       cfg,
+		book:      cfg.Book,
+		links:     make(map[simnet.MAC]*peerLink),
+		listeners: make(map[uint16]*listener),
+	}
+	l.heap = memory.NewHeap(nic.RegisterMemory)
+	l.waiter = core.Waiter{Table: l.tokens, Runner: l}
+	var err error
+	l.cmListener, err = nic.ListenCM(cfg.CMPort)
+	if err != nil {
+		panic("catmint: CM port in use: " + err.Error())
+	}
+	return l
+}
+
+// Node returns the owning node.
+func (l *LibOS) Node() *sim.Node { return l.node }
+
+// MAC returns the NIC address (Catmint endpoints are addressed by MAC).
+func (l *LibOS) MAC() simnet.MAC { return l.nic.MAC() }
+
+// Heap returns the DMA-capable application heap.
+func (l *LibOS) Heap() *memory.Heap { return l.heap }
+
+// Stats returns a snapshot.
+func (l *LibOS) Stats() Stats { return l.stats }
+
+// peerLink is the multiplexed transport to one remote device: one QP, a
+// credit table each way, and the per-link flow-control coroutine.
+type peerLink struct {
+	lib    *LibOS
+	qp     *rdmadev.QP
+	remote simnet.MAC
+	ready  bool
+
+	// Credits we may spend (the peer one-sided-writes grantMem).
+	grantMem  []byte // 8 bytes, registered with the NIC
+	grantRkey uint32
+	peerRkey  uint32 // rkey of the peer's grantMem
+	sent      uint64
+
+	// Receive-side state.
+	posted  int
+	granted uint64
+
+	pendingSends []pendingSend
+	flowH        sched.Handle
+
+	conns     map[uint32]*conn // by local conn id
+	helloWait []sched.Waker
+}
+
+// pendingSend is a message stalled on credits.
+type pendingSend struct {
+	hdr [msgHeaderLen]byte
+	sga core.SGArray // segments to send (nil for control messages)
+	op  *core.Op     // push op to complete on transmission
+	qd  core.QDesc
+}
+
+// grant returns the peer-written cumulative credit grant.
+func (pl *peerLink) grant() uint64 { return binary.LittleEndian.Uint64(pl.grantMem) }
+
+// credits returns how many messages we may still send.
+func (pl *peerLink) credits() int { return int(pl.grant() - pl.sent) }
+
+// conn is one multiplexed PDPIX connection.
+type conn struct {
+	lib     *LibOS
+	link    *peerLink
+	qd      core.QDesc
+	localID uint32
+	peerID  uint32
+	open    bool
+	peerFin bool
+	err     error
+
+	recvQ []*memory.Buf
+	pops  []*core.Op
+
+	connectOp *core.Op
+}
+
+// listener accepts inbound multiplexed connections on a port.
+type listener struct {
+	lib     *LibOS
+	qd      core.QDesc
+	port    uint16
+	ready   []*conn
+	accepts []*core.Op
+	closed  bool
+}
+
+// socket is the pre-connection PDPIX queue state.
+type socket struct {
+	lib      *LibOS
+	qd       core.QDesc
+	port     uint16
+	bound    bool
+	listener *listener
+	conn     *conn
+}
+
+// --- Runner ---
+
+// Step runs one scheduler quantum or polls the completion queue.
+func (l *LibOS) Step() bool {
+	if l.sched.Runnable() {
+		l.node.Charge(costmodel.SchedQuantum)
+		return l.sched.RunOne()
+	}
+	return l.pollDevice()
+}
+
+// Block parks the node until an event or deadline.
+func (l *LibOS) Block(deadline sim.Time) bool { return l.node.Park(deadline) }
+
+// Now returns the node clock.
+func (l *LibOS) Now() sim.Time { return l.node.Now() }
+
+// pollDevice drains CM arrivals, completions and credit-unblocked sends.
+func (l *LibOS) pollDevice() bool {
+	progress := false
+	// Control path: accept inbound device connections.
+	for l.cmListener.Pending() {
+		qp, _ := l.cmListener.Accept()
+		l.setupLink(qp)
+		progress = true
+	}
+	cqes := l.nic.PollCQ(32)
+	for _, cqe := range cqes {
+		l.node.Charge(l.cfg.PollCQECost)
+		l.handleCQE(cqe)
+		progress = true
+	}
+	// Credit writes arrive silently; retry stalled sends.
+	for _, pl := range l.links {
+		if len(pl.pendingSends) > 0 && pl.credits() > 0 {
+			pl.drainPending()
+			progress = true
+		}
+	}
+	if !progress {
+		l.node.Charge(costmodel.PollEmpty)
+	}
+	return progress
+}
+
+// setupLink wires a peerLink around a connected QP and starts its flow
+// coroutine; the HELLO exchange carries credit-table rkeys.
+func (l *LibOS) setupLink(qp *rdmadev.QP) *peerLink {
+	pl := &peerLink{
+		lib:      l,
+		qp:       qp,
+		remote:   qp.RemoteMAC(),
+		grantMem: make([]byte, 8),
+		conns:    make(map[uint32]*conn),
+	}
+	l.links[pl.remote] = pl
+	pl.grantRkey = l.nic.RegisterMemory(pl.grantMem)
+	// Post the initial receive set and grant it to the peer via HELLO
+	// (the grant rides in aux; later grants are one-sided writes).
+	for i := 0; i < l.cfg.RecvDepth; i++ {
+		l.postRecv(pl)
+	}
+	pl.granted = uint64(l.cfg.RecvDepth)
+	pl.flowH = l.sched.Spawn(sched.Background, sched.Func(pl.pollFlow))
+	// HELLO does not consume credits (control bootstrap).
+	hdr := buildHeader(msgHello, pl.grantRkey, uint32(pl.granted))
+	l.node.Charge(l.cfg.PostSendCost)
+	qp.PostSend(nil, hdr[:])
+	return pl
+}
+
+// buildHeader assembles a message header.
+func buildHeader(typ byte, connID, aux uint32) [msgHeaderLen]byte {
+	var h [msgHeaderLen]byte
+	h[0] = typ
+	binary.BigEndian.PutUint32(h[1:5], connID)
+	binary.BigEndian.PutUint32(h[5:9], aux)
+	return h
+}
+
+// postRecv allocates and posts one receive buffer.
+func (l *LibOS) postRecv(pl *peerLink) {
+	buf := l.heap.Alloc(l.cfg.MaxMsgSize + msgHeaderLen)
+	buf.IORef() // owned by the device until a CQE hands it back
+	pl.qp.PostRecv(buf, pl)
+	pl.posted++
+	l.stats.RecvBufsReposted++
+}
+
+// pollFlow is the per-link flow-control coroutine (paper §6.2): it reposts
+// receive buffers and pushes the new grant to the sender with a one-sided
+// write, so the sender's CPU is never interrupted.
+func (pl *peerLink) pollFlow(ctx *sched.Context) sched.Poll {
+	l := pl.lib
+	if pl.posted >= l.cfg.RefillThreshold {
+		return sched.Pending
+	}
+	for pl.posted < l.cfg.RecvDepth {
+		l.postRecv(pl)
+		pl.granted++
+	}
+	if pl.ready {
+		var g [8]byte
+		binary.LittleEndian.PutUint64(g[:], pl.granted)
+		l.node.Charge(l.cfg.PostSendCost)
+		pl.qp.PostWrite(pl.peerRkey, 0, g[:])
+		l.stats.WindowWrites++
+	}
+	return sched.Pending
+}
+
+// send transmits (or queues) one message on the link.
+func (pl *peerLink) send(hdr [msgHeaderLen]byte, sga core.SGArray, op *core.Op, qd core.QDesc) {
+	pl.pendingSends = append(pl.pendingSends, pendingSend{hdr: hdr, sga: sga, op: op, qd: qd})
+	pl.drainPending()
+}
+
+// drainPending sends queued messages while credits allow.
+func (pl *peerLink) drainPending() {
+	l := pl.lib
+	for len(pl.pendingSends) > 0 {
+		if pl.credits() <= 0 {
+			l.stats.CreditStalls++
+			return
+		}
+		ps := pl.pendingSends[0]
+		pl.pendingSends = pl.pendingSends[1:]
+		pl.sent++
+		segs := make([][]byte, 0, 1+len(ps.sga.Segs))
+		segs = append(segs, ps.hdr[:])
+		for _, b := range ps.sga.Segs {
+			if b.ZeroCopyEligible() {
+				b.Rkey() // get_rkey: lazy registration on first I/O
+				l.stats.ZeroCopyTx++
+			} else {
+				l.node.Charge(costmodel.Memcpy(b.Len()))
+				l.stats.CopiedTx++
+			}
+			segs = append(segs, b.Bytes())
+		}
+		l.node.Charge(l.cfg.PostSendCost)
+		pl.qp.PostSend(ps, segs...)
+		l.stats.Sends++
+	}
+}
+
+// handleCQE processes one completion.
+func (l *LibOS) handleCQE(cqe rdmadev.CQE) {
+	switch cqe.Op {
+	case rdmadev.OpSend:
+		// Transmission done: buffer ownership returns to the app when the
+		// push op completes (reliable delivery is the NIC's job).
+		if ps, ok := cqe.Ctx.(pendingSend); ok && ps.op != nil {
+			for _, b := range ps.sga.Segs {
+				b.IOUnref()
+			}
+			ps.op.Complete(core.QEvent{QD: ps.qd, Op: core.OpPush})
+		}
+	case rdmadev.OpRecv:
+		pl := cqe.Ctx.(*peerLink)
+		pl.posted--
+		if pl.posted < l.cfg.RefillThreshold {
+			pl.flowH.Wake()
+		}
+		l.stats.Recvs++
+		l.handleMessage(pl, cqe.Buf, cqe.Len)
+	}
+}
+
+// handleMessage dispatches one received multiplexed message.
+func (l *LibOS) handleMessage(pl *peerLink, buf *memory.Buf, length int) {
+	data := buf.Bytes()[:length]
+	if length < msgHeaderLen {
+		buf.IOUnref()
+		buf.Free()
+		return
+	}
+	typ := data[0]
+	connID := binary.BigEndian.Uint32(data[1:5])
+	aux := binary.BigEndian.Uint32(data[5:9])
+	switch typ {
+	case msgHello:
+		pl.peerRkey = connID
+		// aux carries the peer's initial grant.
+		binary.LittleEndian.PutUint64(pl.grantMem, uint64(aux))
+		pl.ready = true
+		for _, w := range pl.helloWait {
+			w.Wake()
+		}
+		pl.helloWait = nil
+		pl.drainPending()
+		buf.IOUnref()
+		buf.Free()
+	case msgConnect:
+		port := uint16(aux)
+		ln, ok := l.listeners[port]
+		if !ok || ln.closed {
+			pl.send(buildHeader(msgReject, connID, 0), core.SGArray{}, nil, core.InvalidQD)
+			buf.IOUnref()
+			buf.Free()
+			return
+		}
+		l.nextConnID++
+		c := &conn{lib: l, link: pl, localID: l.nextConnID, peerID: connID, open: true}
+		pl.conns[c.localID] = c
+		pl.send(buildHeader(msgAccept, connID, c.localID), core.SGArray{}, nil, core.InvalidQD)
+		l.stats.ConnectsAccepted++
+		ln.established(c)
+		buf.IOUnref()
+		buf.Free()
+	case msgAccept:
+		c, ok := pl.conns[connID]
+		if ok && !c.open {
+			c.peerID = aux
+			c.open = true
+			if c.connectOp != nil {
+				c.connectOp.Complete(core.QEvent{QD: c.qd, Op: core.OpConnect, NewQD: c.qd})
+				c.connectOp = nil
+			}
+		}
+		buf.IOUnref()
+		buf.Free()
+	case msgReject:
+		c, ok := pl.conns[connID]
+		if ok && c.connectOp != nil {
+			c.connectOp.Fail(c.qd, core.OpConnect, core.ErrConnRefused)
+			c.connectOp = nil
+			delete(pl.conns, connID)
+		}
+		buf.IOUnref()
+		buf.Free()
+	case msgData:
+		c, ok := pl.conns[connID]
+		if !ok || !c.open {
+			buf.IOUnref()
+			buf.Free()
+			return
+		}
+		// Deliver the payload in a fresh buffer, stripping the mux header.
+		// This copy is charged: it is Catmint's per-byte receive cost, and
+		// it reproduces the paper's observed throughput gap between
+		// Catmint and raw perftest at large messages (Figure 8).
+		l.node.Charge(costmodel.Memcpy(length - msgHeaderLen))
+		payload := memory.CopyFrom(l.heap, data[msgHeaderLen:])
+		buf.IOUnref()
+		buf.Free()
+		c.deliver(payload)
+	case msgFin:
+		if c, ok := pl.conns[connID]; ok {
+			c.peerFin = true
+			c.completePops()
+		}
+		buf.IOUnref()
+		buf.Free()
+	default:
+		buf.IOUnref()
+		buf.Free()
+	}
+}
+
+// linkTo returns (creating if needed) the link to a remote Catmint,
+// blocking through the control path until HELLO completes.
+func (l *LibOS) linkTo(remote simnet.MAC) (*peerLink, error) {
+	if pl, ok := l.links[remote]; ok {
+		return pl, nil
+	}
+	qp, err := l.nic.ConnectCM(remote, l.cfg.CMPort)
+	if err != nil {
+		return nil, core.ErrConnRefused
+	}
+	pl := l.setupLink(qp)
+	// Wait for the peer's HELLO (control path; block the app).
+	for !pl.ready {
+		if !l.Step() {
+			if !l.node.Park(sim.Infinity) {
+				return nil, core.ErrStopped
+			}
+		}
+	}
+	return pl, nil
+}
+
+// Tokens exposes the qtoken table for libOS integration (demi.Combined).
+func (l *LibOS) Tokens() *core.TokenTable { return l.tokens }
+
+// TryTake redeems a completed qtoken (demi.Drivable).
+func (l *LibOS) TryTake(qt core.QToken) (core.QEvent, bool, error) {
+	return l.tokens.TryTake(qt)
+}

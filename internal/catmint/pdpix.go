@@ -1,0 +1,345 @@
+package catmint
+
+import (
+	"time"
+
+	"demikernel/internal/core"
+	"demikernel/internal/costmodel"
+	"demikernel/internal/memory"
+	"demikernel/internal/simnet"
+)
+
+// AddrBook maps PDPIX IP addresses to RDMA NIC MACs, standing in for an
+// address-resolution service on the control plane. One book is shared by
+// the Catmint instances of a simulation, so the same application code runs
+// over Catnip and Catmint unchanged (portability is the point).
+type AddrBook struct {
+	m map[[4]byte]simnet.MAC
+}
+
+// NewAddrBook returns an empty address book.
+func NewAddrBook() *AddrBook { return &AddrBook{m: make(map[[4]byte]simnet.MAC)} }
+
+// RegisterAddr binds a PDPIX IP address to this libOS's NIC.
+func (l *LibOS) RegisterAddr(a core.Addr) {
+	l.book.m[a.IP] = l.nic.MAC()
+}
+
+// --- conn operations ---
+
+// deliver hands a received message to a waiting pop or queues it.
+func (c *conn) deliver(buf *memory.Buf) {
+	if len(c.pops) > 0 {
+		op := c.pops[0]
+		c.pops = c.pops[1:]
+		op.Complete(core.QEvent{QD: c.qd, Op: core.OpPop, SGA: core.SGA(buf)})
+		return
+	}
+	c.recvQ = append(c.recvQ, buf)
+}
+
+// completePops drains waiting pops after FIN or teardown.
+func (c *conn) completePops() {
+	for len(c.pops) > 0 && (len(c.recvQ) > 0 || c.peerFin) {
+		op := c.pops[0]
+		c.pops = c.pops[1:]
+		if len(c.recvQ) > 0 {
+			buf := c.recvQ[0]
+			c.recvQ = c.recvQ[1:]
+			op.Complete(core.QEvent{QD: c.qd, Op: core.OpPop, SGA: core.SGA(buf)})
+		} else {
+			op.Complete(core.QEvent{QD: c.qd, Op: core.OpPop}) // EOF
+		}
+	}
+}
+
+// push sends one message (Catmint is message-oriented: each push is one
+// delimited message, as RDMA SEND preserves boundaries).
+func (c *conn) push(op *core.Op, sga core.SGArray) {
+	l := c.lib
+	if c.err != nil || (!c.open && c.connectOp == nil) {
+		op.Fail(c.qd, core.OpPush, core.ErrQueueClosed)
+		return
+	}
+	if sga.TotalLen() > l.cfg.MaxMsgSize {
+		l.stats.MessagesTooLarge++
+		op.Fail(c.qd, core.OpPush, core.ErrNotSupported)
+		return
+	}
+	for _, b := range sga.Segs {
+		b.IORef() // held until the send completion
+	}
+	c.link.send(buildHeader(msgData, c.peerID, 0), sga, op, c.qd)
+}
+
+// pop asks for the next message.
+func (c *conn) pop(op *core.Op) {
+	if len(c.recvQ) > 0 {
+		buf := c.recvQ[0]
+		c.recvQ = c.recvQ[1:]
+		op.Complete(core.QEvent{QD: c.qd, Op: core.OpPop, SGA: core.SGA(buf)})
+		return
+	}
+	if c.peerFin {
+		op.Complete(core.QEvent{QD: c.qd, Op: core.OpPop})
+		return
+	}
+	if c.err != nil {
+		op.Fail(c.qd, core.OpPop, c.err)
+		return
+	}
+	c.pops = append(c.pops, op)
+}
+
+// close tears the connection down, notifying the peer.
+func (c *conn) close() {
+	if c.err != nil {
+		return
+	}
+	c.err = core.ErrQueueClosed
+	if c.open {
+		c.link.send(buildHeader(msgFin, c.peerID, 0), core.SGArray{}, nil, core.InvalidQD)
+	}
+	delete(c.link.conns, c.localID)
+	for _, op := range c.pops {
+		op.Complete(core.QEvent{QD: c.qd, Op: core.OpPop}) // EOF
+	}
+	c.pops = nil
+	for _, b := range c.recvQ {
+		b.Free()
+	}
+	c.recvQ = nil
+}
+
+// established is called when a multiplexed CONNECT lands on the listener.
+func (ln *listener) established(c *conn) {
+	if ln.closed {
+		return
+	}
+	if len(ln.accepts) > 0 {
+		op := ln.accepts[0]
+		ln.accepts = ln.accepts[1:]
+		ln.complete(op, c)
+		return
+	}
+	ln.ready = append(ln.ready, c)
+}
+
+func (ln *listener) complete(op *core.Op, c *conn) {
+	s := &socket{lib: ln.lib, port: ln.port, bound: true, conn: c}
+	s.qd = ln.lib.qds.Insert(s)
+	c.qd = s.qd
+	op.Complete(core.QEvent{QD: ln.qd, Op: core.OpAccept, NewQD: s.qd})
+}
+
+// --- PDPIX entry points ---
+
+// Socket creates a stream socket (Catmint has no datagram support; RDMA RC
+// is connection-oriented).
+func (l *LibOS) Socket(t core.SockType) (core.QDesc, error) {
+	l.node.Charge(costmodel.Libcall)
+	if t != core.SockStream {
+		return core.InvalidQD, core.ErrNotSupported
+	}
+	s := &socket{lib: l}
+	s.qd = l.qds.Insert(s)
+	return s.qd, nil
+}
+
+// Queue creates an in-memory queue.
+func (l *LibOS) Queue() (core.QDesc, error) {
+	l.node.Charge(costmodel.Libcall)
+	qd := l.qds.Insert(nil)
+	l.qds.Restore(qd, core.NewMemQueue(qd))
+	return qd, nil
+}
+
+// Open is provided by the Catmint×Cattree integration.
+func (l *LibOS) Open(name string) (core.QDesc, error) {
+	return core.InvalidQD, core.ErrNotSupported
+}
+
+// Bind assigns the local port.
+func (l *LibOS) Bind(qd core.QDesc, addr core.Addr) error {
+	l.node.Charge(costmodel.Libcall)
+	q, ok := l.qds.Lookup(qd)
+	if !ok {
+		return core.ErrBadQDesc
+	}
+	s, ok := q.(*socket)
+	if !ok {
+		return core.ErrNotSupported
+	}
+	if s.bound {
+		return core.ErrInUse
+	}
+	if _, used := l.listeners[addr.Port]; used {
+		return core.ErrInUse
+	}
+	s.port = addr.Port
+	s.bound = true
+	return nil
+}
+
+// Listen starts accepting connections on the bound port.
+func (l *LibOS) Listen(qd core.QDesc, backlog int) error {
+	l.node.Charge(costmodel.Libcall)
+	q, ok := l.qds.Lookup(qd)
+	if !ok {
+		return core.ErrBadQDesc
+	}
+	s, ok := q.(*socket)
+	if !ok {
+		return core.ErrNotSupported
+	}
+	if !s.bound {
+		return core.ErrNotBound
+	}
+	ln := &listener{lib: l, qd: qd, port: s.port}
+	s.listener = ln
+	l.listeners[s.port] = ln
+	return nil
+}
+
+// Accept asks for the next inbound connection.
+func (l *LibOS) Accept(qd core.QDesc) (core.QToken, error) {
+	l.node.Charge(costmodel.Libcall)
+	q, ok := l.qds.Lookup(qd)
+	if !ok {
+		return core.InvalidQToken, core.ErrBadQDesc
+	}
+	s, ok := q.(*socket)
+	if !ok || s.listener == nil {
+		return core.InvalidQToken, core.ErrNotSupported
+	}
+	op := l.tokens.New()
+	ln := s.listener
+	if len(ln.ready) > 0 {
+		c := ln.ready[0]
+		ln.ready = ln.ready[1:]
+		ln.complete(op, c)
+	} else {
+		ln.accepts = append(ln.accepts, op)
+	}
+	return op.Token(), nil
+}
+
+// Connect opens a multiplexed connection to addr (resolved to a NIC).
+func (l *LibOS) Connect(qd core.QDesc, addr core.Addr) (core.QToken, error) {
+	l.node.Charge(costmodel.Libcall)
+	q, ok := l.qds.Lookup(qd)
+	if !ok {
+		return core.InvalidQToken, core.ErrBadQDesc
+	}
+	s, ok := q.(*socket)
+	if !ok || s.conn != nil || s.listener != nil {
+		return core.InvalidQToken, core.ErrNotSupported
+	}
+	mac, ok := l.book.m[addr.IP]
+	if !ok {
+		return core.InvalidQToken, core.ErrConnRefused
+	}
+	op := l.tokens.New()
+	pl, err := l.linkTo(mac)
+	if err != nil {
+		op.Fail(qd, core.OpConnect, err)
+		return op.Token(), nil
+	}
+	l.nextConnID++
+	c := &conn{lib: l, link: pl, qd: qd, localID: l.nextConnID, connectOp: op}
+	pl.conns[c.localID] = c
+	s.conn = c
+	pl.send(buildHeader(msgConnect, c.localID, uint32(addr.Port)), core.SGArray{}, nil, core.InvalidQD)
+	return op.Token(), nil
+}
+
+// Close releases a queue.
+func (l *LibOS) Close(qd core.QDesc) error {
+	l.node.Charge(costmodel.Libcall)
+	q, ok := l.qds.Lookup(qd)
+	if !ok {
+		return core.ErrBadQDesc
+	}
+	switch s := q.(type) {
+	case *socket:
+		if s.listener != nil {
+			s.listener.closed = true
+			delete(l.listeners, s.listener.port)
+			for _, op := range s.listener.accepts {
+				op.Fail(qd, core.OpAccept, core.ErrQueueClosed)
+			}
+		}
+		if s.conn != nil {
+			s.conn.close()
+		}
+	case *core.MemQueue:
+		s.Close()
+	}
+	l.qds.Remove(qd)
+	return nil
+}
+
+// Push submits one message.
+func (l *LibOS) Push(qd core.QDesc, sga core.SGArray) (core.QToken, error) {
+	l.node.Charge(costmodel.Libcall)
+	if len(sga.Segs) == 0 {
+		return core.InvalidQToken, core.ErrEmptySGA
+	}
+	q, ok := l.qds.Lookup(qd)
+	if !ok {
+		return core.InvalidQToken, core.ErrBadQDesc
+	}
+	op := l.tokens.New()
+	switch s := q.(type) {
+	case *socket:
+		if s.conn == nil {
+			return core.InvalidQToken, core.ErrNotBound
+		}
+		s.conn.push(op, sga)
+	case *core.MemQueue:
+		s.Push(op, sga)
+	default:
+		return core.InvalidQToken, core.ErrNotSupported
+	}
+	return op.Token(), nil
+}
+
+// PushTo is unsupported on connection-oriented Catmint.
+func (l *LibOS) PushTo(qd core.QDesc, sga core.SGArray, to core.Addr) (core.QToken, error) {
+	return core.InvalidQToken, core.ErrNotSupported
+}
+
+// Pop asks for the next message.
+func (l *LibOS) Pop(qd core.QDesc) (core.QToken, error) {
+	l.node.Charge(costmodel.Libcall)
+	q, ok := l.qds.Lookup(qd)
+	if !ok {
+		return core.InvalidQToken, core.ErrBadQDesc
+	}
+	op := l.tokens.New()
+	switch s := q.(type) {
+	case *socket:
+		if s.conn == nil {
+			return core.InvalidQToken, core.ErrNotBound
+		}
+		s.conn.pop(op)
+	case *core.MemQueue:
+		s.Pop(op)
+	default:
+		return core.InvalidQToken, core.ErrNotSupported
+	}
+	return op.Token(), nil
+}
+
+// Wait blocks until qt completes.
+func (l *LibOS) Wait(qt core.QToken) (core.QEvent, error) { return l.waiter.Wait(qt) }
+
+// WaitAny blocks until one of qts completes.
+func (l *LibOS) WaitAny(qts []core.QToken, timeout time.Duration) (int, core.QEvent, error) {
+	return l.waiter.WaitAny(qts, timeout)
+}
+
+// WaitAll blocks until all of qts complete.
+func (l *LibOS) WaitAll(qts []core.QToken, timeout time.Duration) ([]core.QEvent, error) {
+	return l.waiter.WaitAll(qts, timeout)
+}

@@ -1,0 +1,658 @@
+// Package catnap is Demikernel's POSIX library OS (paper §6.1): the PDPIX
+// API implemented over the legacy OS kernel, so Demikernel applications can
+// be developed, tested and run without kernel-bypass hardware. It runs on
+// the real operating system — Go's net package over loopback and ordinary
+// files for the storage log — and, like the paper's Catnap, it trades CPU
+// for latency by polling rather than sleeping in epoll.
+//
+// Internal reader goroutines stand in for the kernel's readiness
+// machinery; every PDPIX-visible mutation still happens on the application
+// thread inside Step, so the datapath state needs no locks.
+//
+// Catnap is single-host: PDPIX addresses map to 127.0.0.1:port.
+package catnap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"demikernel/internal/core"
+	"demikernel/internal/memory"
+	"demikernel/internal/sim"
+)
+
+// Stats counts libOS activity.
+type Stats struct {
+	TCPAccepts, TCPConnects uint64
+	BytesIn, BytesOut       uint64
+	FileAppends, FileReads  uint64
+}
+
+// LibOS is a Catnap instance.
+type LibOS struct {
+	clock  *sim.WallClock
+	tokens *core.TokenTable
+	qds    *core.QDescTable
+	waiter core.Waiter
+	heap   *memory.Heap
+
+	// pending carries completions from reader goroutines to the
+	// application thread; activity wakes Block.
+	pending  chan func()
+	activity chan struct{}
+	closed   atomic.Bool
+
+	dir   string // directory for storage log files
+	stats Stats
+}
+
+// New builds a Catnap libOS. dir is where storage logs live ("" disables
+// the storage stack).
+func New(dir string) *LibOS {
+	l := &LibOS{
+		clock:    sim.NewWallClock(),
+		tokens:   core.NewTokenTable(),
+		qds:      core.NewQDescTable(),
+		heap:     memory.NewHeap(nil),
+		pending:  make(chan func(), 4096),
+		activity: make(chan struct{}, 1),
+		dir:      dir,
+	}
+	l.waiter = core.Waiter{Table: l.tokens, Runner: l}
+	return l
+}
+
+// Heap returns the application heap (plain memory: the kernel path copies
+// anyway, as the paper notes — POSIX is not zero-copy).
+func (l *LibOS) Heap() *memory.Heap { return l.heap }
+
+// Stats returns a snapshot.
+func (l *LibOS) Stats() Stats { return l.stats }
+
+// Shutdown stops the libOS; subsequent waits fail with ErrStopped.
+func (l *LibOS) Shutdown() {
+	l.closed.Store(true)
+	l.wake()
+}
+
+// enqueue hands a completion closure to the application thread.
+func (l *LibOS) enqueue(fn func()) {
+	l.pending <- fn
+	l.wake()
+}
+
+func (l *LibOS) wake() {
+	select {
+	case l.activity <- struct{}{}:
+	default:
+	}
+}
+
+// --- Runner ---
+
+// Step executes one queued completion on the application thread.
+func (l *LibOS) Step() bool {
+	select {
+	case fn := <-l.pending:
+		fn()
+		return true
+	default:
+		return false
+	}
+}
+
+// Block waits (real time) for activity or the deadline.
+func (l *LibOS) Block(deadline sim.Time) bool {
+	if l.closed.Load() {
+		return false
+	}
+	if deadline == sim.Infinity {
+		<-l.activity
+		return !l.closed.Load()
+	}
+	d := deadline.Sub(l.Now())
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-l.activity:
+	case <-t.C:
+	}
+	return !l.closed.Load()
+}
+
+// Now returns wall-clock time since the libOS started.
+func (l *LibOS) Now() sim.Time { return l.clock.Now() }
+
+// --- Queue state ---
+
+// tcpQueue is a connected TCP socket.
+type tcpQueue struct {
+	lib   *LibOS
+	qd    core.QDesc
+	conn  net.Conn
+	recvQ [][]byte
+	pops  []*core.Op
+	eof   bool
+	err   error
+}
+
+// listenQueue is a listening TCP socket.
+type listenQueue struct {
+	lib     *LibOS
+	qd      core.QDesc
+	ln      net.Listener
+	ready   []net.Conn
+	accepts []*core.Op
+}
+
+// udpQueue is a UDP socket.
+type udpQueue struct {
+	lib   *LibOS
+	qd    core.QDesc
+	conn  *net.UDPConn
+	recvQ []udpDatagram
+	pops  []*core.Op
+	err   error
+}
+
+type udpDatagram struct {
+	from core.Addr
+	data []byte
+}
+
+// sockQueue is an unbound socket placeholder created by Socket.
+type sockQueue struct {
+	typ  core.SockType
+	port uint16
+}
+
+// fileQueue is one open of a storage log file.
+type fileQueue struct {
+	lib    *LibOS
+	qd     core.QDesc
+	f      *os.File
+	cursor int64
+}
+
+// loopback renders a PDPIX address on the loopback interface.
+func loopback(a core.Addr) string { return fmt.Sprintf("127.0.0.1:%d", a.Port) }
+
+// --- PDPIX entry points ---
+
+// Socket creates a socket queue.
+func (l *LibOS) Socket(t core.SockType) (core.QDesc, error) {
+	if t != core.SockStream && t != core.SockDgram {
+		return core.InvalidQD, core.ErrNotSupported
+	}
+	return l.qds.Insert(&sockQueue{typ: t}), nil
+}
+
+// Bind records the local port.
+func (l *LibOS) Bind(qd core.QDesc, addr core.Addr) error {
+	q, ok := l.qds.Lookup(qd)
+	if !ok {
+		return core.ErrBadQDesc
+	}
+	s, ok := q.(*sockQueue)
+	if !ok {
+		return core.ErrNotSupported
+	}
+	s.port = addr.Port
+	if s.typ == core.SockDgram {
+		// Datagram sockets bind eagerly so pops can start.
+		uaddr, err := net.ResolveUDPAddr("udp", loopback(core.Addr{Port: s.port}))
+		if err != nil {
+			return err
+		}
+		conn, err := net.ListenUDP("udp", uaddr)
+		if err != nil {
+			return core.ErrInUse
+		}
+		u := &udpQueue{lib: l, qd: qd, conn: conn}
+		l.qds.Restore(qd, u)
+		go u.readLoop()
+	}
+	return nil
+}
+
+// Listen starts accepting TCP connections.
+func (l *LibOS) Listen(qd core.QDesc, backlog int) error {
+	q, ok := l.qds.Lookup(qd)
+	if !ok {
+		return core.ErrBadQDesc
+	}
+	s, ok := q.(*sockQueue)
+	if !ok || s.typ != core.SockStream {
+		return core.ErrNotSupported
+	}
+	ln, err := net.Listen("tcp", loopback(core.Addr{Port: s.port}))
+	if err != nil {
+		return core.ErrInUse
+	}
+	lq := &listenQueue{lib: l, qd: qd, ln: ln}
+	l.qds.Restore(qd, lq)
+	go lq.acceptLoop()
+	return nil
+}
+
+// acceptLoop feeds inbound connections to the application thread.
+func (lq *listenQueue) acceptLoop() {
+	for {
+		conn, err := lq.ln.Accept()
+		if err != nil {
+			return
+		}
+		lq.lib.enqueue(func() { lq.established(conn) })
+	}
+}
+
+func (lq *listenQueue) established(conn net.Conn) {
+	lq.lib.stats.TCPAccepts++
+	if len(lq.accepts) > 0 {
+		op := lq.accepts[0]
+		lq.accepts = lq.accepts[1:]
+		lq.complete(op, conn)
+		return
+	}
+	lq.ready = append(lq.ready, conn)
+}
+
+func (lq *listenQueue) complete(op *core.Op, conn net.Conn) {
+	q := &tcpQueue{lib: lq.lib, conn: conn}
+	q.qd = lq.lib.qds.Insert(q)
+	go q.readLoop()
+	op.Complete(core.QEvent{QD: lq.qd, Op: core.OpAccept, NewQD: q.qd})
+}
+
+// Accept asks for the next inbound connection.
+func (l *LibOS) Accept(qd core.QDesc) (core.QToken, error) {
+	q, ok := l.qds.Lookup(qd)
+	if !ok {
+		return core.InvalidQToken, core.ErrBadQDesc
+	}
+	lq, ok := q.(*listenQueue)
+	if !ok {
+		return core.InvalidQToken, core.ErrNotSupported
+	}
+	op := l.tokens.New()
+	if len(lq.ready) > 0 {
+		conn := lq.ready[0]
+		lq.ready = lq.ready[1:]
+		lq.complete(op, conn)
+	} else {
+		lq.accepts = append(lq.accepts, op)
+	}
+	return op.Token(), nil
+}
+
+// Connect dials the remote address.
+func (l *LibOS) Connect(qd core.QDesc, addr core.Addr) (core.QToken, error) {
+	q, ok := l.qds.Lookup(qd)
+	if !ok {
+		return core.InvalidQToken, core.ErrBadQDesc
+	}
+	s, ok := q.(*sockQueue)
+	if !ok {
+		return core.InvalidQToken, core.ErrNotSupported
+	}
+	op := l.tokens.New()
+	if s.typ == core.SockDgram {
+		// Datagram connect: bind an ephemeral port and fix the peer.
+		uaddr, _ := net.ResolveUDPAddr("udp", loopback(addr))
+		conn, err := net.DialUDP("udp", nil, uaddr)
+		if err != nil {
+			op.Fail(qd, core.OpConnect, core.ErrConnRefused)
+			return op.Token(), nil
+		}
+		u := &udpQueue{lib: l, qd: qd, conn: conn}
+		l.qds.Restore(qd, u)
+		go u.readLoop()
+		op.Complete(core.QEvent{QD: qd, Op: core.OpConnect, NewQD: qd})
+		return op.Token(), nil
+	}
+	go func() {
+		conn, err := net.Dial("tcp", loopback(addr))
+		l.enqueue(func() {
+			if err != nil {
+				op.Fail(qd, core.OpConnect, core.ErrConnRefused)
+				return
+			}
+			l.stats.TCPConnects++
+			t := &tcpQueue{lib: l, qd: qd, conn: conn}
+			l.qds.Restore(qd, t)
+			go t.readLoop()
+			op.Complete(core.QEvent{QD: qd, Op: core.OpConnect, NewQD: qd})
+		})
+	}()
+	return op.Token(), nil
+}
+
+// readLoop pulls bytes from the kernel into the receive queue.
+func (q *tcpQueue) readLoop() {
+	for {
+		buf := make([]byte, 16<<10)
+		n, err := q.conn.Read(buf)
+		if n > 0 {
+			data := buf[:n]
+			q.lib.enqueue(func() { q.deliver(data) })
+		}
+		if err != nil {
+			q.lib.enqueue(func() { q.hangup() })
+			return
+		}
+	}
+}
+
+func (q *tcpQueue) deliver(data []byte) {
+	q.lib.stats.BytesIn += uint64(len(data))
+	if len(q.pops) > 0 {
+		op := q.pops[0]
+		q.pops = q.pops[1:]
+		op.Complete(core.QEvent{QD: q.qd, Op: core.OpPop,
+			SGA: core.SGA(memory.CopyFrom(q.lib.heap, data))})
+		return
+	}
+	q.recvQ = append(q.recvQ, data)
+}
+
+func (q *tcpQueue) hangup() {
+	q.eof = true
+	for _, op := range q.pops {
+		op.Complete(core.QEvent{QD: q.qd, Op: core.OpPop}) // EOF
+	}
+	q.pops = nil
+}
+
+func (q *udpQueue) readLoop() {
+	for {
+		buf := make([]byte, 64<<10)
+		n, from, err := q.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		data := buf[:n]
+		var a core.Addr
+		if from != nil {
+			a = core.Addr{IP: [4]byte{127, 0, 0, 1}, Port: uint16(from.Port)}
+		}
+		q.lib.enqueue(func() { q.deliver(a, data) })
+	}
+}
+
+func (q *udpQueue) deliver(from core.Addr, data []byte) {
+	q.lib.stats.BytesIn += uint64(len(data))
+	if len(q.pops) > 0 {
+		op := q.pops[0]
+		q.pops = q.pops[1:]
+		op.Complete(core.QEvent{QD: q.qd, Op: core.OpPop,
+			SGA: core.SGA(memory.CopyFrom(q.lib.heap, data)), From: from})
+		return
+	}
+	q.recvQ = append(q.recvQ, udpDatagram{from: from, data: data})
+}
+
+// Close releases a queue.
+func (l *LibOS) Close(qd core.QDesc) error {
+	q, ok := l.qds.Remove(qd)
+	if !ok {
+		return core.ErrBadQDesc
+	}
+	switch s := q.(type) {
+	case *tcpQueue:
+		s.conn.Close()
+		for _, op := range s.pops {
+			op.Fail(qd, core.OpPop, core.ErrQueueClosed)
+		}
+	case *listenQueue:
+		s.ln.Close()
+		for _, op := range s.accepts {
+			op.Fail(qd, core.OpAccept, core.ErrQueueClosed)
+		}
+	case *udpQueue:
+		s.conn.Close()
+		for _, op := range s.pops {
+			op.Fail(qd, core.OpPop, core.ErrQueueClosed)
+		}
+	case *fileQueue:
+		s.f.Close()
+	case *core.MemQueue:
+		s.Close()
+	}
+	return nil
+}
+
+// Push writes sga to the queue. On the kernel path the write copies (no
+// zero-copy through POSIX; paper Table 1), and the op completes when the
+// kernel accepts (TCP/UDP) or the file is durable (storage).
+func (l *LibOS) Push(qd core.QDesc, sga core.SGArray) (core.QToken, error) {
+	return l.pushTo(qd, sga, core.Addr{}, false)
+}
+
+// PushTo is Push with an explicit datagram destination.
+func (l *LibOS) PushTo(qd core.QDesc, sga core.SGArray, to core.Addr) (core.QToken, error) {
+	return l.pushTo(qd, sga, to, true)
+}
+
+func (l *LibOS) pushTo(qd core.QDesc, sga core.SGArray, to core.Addr, explicit bool) (core.QToken, error) {
+	if len(sga.Segs) == 0 {
+		return core.InvalidQToken, core.ErrEmptySGA
+	}
+	q, ok := l.qds.Lookup(qd)
+	if !ok {
+		return core.InvalidQToken, core.ErrBadQDesc
+	}
+	op := l.tokens.New()
+	data := sga.Flatten()
+	switch s := q.(type) {
+	case *tcpQueue:
+		if _, err := s.conn.Write(data); err != nil {
+			op.Fail(qd, core.OpPush, core.ErrQueueClosed)
+			return op.Token(), nil
+		}
+		l.stats.BytesOut += uint64(len(data))
+		op.Complete(core.QEvent{QD: qd, Op: core.OpPush})
+	case *udpQueue:
+		var err error
+		if explicit {
+			var uaddr *net.UDPAddr
+			uaddr, err = net.ResolveUDPAddr("udp", loopback(to))
+			if err == nil {
+				_, err = s.conn.WriteToUDP(data, uaddr)
+			}
+		} else {
+			_, err = s.conn.Write(data)
+		}
+		if err != nil {
+			op.Fail(qd, core.OpPush, core.ErrQueueClosed)
+			return op.Token(), nil
+		}
+		l.stats.BytesOut += uint64(len(data))
+		op.Complete(core.QEvent{QD: qd, Op: core.OpPush})
+	case *sockQueue:
+		if s.typ == core.SockDgram && explicit {
+			// Unbound sendto: bind an ephemeral port first.
+			conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+			if err != nil {
+				op.Fail(qd, core.OpPush, err)
+				return op.Token(), nil
+			}
+			u := &udpQueue{lib: l, qd: qd, conn: conn}
+			l.qds.Restore(qd, u)
+			go u.readLoop()
+			uaddr, _ := net.ResolveUDPAddr("udp", loopback(to))
+			if _, err := u.conn.WriteToUDP(data, uaddr); err != nil {
+				op.Fail(qd, core.OpPush, err)
+				return op.Token(), nil
+			}
+			op.Complete(core.QEvent{QD: qd, Op: core.OpPush})
+			return op.Token(), nil
+		}
+		return core.InvalidQToken, core.ErrNotBound
+	case *fileQueue:
+		s.append(op, data)
+	case *core.MemQueue:
+		s.Push(op, sga)
+		return op.Token(), nil
+	default:
+		return core.InvalidQToken, core.ErrNotSupported
+	}
+	return op.Token(), nil
+}
+
+// Pop asks for the next inbound data on the queue.
+func (l *LibOS) Pop(qd core.QDesc) (core.QToken, error) {
+	q, ok := l.qds.Lookup(qd)
+	if !ok {
+		return core.InvalidQToken, core.ErrBadQDesc
+	}
+	op := l.tokens.New()
+	switch s := q.(type) {
+	case *tcpQueue:
+		switch {
+		case len(s.recvQ) > 0:
+			data := s.recvQ[0]
+			s.recvQ = s.recvQ[1:]
+			op.Complete(core.QEvent{QD: qd, Op: core.OpPop,
+				SGA: core.SGA(memory.CopyFrom(l.heap, data))})
+		case s.eof:
+			op.Complete(core.QEvent{QD: qd, Op: core.OpPop})
+		default:
+			s.pops = append(s.pops, op)
+		}
+	case *udpQueue:
+		if len(s.recvQ) > 0 {
+			d := s.recvQ[0]
+			s.recvQ = s.recvQ[1:]
+			op.Complete(core.QEvent{QD: qd, Op: core.OpPop,
+				SGA: core.SGA(memory.CopyFrom(l.heap, d.data)), From: d.from})
+		} else {
+			s.pops = append(s.pops, op)
+		}
+	case *fileQueue:
+		s.read(op)
+	case *core.MemQueue:
+		s.Pop(op)
+	default:
+		return core.InvalidQToken, core.ErrNotSupported
+	}
+	return op.Token(), nil
+}
+
+// Queue creates an in-memory queue.
+func (l *LibOS) Queue() (core.QDesc, error) {
+	qd := l.qds.Insert(nil)
+	l.qds.Restore(qd, core.NewMemQueue(qd))
+	return qd, nil
+}
+
+// --- Storage log over a kernel file ---
+
+// Open opens (creating if absent) the named storage log.
+func (l *LibOS) Open(name string) (core.QDesc, error) {
+	if l.dir == "" {
+		return core.InvalidQD, core.ErrNotSupported
+	}
+	f, err := os.OpenFile(filepath.Join(l.dir, name), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return core.InvalidQD, err
+	}
+	q := &fileQueue{lib: l, f: f}
+	q.qd = l.qds.Insert(q)
+	return q.qd, nil
+}
+
+// append writes one length-prefixed record and fsyncs (synchronous
+// logging, as the paper's experiments configure).
+func (q *fileQueue) append(op *core.Op, data []byte) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := q.f.Seek(0, 2); err != nil {
+		op.Fail(q.qd, core.OpPush, err)
+		return
+	}
+	if _, err := q.f.Write(hdr[:]); err != nil {
+		op.Fail(q.qd, core.OpPush, err)
+		return
+	}
+	if _, err := q.f.Write(data); err != nil {
+		op.Fail(q.qd, core.OpPush, err)
+		return
+	}
+	if err := q.f.Sync(); err != nil {
+		op.Fail(q.qd, core.OpPush, err)
+		return
+	}
+	q.lib.stats.FileAppends++
+	op.Complete(core.QEvent{QD: q.qd, Op: core.OpPush})
+}
+
+// read returns the record at the cursor, or EOF.
+func (q *fileQueue) read(op *core.Op) {
+	var hdr [4]byte
+	if _, err := q.f.ReadAt(hdr[:], q.cursor); err != nil {
+		op.Complete(core.QEvent{QD: q.qd, Op: core.OpPop}) // EOF
+		return
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	data := make([]byte, n)
+	if _, err := q.f.ReadAt(data, q.cursor+4); err != nil {
+		op.Complete(core.QEvent{QD: q.qd, Op: core.OpPop})
+		return
+	}
+	q.cursor += 4 + int64(n)
+	q.lib.stats.FileReads++
+	op.Complete(core.QEvent{QD: q.qd, Op: core.OpPop,
+		SGA: core.SGA(memory.CopyFrom(q.lib.heap, data))})
+}
+
+// Seek moves a log queue's read cursor to a byte offset.
+func (l *LibOS) Seek(qd core.QDesc, offset int64) error {
+	q, ok := l.qds.Lookup(qd)
+	if !ok {
+		return core.ErrBadQDesc
+	}
+	fq, ok := q.(*fileQueue)
+	if !ok {
+		return core.ErrNotSupported
+	}
+	fq.cursor = offset
+	return nil
+}
+
+// Truncate empties the log.
+func (l *LibOS) Truncate(qd core.QDesc) error {
+	q, ok := l.qds.Lookup(qd)
+	if !ok {
+		return core.ErrBadQDesc
+	}
+	fq, ok := q.(*fileQueue)
+	if !ok {
+		return core.ErrNotSupported
+	}
+	if err := fq.f.Truncate(0); err != nil {
+		return err
+	}
+	fq.cursor = 0
+	return nil
+}
+
+// Wait blocks until qt completes.
+func (l *LibOS) Wait(qt core.QToken) (core.QEvent, error) { return l.waiter.Wait(qt) }
+
+// WaitAny blocks until one of qts completes.
+func (l *LibOS) WaitAny(qts []core.QToken, timeout time.Duration) (int, core.QEvent, error) {
+	return l.waiter.WaitAny(qts, timeout)
+}
+
+// WaitAll blocks until all of qts complete.
+func (l *LibOS) WaitAll(qts []core.QToken, timeout time.Duration) ([]core.QEvent, error) {
+	return l.waiter.WaitAll(qts, timeout)
+}

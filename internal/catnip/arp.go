@@ -1,0 +1,178 @@
+package catnip
+
+import (
+	"time"
+
+	"demikernel/internal/sched"
+	"demikernel/internal/simnet"
+	"demikernel/internal/wire"
+)
+
+// arpCache resolves IPv4 addresses to MACs. Unresolved sends queue their
+// packets on the pending entry; resolution flushes them in order. The fast
+// path assumes the address is cached (paper §6.3); the request/retry logic
+// lives in a background coroutine.
+type arpCache struct {
+	lib     *LibOS
+	entries map[wire.IPAddr]simnet.MAC
+	pending map[wire.IPAddr]*arpPending
+}
+
+// arpPending tracks an unresolved address: queued frames and waiting
+// coroutine wakers.
+type arpPending struct {
+	sends   []pendingSend
+	wakers  []sched.Waker
+	retries int
+}
+
+// pendingSend is a deferred IPv4 transmission.
+type pendingSend struct {
+	dstIP     wire.IPAddr
+	proto     uint8
+	transport []byte
+	payload   []byte
+}
+
+func newARPCache(l *LibOS) *arpCache {
+	return &arpCache{
+		lib:     l,
+		entries: make(map[wire.IPAddr]simnet.MAC),
+		pending: make(map[wire.IPAddr]*arpPending),
+	}
+}
+
+// Seed installs a static entry (tests and benchmarks pre-populate caches to
+// measure the fast path, as the paper does).
+func (a *arpCache) Seed(ip wire.IPAddr, mac simnet.MAC) {
+	a.entries[ip] = mac
+}
+
+// hasPending reports whether resolution for ip is still in progress.
+func (a *arpCache) hasPending(ip wire.IPAddr) bool {
+	_, ok := a.pending[ip]
+	return ok
+}
+
+// lookup returns the MAC for ip if cached.
+func (a *arpCache) lookup(ip wire.IPAddr) (simnet.MAC, bool) {
+	m, ok := a.entries[ip]
+	return m, ok
+}
+
+// sendOrQueue transmits an IPv4 packet if the destination resolves,
+// otherwise queues it and kicks resolution.
+func (a *arpCache) sendOrQueue(dstIP wire.IPAddr, proto uint8, transport, payload []byte) {
+	if mac, ok := a.entries[dstIP]; ok {
+		a.lib.sendIPv4(mac, dstIP, proto, transport, payload)
+		return
+	}
+	p, ok := a.pending[dstIP]
+	if !ok {
+		p = &arpPending{}
+		a.pending[dstIP] = p
+		a.request(dstIP)
+		a.spawnRetrier(dstIP)
+	}
+	p.sends = append(p.sends, pendingSend{dstIP, proto, transport, payload})
+}
+
+// waitResolved registers a coroutine waker to fire when ip resolves; it
+// reports whether the address is already resolved.
+func (a *arpCache) waitResolved(ip wire.IPAddr, w sched.Waker) bool {
+	if _, ok := a.entries[ip]; ok {
+		return true
+	}
+	p, ok := a.pending[ip]
+	if !ok {
+		p = &arpPending{}
+		a.pending[ip] = p
+		a.request(ip)
+		a.spawnRetrier(ip)
+	}
+	p.wakers = append(p.wakers, w)
+	return false
+}
+
+// request broadcasts one ARP request for ip.
+func (a *arpCache) request(ip wire.IPAddr) {
+	h := wire.ARPHeader{
+		Op:       wire.ARPRequest,
+		SenderHW: a.lib.port.MAC(),
+		SenderIP: a.lib.cfg.IP,
+		TargetIP: ip,
+	}
+	frame := make([]byte, wire.EthHeaderLen+wire.ARPHeaderLen)
+	eth := wire.EthHeader{Dst: simnet.Broadcast, Src: a.lib.port.MAC(), EtherType: wire.EtherTypeARP}
+	n := eth.Marshal(frame)
+	h.Marshal(frame[n:])
+	a.lib.txFrame(frame)
+}
+
+// spawnRetrier starts a background coroutine re-requesting ip until it
+// resolves (bounded retries, then the pending sends are dropped).
+func (a *arpCache) spawnRetrier(ip wire.IPAddr) {
+	const interval = 500 * time.Microsecond
+	const maxRetries = 10
+	var h sched.Handle
+	h = a.lib.sched.Spawn(sched.Background, sched.Func(func(ctx *sched.Context) sched.Poll {
+		p, ok := a.pending[ip]
+		if !ok {
+			return sched.Done // resolved and flushed
+		}
+		if p.retries >= maxRetries {
+			delete(a.pending, ip)
+			for _, w := range p.wakers {
+				w.Wake() // let waiters observe failure
+			}
+			return sched.Done
+		}
+		p.retries++
+		a.request(ip)
+		a.lib.timerWake(a.lib.node.Now().Add(interval), h)
+		return sched.Pending
+	}))
+}
+
+// handle processes a received ARP packet: learn the sender, answer
+// requests for our address, and flush pending traffic.
+func (a *arpCache) handle(payload []byte) {
+	h, err := wire.ParseARP(payload)
+	if err != nil {
+		return
+	}
+	// Learn the sender mapping opportunistically.
+	if !h.SenderIP.IsZero() {
+		a.entries[h.SenderIP] = h.SenderHW
+		a.flush(h.SenderIP, h.SenderHW)
+	}
+	if h.Op == wire.ARPRequest && h.TargetIP == a.lib.cfg.IP {
+		reply := wire.ARPHeader{
+			Op:       wire.ARPReply,
+			SenderHW: a.lib.port.MAC(),
+			SenderIP: a.lib.cfg.IP,
+			TargetHW: h.SenderHW,
+			TargetIP: h.SenderIP,
+		}
+		frame := make([]byte, wire.EthHeaderLen+wire.ARPHeaderLen)
+		eth := wire.EthHeader{Dst: h.SenderHW, Src: a.lib.port.MAC(), EtherType: wire.EtherTypeARP}
+		n := eth.Marshal(frame)
+		reply.Marshal(frame[n:])
+		a.lib.txFrame(frame)
+	}
+}
+
+// flush transmits traffic queued for ip and wakes waiting coroutines.
+func (a *arpCache) flush(ip wire.IPAddr, mac simnet.MAC) {
+	p, ok := a.pending[ip]
+	if !ok {
+		return
+	}
+	delete(a.pending, ip)
+	for _, s := range p.sends {
+		a.lib.sendIPv4(mac, s.dstIP, s.proto, s.transport, s.payload)
+	}
+	for _, w := range p.wakers {
+		w.Wake()
+	}
+}

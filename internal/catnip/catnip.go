@@ -1,0 +1,525 @@
+// Package catnip is Demikernel's DPDK library OS (paper §6.3): a complete
+// user-space network stack — ARP, IPv4, UDP and TCP with Cubic congestion
+// control per RFCs 793 and 7323 — implemented over the raw burst rx/tx
+// interface of a (simulated) DPDK port, exposed through PDPIX queues.
+//
+// The stack is deterministic: every operation is parameterized on the
+// node's virtual clock, so a given trace of packets and timings replays
+// identically (paper: "the Catnip TCP stack is deterministic").
+//
+// Execution model: application Wait calls drive the scheduler loop. Step
+// runs runnable coroutines (application first, then background protocol
+// coroutines) and, when none are runnable, performs the fast-path poll of
+// the device — the same priority order as the paper's fast-path coroutine,
+// which is "always runnable" at the lowest priority.
+package catnip
+
+import (
+	"time"
+
+	"demikernel/internal/core"
+	"demikernel/internal/costmodel"
+	"demikernel/internal/dpdkdev"
+	"demikernel/internal/memory"
+	"demikernel/internal/sched"
+	"demikernel/internal/sim"
+	"demikernel/internal/simnet"
+	"demikernel/internal/wire"
+)
+
+// Config tunes the stack.
+type Config struct {
+	// IP is the interface address.
+	IP wire.IPAddr
+	// MSS is the TCP maximum segment size.
+	MSS int
+	// RecvBufSize is the TCP receive buffer (advertised window ceiling).
+	RecvBufSize int
+	// RTOMin and RTOInit bound the retransmission timer (datacenter
+	// tuning; RFC 6298 structure with tighter constants).
+	RTOMin, RTOInit, RTOMax time.Duration
+	// MSL is the maximum segment lifetime governing TIME_WAIT (2*MSL).
+	MSL time.Duration
+	// DelayedAck, when non-zero, defers pure acknowledgments up to this
+	// long (or until a second segment arrives), trading a little latency
+	// for fewer ack packets. Zero acks immediately — the µs-scale
+	// default, since µs RTTs cannot absorb classic 40 ms delayed acks.
+	DelayedAck time.Duration
+	// ZeroCopy disables the copy-based slow path when true for buffers
+	// over the threshold; always true except in the ablation benchmark.
+	ForceCopy bool
+	// Per-packet CPU costs. Defaults are Catnip's measured costs
+	// (costmodel); baselines modelling other stacks override them.
+	TCPIngressCost, TCPEgressCost time.Duration
+	UDPIngressCost, UDPEgressCost time.Duration
+	// Tracer, when set, records every frame entering and leaving the
+	// stack with its virtual timestamp ('R'/'T'), enabling the paper's
+	// trace-replay debugging (§6.3). internal/trace provides one.
+	Tracer Tracer
+}
+
+// Tracer receives every frame crossing the stack boundary.
+type Tracer interface {
+	RecordFrame(dir byte, at sim.Time, data []byte)
+}
+
+// DefaultConfig returns datacenter-tuned defaults.
+func DefaultConfig(ip wire.IPAddr) Config {
+	return Config{
+		IP:             ip,
+		MSS:            1460,
+		RecvBufSize:    256 << 10,
+		RTOMin:         1 * time.Millisecond,
+		RTOInit:        5 * time.Millisecond,
+		RTOMax:         200 * time.Millisecond,
+		MSL:            10 * time.Millisecond,
+		TCPIngressCost: costmodel.TCPIngress,
+		TCPEgressCost:  costmodel.TCPEgress,
+		UDPIngressCost: costmodel.UDPIngress,
+		UDPEgressCost:  costmodel.UDPEgress,
+	}
+}
+
+// fourTuple demultiplexes TCP segments to connections. The local IP is the
+// interface's, so it is omitted.
+type fourTuple struct {
+	localPort  uint16
+	remoteIP   wire.IPAddr
+	remotePort uint16
+}
+
+// Stats counts stack activity.
+type Stats struct {
+	RxFrames, TxFrames     uint64
+	RxTCP, RxUDP, RxARP    uint64
+	TCPRetransmits         uint64
+	TCPFastRetransmits     uint64
+	TCPOutOfOrder          uint64
+	TCPDupAcksSent         uint64
+	RxDroppedNoPort        uint64
+	RxBadChecksum          uint64
+	ZeroCopyTx, CopiedTx   uint64
+	PureAcks, WindowProbes uint64
+}
+
+// LibOS is the Catnip library OS instance for one node + port.
+type LibOS struct {
+	node   *sim.Node
+	port   *dpdkdev.Port
+	heap   *memory.Heap
+	sched  *sched.Scheduler
+	tokens *core.TokenTable
+	waiter core.Waiter
+	qds    *core.QDescTable
+	cfg    Config
+	rng    *sim.Rand
+
+	arp       *arpCache
+	udpPorts  map[uint16]*udpSocket
+	listeners map[uint16]*tcpListener
+	conns     map[fourTuple]*tcpConn
+
+	nextEphemeral uint16
+	ipID          uint16
+	stats         Stats
+}
+
+// New builds a Catnip libOS on a DPDK port. The heap becomes DMA-capable
+// for the port (the DPDK mempool model: registration is a no-op cookie).
+func New(node *sim.Node, port *dpdkdev.Port, cfg Config) *LibOS {
+	l := &LibOS{
+		node:          node,
+		port:          port,
+		heap:          memory.NewHeap(nil),
+		sched:         sched.New(),
+		tokens:        core.NewTokenTable(),
+		qds:           core.NewQDescTable(),
+		cfg:           cfg,
+		rng:           node.Engine().Rand().Fork(),
+		udpPorts:      make(map[uint16]*udpSocket),
+		listeners:     make(map[uint16]*tcpListener),
+		conns:         make(map[fourTuple]*tcpConn),
+		nextEphemeral: 32768,
+	}
+	l.arp = newARPCache(l)
+	l.waiter = core.Waiter{Table: l.tokens, Runner: l}
+	return l
+}
+
+// Node returns the owning simulated host.
+func (l *LibOS) Node() *sim.Node { return l.node }
+
+// IP returns the interface address.
+func (l *LibOS) IP() wire.IPAddr { return l.cfg.IP }
+
+// Heap returns the DMA-capable application heap.
+func (l *LibOS) Heap() *memory.Heap { return l.heap }
+
+// Stats returns a snapshot of stack counters.
+func (l *LibOS) Stats() Stats { return l.stats }
+
+// Addr returns the interface address with the given port.
+func (l *LibOS) Addr(port uint16) core.Addr { return core.Addr{IP: l.cfg.IP, Port: port} }
+
+// --- Runner (drives the Waiter) ---
+
+// Step runs one scheduler quantum: a runnable coroutine if any (application
+// and background work first), otherwise the device fast path. It reports
+// whether any work was done.
+func (l *LibOS) Step() bool {
+	if l.sched.Runnable() {
+		l.node.Charge(costmodel.SchedQuantum)
+		return l.sched.RunOne()
+	}
+	return l.pollDevice()
+}
+
+// Block parks the node until an event (frame arrival, timer) or the
+// deadline. It reports false when the simulation is stopping.
+func (l *LibOS) Block(deadline sim.Time) bool {
+	return l.node.Park(deadline)
+}
+
+// Now returns the node's virtual clock.
+func (l *LibOS) Now() sim.Time { return l.node.Now() }
+
+// pollDevice is the fast-path poll (paper Figure 4, step 4): drain an rx
+// burst and process each frame to completion.
+func (l *LibOS) pollDevice() bool {
+	mbufs := l.port.RxBurst(32)
+	if len(mbufs) == 0 {
+		l.node.Charge(costmodel.PollEmpty)
+		return false
+	}
+	for _, m := range mbufs {
+		l.handleFrame(m.Data)
+		m.Free()
+	}
+	return true
+}
+
+// InjectFrame feeds a raw Ethernet frame into the stack as if it had
+// arrived from the device — the trace-replay entry point (paper §6.3).
+func (l *LibOS) InjectFrame(data []byte) { l.handleFrame(data) }
+
+// handleFrame dispatches one received Ethernet frame.
+func (l *LibOS) handleFrame(data []byte) {
+	l.stats.RxFrames++
+	if l.cfg.Tracer != nil {
+		l.cfg.Tracer.RecordFrame('R', l.node.Now(), data)
+	}
+	eth, payload, err := wire.ParseEth(data)
+	if err != nil {
+		return
+	}
+	switch eth.EtherType {
+	case wire.EtherTypeARP:
+		l.stats.RxARP++
+		l.node.Charge(costmodel.ARPProcess)
+		l.arp.handle(payload)
+	case wire.EtherTypeIPv4:
+		l.handleIPv4(eth, payload)
+	}
+}
+
+// handleIPv4 parses and dispatches an IPv4 packet.
+func (l *LibOS) handleIPv4(eth wire.EthHeader, payload []byte) {
+	ip, body, err := wire.ParseIPv4(payload)
+	if err != nil {
+		l.stats.RxBadChecksum++
+		return
+	}
+	if ip.Dst != l.cfg.IP {
+		return
+	}
+	switch ip.Proto {
+	case wire.ProtoUDP:
+		l.stats.RxUDP++
+		l.node.Charge(l.cfg.UDPIngressCost)
+		l.handleUDP(ip, body)
+	case wire.ProtoTCP:
+		l.stats.RxTCP++
+		l.node.Charge(l.cfg.TCPIngressCost)
+		l.handleTCP(eth, ip, body)
+	}
+}
+
+// --- Egress helpers ---
+
+// sendIPv4 builds and transmits one IPv4 packet with the given transport
+// header bytes and payload, to the resolved MAC dst.
+func (l *LibOS) sendIPv4(dstMAC simnet.MAC, dstIP wire.IPAddr, proto uint8, transport, payload []byte) {
+	l.ipID++
+	total := wire.IPv4HeaderLen + len(transport) + len(payload)
+	frame := make([]byte, wire.EthHeaderLen+total)
+	eth := wire.EthHeader{Dst: dstMAC, Src: l.port.MAC(), EtherType: wire.EtherTypeIPv4}
+	n := eth.Marshal(frame)
+	ip := wire.IPv4Header{
+		TotalLen: uint16(total),
+		ID:       l.ipID,
+		Flags:    wire.DontFragment,
+		TTL:      64,
+		Proto:    proto,
+		Src:      l.cfg.IP,
+		Dst:      dstIP,
+	}
+	n += ip.Marshal(frame[n:])
+	n += copy(frame[n:], transport)
+	copy(frame[n:], payload)
+	l.txFrame(frame)
+}
+
+// txFrame records and transmits one frame.
+func (l *LibOS) txFrame(frame []byte) {
+	if l.cfg.Tracer != nil {
+		l.cfg.Tracer.RecordFrame('T', l.node.Now(), frame)
+	}
+	l.port.TxBurst([][]byte{frame})
+	l.stats.TxFrames++
+}
+
+// timerWake arranges for h.Wake at virtual time t. Spurious wakes are fine;
+// coroutines recheck their deadlines.
+func (l *LibOS) timerWake(t sim.Time, h sched.Handle) {
+	l.node.Engine().At(t, l.node, func() { h.Wake() })
+}
+
+// allocEphemeral returns an unused local port.
+func (l *LibOS) allocEphemeral() uint16 {
+	for i := 0; i < 65536; i++ {
+		p := l.nextEphemeral
+		l.nextEphemeral++
+		if l.nextEphemeral == 0 {
+			l.nextEphemeral = 32768
+		}
+		if _, udpUsed := l.udpPorts[p]; udpUsed {
+			continue
+		}
+		if _, lnUsed := l.listeners[p]; lnUsed {
+			continue
+		}
+		return p
+	}
+	panic("catnip: ephemeral ports exhausted")
+}
+
+// --- PDPIX entry points ---
+
+// Socket creates a TCP (SockStream) or UDP (SockDgram) socket queue.
+func (l *LibOS) Socket(t core.SockType) (core.QDesc, error) {
+	l.node.Charge(costmodel.Libcall)
+	switch t {
+	case core.SockStream:
+		s := &tcpSocket{lib: l}
+		s.qd = l.qds.Insert(s)
+		return s.qd, nil
+	case core.SockDgram:
+		s := &udpSocket{lib: l}
+		s.qd = l.qds.Insert(s)
+		return s.qd, nil
+	default:
+		return core.InvalidQD, core.ErrNotSupported
+	}
+}
+
+// Queue creates an in-memory queue.
+func (l *LibOS) Queue() (core.QDesc, error) {
+	l.node.Charge(costmodel.Libcall)
+	var q *core.MemQueue
+	qd := l.qds.Insert(nil)
+	q = core.NewMemQueue(qd)
+	l.replaceQD(qd, q)
+	return qd, nil
+}
+
+// replaceQD swaps the state stored for qd (used when a placeholder needed
+// the descriptor value first).
+func (l *LibOS) replaceQD(qd core.QDesc, v any) {
+	l.qds.Remove(qd)
+	// Re-insert preserving qd: QDescTable always increments, so emulate by
+	// direct map access via a tiny helper below.
+	l.qds.Restore(qd, v)
+}
+
+// Open is not supported by the pure network libOS; the Catnip×Cattree
+// integration provides it.
+func (l *LibOS) Open(name string) (core.QDesc, error) {
+	return core.InvalidQD, core.ErrNotSupported
+}
+
+// Bind assigns a local address to a socket.
+func (l *LibOS) Bind(qd core.QDesc, addr core.Addr) error {
+	l.node.Charge(costmodel.Libcall)
+	q, ok := l.qds.Lookup(qd)
+	if !ok {
+		return core.ErrBadQDesc
+	}
+	switch s := q.(type) {
+	case *udpSocket:
+		return s.bind(addr)
+	case *tcpSocket:
+		return s.bind(addr)
+	default:
+		return core.ErrNotSupported
+	}
+}
+
+// Listen turns a bound stream socket into a listener.
+func (l *LibOS) Listen(qd core.QDesc, backlog int) error {
+	l.node.Charge(costmodel.Libcall)
+	q, ok := l.qds.Lookup(qd)
+	if !ok {
+		return core.ErrBadQDesc
+	}
+	s, ok := q.(*tcpSocket)
+	if !ok {
+		return core.ErrNotSupported
+	}
+	return s.listen(backlog)
+}
+
+// Accept asks for the next inbound connection on a listening queue.
+func (l *LibOS) Accept(qd core.QDesc) (core.QToken, error) {
+	l.node.Charge(costmodel.Libcall)
+	q, ok := l.qds.Lookup(qd)
+	if !ok {
+		return core.InvalidQToken, core.ErrBadQDesc
+	}
+	s, ok := q.(*tcpSocket)
+	if !ok || s.listener == nil {
+		return core.InvalidQToken, core.ErrNotSupported
+	}
+	op := l.tokens.New()
+	s.listener.accept(op)
+	return op.Token(), nil
+}
+
+// Connect initiates a connection to addr.
+func (l *LibOS) Connect(qd core.QDesc, addr core.Addr) (core.QToken, error) {
+	l.node.Charge(costmodel.Libcall)
+	q, ok := l.qds.Lookup(qd)
+	if !ok {
+		return core.InvalidQToken, core.ErrBadQDesc
+	}
+	switch s := q.(type) {
+	case *tcpSocket:
+		op := l.tokens.New()
+		if err := s.connect(addr, op); err != nil {
+			return core.InvalidQToken, err
+		}
+		return op.Token(), nil
+	case *udpSocket:
+		// Datagram connect just fixes the default destination.
+		op := l.tokens.New()
+		s.remote = addr
+		op.Complete(core.QEvent{QD: qd, Op: core.OpConnect, NewQD: qd})
+		return op.Token(), nil
+	default:
+		return core.InvalidQToken, core.ErrNotSupported
+	}
+}
+
+// Close releases a queue.
+func (l *LibOS) Close(qd core.QDesc) error {
+	l.node.Charge(costmodel.Libcall)
+	q, ok := l.qds.Lookup(qd)
+	if !ok {
+		return core.ErrBadQDesc
+	}
+	switch s := q.(type) {
+	case *udpSocket:
+		s.close()
+	case *tcpSocket:
+		s.close()
+	case *core.MemQueue:
+		s.Close()
+	}
+	l.qds.Remove(qd)
+	return nil
+}
+
+// Push submits outbound data on a queue (paper: egress is inlined here on
+// the error-free path, Figure 4 step 8).
+func (l *LibOS) Push(qd core.QDesc, sga core.SGArray) (core.QToken, error) {
+	return l.pushInternal(qd, sga, core.Addr{})
+}
+
+// PushTo is Push with an explicit datagram destination (demi_pushto).
+func (l *LibOS) PushTo(qd core.QDesc, sga core.SGArray, to core.Addr) (core.QToken, error) {
+	return l.pushInternal(qd, sga, to)
+}
+
+func (l *LibOS) pushInternal(qd core.QDesc, sga core.SGArray, to core.Addr) (core.QToken, error) {
+	l.node.Charge(costmodel.Libcall)
+	if len(sga.Segs) == 0 {
+		return core.InvalidQToken, core.ErrEmptySGA
+	}
+	q, ok := l.qds.Lookup(qd)
+	if !ok {
+		return core.InvalidQToken, core.ErrBadQDesc
+	}
+	op := l.tokens.New()
+	switch s := q.(type) {
+	case *udpSocket:
+		s.push(op, sga, to)
+	case *tcpSocket:
+		if s.conn == nil {
+			return core.InvalidQToken, core.ErrNotBound
+		}
+		s.conn.push(op, sga)
+	case *core.MemQueue:
+		s.Push(op, sga)
+	default:
+		return core.InvalidQToken, core.ErrNotSupported
+	}
+	return op.Token(), nil
+}
+
+// Pop asks for the next inbound data on a queue.
+func (l *LibOS) Pop(qd core.QDesc) (core.QToken, error) {
+	l.node.Charge(costmodel.Libcall)
+	q, ok := l.qds.Lookup(qd)
+	if !ok {
+		return core.InvalidQToken, core.ErrBadQDesc
+	}
+	op := l.tokens.New()
+	switch s := q.(type) {
+	case *udpSocket:
+		s.pop(op)
+	case *tcpSocket:
+		if s.conn == nil {
+			return core.InvalidQToken, core.ErrNotBound
+		}
+		s.conn.pop(op)
+	case *core.MemQueue:
+		s.Pop(op)
+	default:
+		return core.InvalidQToken, core.ErrNotSupported
+	}
+	return op.Token(), nil
+}
+
+// Wait blocks until qt completes.
+func (l *LibOS) Wait(qt core.QToken) (core.QEvent, error) { return l.waiter.Wait(qt) }
+
+// WaitAny blocks until one of qts completes.
+func (l *LibOS) WaitAny(qts []core.QToken, timeout time.Duration) (int, core.QEvent, error) {
+	return l.waiter.WaitAny(qts, timeout)
+}
+
+// WaitAll blocks until all of qts complete.
+func (l *LibOS) WaitAll(qts []core.QToken, timeout time.Duration) ([]core.QEvent, error) {
+	return l.waiter.WaitAll(qts, timeout)
+}
+
+// Tokens exposes the qtoken table for libOS integration (demi.Combined).
+func (l *LibOS) Tokens() *core.TokenTable { return l.tokens }
+
+// SeedARP installs a static ARP entry (benchmarks pre-warm caches to
+// measure the fast path, as the paper does).
+func (l *LibOS) SeedARP(ip wire.IPAddr, mac simnet.MAC) { l.arp.Seed(ip, mac) }
+
+// TryTake redeems a completed qtoken (demi.Drivable).
+func (l *LibOS) TryTake(qt core.QToken) (core.QEvent, bool, error) {
+	return l.tokens.TryTake(qt)
+}

@@ -1,0 +1,419 @@
+package catnip
+
+import (
+	"time"
+
+	"demikernel/internal/core"
+	"demikernel/internal/costmodel"
+	"demikernel/internal/memory"
+	"demikernel/internal/sched"
+	"demikernel/internal/wire"
+)
+
+// Sequence-space comparisons (RFC 793 modular arithmetic).
+func seqLT(a, b uint32) bool { return int32(a-b) < 0 }
+func seqLE(a, b uint32) bool { return int32(a-b) <= 0 }
+func seqGT(a, b uint32) bool { return int32(a-b) > 0 }
+func seqGE(a, b uint32) bool { return int32(a-b) >= 0 }
+
+// rcvWndScaleShift is the window scale we advertise (x128).
+const rcvWndScaleShift = 7
+
+// maxSegsPerPop bounds the segments returned by one pop completion.
+const maxSegsPerPop = 16
+
+// newTCPConn builds a connection in stateClosed with sequence state
+// initialized; callers set the state and fire the handshake.
+func newTCPConn(l *LibOS, qd core.QDesc, tuple fourTuple) *tcpConn {
+	c := &tcpConn{
+		lib:   l,
+		qd:    qd,
+		tuple: tuple,
+		mss:   l.cfg.MSS,
+		iss:   uint32(l.rng.Uint64()),
+	}
+	c.sndUna = c.iss
+	c.sndNxt = c.iss + 1 // SYN consumes one sequence number
+	c.queuedSeq = c.iss + 1
+	c.rto = newRTOEstimator(l.cfg.RTOInit, l.cfg.RTOMin, l.cfg.RTOMax)
+	c.cc.init(c.mss)
+	c.spawnCoroutines()
+	return c
+}
+
+// nowTS returns the RFC 7323 timestamp value: microseconds of virtual time.
+func (c *tcpConn) nowTS() uint32 {
+	return uint32(time.Duration(c.lib.node.Now()) / time.Microsecond)
+}
+
+// advertisedWnd returns our receive window in bytes.
+func (c *tcpConn) advertisedWnd() int {
+	w := c.lib.cfg.RecvBufSize - c.recvBytes - c.oooBytes
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
+// wireWindow encodes the advertised window for the header (unscaled in SYN
+// segments, per RFC 7323).
+func (c *tcpConn) wireWindow(syn bool) uint16 {
+	w := c.advertisedWnd()
+	if !syn {
+		w >>= rcvWndScaleShift
+	}
+	if w > 0xffff {
+		w = 0xffff
+	}
+	return uint16(w)
+}
+
+// usableWindow returns how many new payload bytes flow control and
+// congestion control allow right now.
+func (c *tcpConn) usableWindow() int {
+	wnd := c.sndWnd
+	if cw := c.cc.window(); cw < wnd {
+		wnd = cw
+	}
+	inFlight := int(c.sndNxt - c.sndUna)
+	return wnd - inFlight
+}
+
+// startConnect fires the active-open handshake, resolving ARP first if
+// needed (a background coroutine waits on the cache; paper §6.3: the fast
+// path assumes a warm ARP cache, the slow path spawns a send coroutine).
+func (c *tcpConn) startConnect() {
+	if mac, ok := c.lib.arp.lookup(c.tuple.remoteIP); ok {
+		c.remoteMAC = mac
+		c.macKnown = true
+		c.sendSyn()
+		return
+	}
+	c.lib.sched.Spawn(sched.Background, sched.Func(func(ctx *sched.Context) sched.Poll {
+		if mac, ok := c.lib.arp.lookup(c.tuple.remoteIP); ok {
+			c.remoteMAC = mac
+			c.macKnown = true
+			c.sendSyn()
+			return sched.Done
+		}
+		if !c.lib.arp.waitResolved(c.tuple.remoteIP, ctx.Waker()) {
+			if !c.lib.arp.hasPending(c.tuple.remoteIP) {
+				// Resolution gave up: the host is unreachable.
+				c.abort(core.ErrConnRefused)
+				return sched.Done
+			}
+			return sched.Pending
+		}
+		// Resolved between the lookup and registration; loop via yield.
+		return sched.Yield
+	}))
+}
+
+// sendSyn transmits the initial SYN and arms retransmission.
+func (c *tcpConn) sendSyn() {
+	seg := segment{seq: c.iss, syn: true}
+	c.retransQ = append(c.retransQ, seg)
+	c.transmit(&c.retransQ[len(c.retransQ)-1])
+}
+
+// spawnCoroutines starts the connection's four background coroutines
+// (paper §6.3): sender, retransmitter, pure-ack sender, close manager.
+func (c *tcpConn) spawnCoroutines() {
+	c.senderH = c.lib.sched.Spawn(sched.Background, sched.Func(c.pollSender))
+	c.retransH = c.lib.sched.Spawn(sched.Background, sched.Func(c.pollRetransmit))
+	c.ackH = c.lib.sched.Spawn(sched.Background, sched.Func(c.pollAck))
+	c.closerH = c.lib.sched.Spawn(sched.Background, sched.Func(c.pollCloser))
+}
+
+// --- Application-facing operations ---
+
+// push queues sga for transmission and attempts to send inline (paper
+// Figure 4 step 8: egress is inlined in push on the error-free path). The
+// op completes when every byte is acknowledged.
+func (c *tcpConn) push(op *core.Op, sga core.SGArray) {
+	if c.err != nil {
+		op.Fail(c.qd, core.OpPush, c.err)
+		return
+	}
+	if c.appClosed || (c.state != stateEstablished && c.state != stateCloseWait && c.state != stateSynSent && c.state != stateSynRcvd) {
+		op.Fail(c.qd, core.OpPush, core.ErrQueueClosed)
+		return
+	}
+	total := 0
+	for _, b := range sga.Segs {
+		b.IORef() // queue-presence reference until fully segmented
+		c.sendQ = append(c.sendQ, sendItem{buf: b})
+		total += b.Len()
+	}
+	c.queuedSeq += uint32(total)
+	c.pushOps = append(c.pushOps, pushOp{endSeq: c.queuedSeq, op: op})
+	c.trySend()
+}
+
+// pop asks for the next inbound data.
+func (c *tcpConn) pop(op *core.Op) {
+	if len(c.recvQ) > 0 {
+		c.completePop(op)
+		return
+	}
+	if c.peerClosed {
+		op.Complete(core.QEvent{QD: c.qd, Op: core.OpPop}) // empty SGA = EOF
+		return
+	}
+	if c.err != nil {
+		op.Fail(c.qd, core.OpPop, c.err)
+		return
+	}
+	c.pops = append(c.pops, op)
+}
+
+// completePop hands up to maxSegsPerPop queued buffers to op and sends a
+// window update if the receive window had collapsed.
+func (c *tcpConn) completePop(op *core.Op) {
+	wasSmall := c.advertisedWnd() < c.mss
+	n := len(c.recvQ)
+	if n > maxSegsPerPop {
+		n = maxSegsPerPop
+	}
+	segs := make([]*memory.Buf, n)
+	copy(segs, c.recvQ[:n])
+	c.recvQ = c.recvQ[n:]
+	for _, b := range segs {
+		c.recvBytes -= b.Len()
+	}
+	if wasSmall && c.advertisedWnd() >= c.mss {
+		c.ackPending = true
+		c.ackH.Wake()
+	}
+	op.Complete(core.QEvent{QD: c.qd, Op: core.OpPop, SGA: core.SGArray{Segs: segs},
+		From: core.Addr{IP: c.tuple.remoteIP, Port: c.tuple.remotePort}})
+}
+
+// completePops drains waiting pops against queued data (and EOF).
+func (c *tcpConn) completePops() {
+	for len(c.pops) > 0 {
+		if len(c.recvQ) > 0 {
+			op := c.pops[0]
+			c.pops = c.pops[1:]
+			c.completePop(op)
+			continue
+		}
+		if c.peerClosed {
+			op := c.pops[0]
+			c.pops = c.pops[1:]
+			op.Complete(core.QEvent{QD: c.qd, Op: core.OpPop})
+			continue
+		}
+		break
+	}
+}
+
+// appClose initiates a local close: a FIN is queued after pending data.
+func (c *tcpConn) appClose() {
+	if c.appClosed || c.err != nil {
+		return
+	}
+	c.appClosed = true
+	switch c.state {
+	case stateSynSent:
+		c.abort(core.ErrQueueClosed)
+		return
+	case stateEstablished, stateSynRcvd, stateCloseWait:
+		c.finQueued = true
+		c.trySend()
+	}
+}
+
+// --- Transmission ---
+
+// armPersist schedules a zero-window probe.
+func (c *tcpConn) armPersist() {
+	d := c.rto.value()
+	if d < 5*time.Millisecond {
+		d = 5 * time.Millisecond
+	}
+	c.persistDeadline = c.lib.node.Now().Add(d)
+	c.persistArmed = true
+	c.lib.timerWake(c.persistDeadline, c.retransH)
+}
+
+// sendProbe transmits one byte beyond the advertised window (the window
+// probe); it enters the retransmission queue like any segment.
+func (c *tcpConn) sendProbe() {
+	it := &c.sendQ[0]
+	it.buf.IORef()
+	seg := segment{seq: c.sndNxt, length: 1, buf: it.buf, off: it.off}
+	c.sndNxt++
+	it.off++
+	if it.off == it.buf.Len() {
+		it.buf.IOUnref()
+		c.sendQ = c.sendQ[1:]
+	}
+	c.retransQ = append(c.retransQ, seg)
+	c.transmit(&c.retransQ[len(c.retransQ)-1])
+	c.lib.stats.WindowProbes++
+}
+
+// trySend segments queued data into the usable window and transmits it.
+func (c *tcpConn) trySend() {
+	if !c.macKnown || c.err != nil {
+		return
+	}
+	if c.state != stateEstablished && c.state != stateCloseWait {
+		return
+	}
+	for len(c.sendQ) > 0 {
+		wnd := c.usableWindow()
+		if wnd <= 0 {
+			break
+		}
+		it := &c.sendQ[0]
+		n := it.buf.Len() - it.off
+		if n > c.mss {
+			n = c.mss
+		}
+		if n > wnd {
+			n = wnd
+		}
+		if n <= 0 {
+			break
+		}
+		it.buf.IORef() // segment's reference, held until acked
+		seg := segment{seq: c.sndNxt, length: n, buf: it.buf, off: it.off}
+		if !it.buf.ZeroCopyEligible() || c.lib.cfg.ForceCopy {
+			c.lib.node.Charge(costmodel.Memcpy(n))
+			c.lib.stats.CopiedTx++
+		} else {
+			c.lib.stats.ZeroCopyTx++
+		}
+		c.sndNxt += uint32(n)
+		it.off += n
+		if it.off == it.buf.Len() {
+			it.buf.IOUnref() // release the queue-presence reference
+			c.sendQ = c.sendQ[1:]
+		}
+		c.retransQ = append(c.retransQ, seg)
+		c.transmit(&c.retransQ[len(c.retransQ)-1])
+	}
+	// Zero send window with data pending and nothing in flight: arm the
+	// persist timer so a lost window update cannot deadlock the
+	// connection (RFC 1122 4.2.2.17).
+	if len(c.sendQ) > 0 && len(c.retransQ) == 0 && c.usableWindow() <= 0 {
+		c.armPersist()
+	}
+	// All data segmented: send the queued FIN.
+	if len(c.sendQ) == 0 && c.finQueued && c.sndNxt == c.queuedSeq {
+		seg := segment{seq: c.sndNxt, fin: true}
+		c.sndNxt++
+		c.queuedSeq++
+		c.retransQ = append(c.retransQ, seg)
+		c.transmit(&c.retransQ[len(c.retransQ)-1])
+		c.finQueued = false
+		if c.state == stateCloseWait {
+			c.state = stateLastAck
+		} else {
+			c.state = stateFinWait1
+		}
+	}
+}
+
+// transmit builds and sends one segment, arming the RTO.
+func (c *tcpConn) transmit(seg *segment) {
+	flags := uint8(0)
+	var opt wire.TCPOptions
+	if seg.syn {
+		flags |= wire.TCPSyn
+		opt.MSS = uint16(c.lib.cfg.MSS)
+		opt.WScale = rcvWndScaleShift
+		opt.HasWScale = true
+		if c.state == stateSynRcvd {
+			flags |= wire.TCPAck
+		}
+	} else {
+		flags |= wire.TCPAck
+	}
+	if seg.fin {
+		flags |= wire.TCPFin
+	}
+	if seg.length > 0 {
+		flags |= wire.TCPPsh
+	}
+	opt.HasTimestamp = true
+	opt.TSVal = c.nowTS()
+	opt.TSEcr = c.tsRecent
+	h := wire.TCPHeader{
+		SrcPort: c.tuple.localPort,
+		DstPort: c.tuple.remotePort,
+		Seq:     seg.seq,
+		Ack:     c.rcvNxt,
+		Flags:   flags,
+		Window:  c.wireWindow(seg.syn),
+		Opt:     opt,
+	}
+	var payload []byte
+	if seg.buf != nil {
+		payload = seg.buf.Bytes()[seg.off : seg.off+seg.length]
+	}
+	hdr := make([]byte, h.MarshalLen())
+	h.Marshal(hdr, c.lib.cfg.IP, c.tuple.remoteIP, payload)
+	c.lib.node.Charge(c.lib.cfg.TCPEgressCost)
+	c.lib.sendIPv4(c.remoteMAC, c.tuple.remoteIP, wire.ProtoTCP, hdr, payload)
+	seg.sentAt = c.lib.node.Now()
+	c.ackPending = false // data segments carry the ack
+	c.segsSinceAck = 0
+	c.ackArmed = false
+	c.armRTO()
+}
+
+// sendPureAck transmits an empty ACK (window updates, delayed acks,
+// duplicate acks).
+func (c *tcpConn) sendPureAck() {
+	h := wire.TCPHeader{
+		SrcPort: c.tuple.localPort,
+		DstPort: c.tuple.remotePort,
+		Seq:     c.sndNxt,
+		Ack:     c.rcvNxt,
+		Flags:   wire.TCPAck,
+		Window:  c.wireWindow(false),
+		Opt:     wire.TCPOptions{HasTimestamp: true, TSVal: c.nowTS(), TSEcr: c.tsRecent},
+	}
+	hdr := make([]byte, h.MarshalLen())
+	h.Marshal(hdr, c.lib.cfg.IP, c.tuple.remoteIP, nil)
+	c.lib.node.Charge(c.lib.cfg.TCPEgressCost)
+	c.lib.sendIPv4(c.remoteMAC, c.tuple.remoteIP, wire.ProtoTCP, hdr, nil)
+	c.lib.stats.PureAcks++
+	c.ackPending = false
+	c.segsSinceAck = 0
+	c.ackArmed = false
+}
+
+// armRTO (re)arms the retransmission timer for the oldest in-flight
+// segment.
+func (c *tcpConn) armRTO() {
+	if len(c.retransQ) == 0 {
+		c.rtoArmed = false
+		return
+	}
+	c.rtoDeadline = c.lib.node.Now().Add(c.rto.value())
+	if !c.rtoArmed {
+		c.rtoArmed = true
+	}
+	c.lib.timerWake(c.rtoDeadline, c.retransH)
+}
+
+// fastRetransmit resends the oldest unacked segment after three duplicate
+// acks and halves the congestion window (NewReno-style recovery around the
+// Cubic window).
+func (c *tcpConn) fastRetransmit() {
+	if len(c.retransQ) == 0 {
+		return
+	}
+	c.lib.stats.TCPFastRetransmits++
+	c.inRecovery = true
+	c.recoverSeq = c.sndNxt
+	c.cc.onLoss()
+	seg := &c.retransQ[0]
+	seg.rtx = true
+	c.transmit(seg)
+	c.rto.backoff()
+}

@@ -1,0 +1,157 @@
+package catnip
+
+import (
+	"demikernel/internal/core"
+	"demikernel/internal/costmodel"
+	"demikernel/internal/memory"
+	"demikernel/internal/wire"
+)
+
+// maxUDPPayload is the largest datagram the stack accepts (UDP length field
+// minus headers). The simulated fabric carries jumbo frames, so datagrams
+// are not IP-fragmented; see DESIGN.md.
+const maxUDPPayload = 65507
+
+// datagram is one received UDP payload with its source.
+type datagram struct {
+	from core.Addr
+	buf  *memory.Buf
+}
+
+// udpSocket is a PDPIX datagram queue.
+type udpSocket struct {
+	lib       *LibOS
+	qd        core.QDesc
+	localPort uint16
+	bound     bool
+	remote    core.Addr // default destination set by Connect
+	recvQ     []datagram
+	pops      []*core.Op
+	closed    bool
+}
+
+func (s *udpSocket) bind(addr core.Addr) error {
+	if s.bound {
+		return core.ErrInUse
+	}
+	if !addr.IP.IsZero() && addr.IP != s.lib.cfg.IP {
+		return core.ErrNotBound
+	}
+	if _, used := s.lib.udpPorts[addr.Port]; used {
+		return core.ErrInUse
+	}
+	s.localPort = addr.Port
+	s.bound = true
+	s.lib.udpPorts[addr.Port] = s
+	return nil
+}
+
+// ensureBound lazily binds to an ephemeral port on first send.
+func (s *udpSocket) ensureBound() {
+	if !s.bound {
+		s.localPort = s.lib.allocEphemeral()
+		s.bound = true
+		s.lib.udpPorts[s.localPort] = s
+	}
+}
+
+// push transmits one datagram built from sga to the explicit address, or
+// the connected default. The datagram goes on the wire inline (fast path);
+// the op completes immediately and buffer ownership returns to the app.
+func (s *udpSocket) push(op *core.Op, sga core.SGArray, to core.Addr) {
+	if s.closed {
+		op.Fail(s.qd, core.OpPush, core.ErrQueueClosed)
+		return
+	}
+	dst := to
+	if dst.IP.IsZero() {
+		dst = s.remote
+	}
+	if dst.IP.IsZero() {
+		op.Fail(s.qd, core.OpPush, core.ErrNotBound)
+		return
+	}
+	n := sga.TotalLen()
+	if n > maxUDPPayload {
+		op.Fail(s.qd, core.OpPush, core.ErrNotSupported)
+		return
+	}
+	s.ensureBound()
+	s.lib.node.Charge(s.lib.cfg.UDPEgressCost)
+	// Gather segments. Zero-copy eligible buffers are "DMA-gathered" (no
+	// CPU charge); small ones are copied (charged), mirroring the 1 KiB
+	// zero-copy policy.
+	payload := make([]byte, 0, n)
+	for _, b := range sga.Segs {
+		if !b.ZeroCopyEligible() || s.lib.cfg.ForceCopy {
+			s.lib.node.Charge(costmodel.Memcpy(b.Len()))
+			s.lib.stats.CopiedTx++
+		} else {
+			s.lib.stats.ZeroCopyTx++
+		}
+		payload = append(payload, b.Bytes()...)
+	}
+	h := wire.UDPHeader{SrcPort: s.localPort, DstPort: dst.Port, Length: uint16(wire.UDPHeaderLen + n)}
+	hdr := make([]byte, wire.UDPHeaderLen)
+	h.Marshal(hdr, s.lib.cfg.IP, dst.IP, payload)
+	s.lib.arp.sendOrQueue(dst.IP, wire.ProtoUDP, hdr, payload)
+	op.Complete(core.QEvent{QD: s.qd, Op: core.OpPush})
+}
+
+// pop returns the next datagram, completing immediately if one is queued.
+func (s *udpSocket) pop(op *core.Op) {
+	if len(s.recvQ) > 0 {
+		d := s.recvQ[0]
+		s.recvQ = s.recvQ[1:]
+		op.Complete(core.QEvent{QD: s.qd, Op: core.OpPop, SGA: core.SGA(d.buf), From: d.from})
+		return
+	}
+	if s.closed {
+		op.Fail(s.qd, core.OpPop, core.ErrQueueClosed)
+		return
+	}
+	s.pops = append(s.pops, op)
+}
+
+// deliver hands a received datagram to a waiting pop or queues it.
+func (s *udpSocket) deliver(from core.Addr, buf *memory.Buf) {
+	if len(s.pops) > 0 {
+		op := s.pops[0]
+		s.pops = s.pops[1:]
+		op.Complete(core.QEvent{QD: s.qd, Op: core.OpPop, SGA: core.SGA(buf), From: from})
+		return
+	}
+	s.recvQ = append(s.recvQ, datagram{from: from, buf: buf})
+}
+
+func (s *udpSocket) close() {
+	s.closed = true
+	if s.bound {
+		delete(s.lib.udpPorts, s.localPort)
+	}
+	for _, op := range s.pops {
+		op.Fail(s.qd, core.OpPop, core.ErrQueueClosed)
+	}
+	s.pops = nil
+	for _, d := range s.recvQ {
+		d.buf.Free()
+	}
+	s.recvQ = nil
+}
+
+// handleUDP dispatches a received UDP packet to its socket.
+func (l *LibOS) handleUDP(ip wire.IPv4Header, body []byte) {
+	h, payload, err := wire.ParseUDP(body, ip.Src, ip.Dst)
+	if err != nil {
+		l.stats.RxBadChecksum++
+		return
+	}
+	s, ok := l.udpPorts[h.DstPort]
+	if !ok {
+		l.stats.RxDroppedNoPort++
+		return
+	}
+	// The NIC DMA-writes into the DMA-capable heap: no CPU copy charged.
+	buf := memory.CopyFrom(l.heap, payload)
+	s.deliver(core.Addr{IP: ip.Src, Port: h.SrcPort}, buf)
+}

@@ -1,0 +1,534 @@
+// Package cattree is Demikernel's SPDK storage library OS (paper §6.4): it
+// maps the PDPIX queue abstraction onto an abstract log over a block
+// device: push appends a record, pop reads sequentially from the queue's
+// read cursor, seek moves the cursor, and truncate garbage-collects the
+// log. Push qtokens complete only when the write is durable on the
+// (simulated) NVMe device, giving the synchronous logging semantics the
+// paper's echo and Redis experiments rely on.
+//
+// Going slightly beyond the paper's minimal single-log Cattree (§6.4
+// anticipates "more complex storage stacks"), the device is divided into
+// fixed-size partitions, each its own named log; a directory log in
+// partition zero records name-to-partition assignments so Mount recovers
+// everything after a crash.
+//
+// Records are self-describing — [magic, length, payload] padded to the
+// block size — so Mount can recover each log tail by scanning forward,
+// which the Redis AOF recovery path uses.
+package cattree
+
+import (
+	"encoding/binary"
+	"time"
+
+	"demikernel/internal/core"
+	"demikernel/internal/costmodel"
+	"demikernel/internal/memory"
+	"demikernel/internal/sched"
+	"demikernel/internal/sim"
+	"demikernel/internal/spdkdev"
+)
+
+// recordMagic marks a valid log record header.
+const recordMagic uint32 = 0xCA77EE00
+
+// recordHeaderLen is magic(4) + generation(4) + length(4). The generation
+// is the log's truncation epoch: records from before a truncate keep their
+// old generation, so recovery scans stop at them even though their magic
+// is intact.
+const recordHeaderLen = 12
+
+// Stats counts libOS activity.
+type Stats struct {
+	Appends, Reads uint64
+	BytesAppended  uint64
+	Truncates      uint64
+	RecoveredRecs  uint64
+}
+
+// Partitioning constants: partition 0 holds the directory; the rest of
+// the device is split evenly among data partitions.
+const (
+	dirBlocks     = 256
+	maxPartitions = 15
+)
+
+// partition is one named log's block range and state.
+type partition struct {
+	name string
+	base int64  // first block
+	size int64  // blocks
+	tail int64  // first free block, relative to base
+	gen  uint32 // truncation epoch; only matching records are live
+}
+
+// LibOS is a Cattree instance for one node + NVMe device.
+type LibOS struct {
+	node   *sim.Node
+	dev    *spdkdev.Device
+	heap   *memory.Heap
+	sched  *sched.Scheduler
+	tokens *core.TokenTable
+	waiter core.Waiter
+	qds    *core.QDescTable
+
+	parts   map[string]*partition
+	nParts  int
+	dirTail int64
+	stats   Stats
+}
+
+// New builds a Cattree libOS on a device. The logs are assumed empty; call
+// Mount from application context to recover existing logs.
+func New(node *sim.Node, dev *spdkdev.Device) *LibOS {
+	l := &LibOS{
+		node:   node,
+		dev:    dev,
+		heap:   memory.NewHeap(nil),
+		sched:  sched.New(),
+		tokens: core.NewTokenTable(),
+		qds:    core.NewQDescTable(),
+		parts:  make(map[string]*partition),
+	}
+	l.waiter = core.Waiter{Table: l.tokens, Runner: l}
+	return l
+}
+
+// partitionSize returns each data partition's size in blocks.
+func (l *LibOS) partitionSize() int64 {
+	return (l.dev.NumBlocks() - dirBlocks) / maxPartitions
+}
+
+// getPartition returns (allocating and durably recording if new) the
+// partition for name.
+func (l *LibOS) getPartition(name string) (*partition, error) {
+	if p, ok := l.parts[name]; ok {
+		return p, nil
+	}
+	if l.nParts >= maxPartitions {
+		return nil, core.ErrInUse
+	}
+	idx := l.nParts
+	l.nParts++
+	p := &partition{
+		name: name,
+		base: dirBlocks + int64(idx)*l.partitionSize(),
+		size: l.partitionSize(),
+	}
+	l.parts[name] = p
+	l.appendDirRecord(idx, 0, name)
+	return p, nil
+}
+
+// appendDirRecord durably records a (partition, generation, name) binding
+// in the directory log (asynchronously durable: a crash before completion
+// loses the binding and everything it guards, which is consistent).
+func (l *LibOS) appendDirRecord(idx int, gen uint32, name string) {
+	payload := make([]byte, 5+len(name))
+	payload[0] = byte(idx)
+	binary.BigEndian.PutUint32(payload[1:5], gen)
+	copy(payload[5:], name)
+	rec := l.frameRecord(payload, 0)
+	lba := l.dirTail
+	l.dirTail += int64(len(rec) / spdkdev.BlockSize)
+	l.dev.SubmitWrite(lba, rec, func(spdkdev.Completion) {})
+}
+
+// frameRecord builds a block-aligned record around payload with the log's
+// generation stamp.
+func (l *LibOS) frameRecord(payload []byte, gen uint32) []byte {
+	nBlocks := blocksFor(len(payload))
+	staging := make([]byte, nBlocks*spdkdev.BlockSize)
+	binary.BigEndian.PutUint32(staging[0:4], recordMagic)
+	binary.BigEndian.PutUint32(staging[4:8], gen)
+	binary.BigEndian.PutUint32(staging[8:12], uint32(len(payload)))
+	copy(staging[recordHeaderLen:], payload)
+	return staging
+}
+
+// Node returns the owning node.
+func (l *LibOS) Node() *sim.Node { return l.node }
+
+// Heap returns the DMA-capable heap.
+func (l *LibOS) Heap() *memory.Heap { return l.heap }
+
+// Stats returns a snapshot.
+func (l *LibOS) Stats() Stats { return l.stats }
+
+// TailBlock returns the first free block of the named log (its end), or
+// zero for an unknown name.
+func (l *LibOS) TailBlock(name string) int64 {
+	if p, ok := l.parts[name]; ok {
+		return p.tail
+	}
+	return 0
+}
+
+// Logs returns the number of named logs.
+func (l *LibOS) Logs() int { return l.nParts }
+
+// --- Runner ---
+
+// Step runs one scheduler quantum or polls device completions.
+func (l *LibOS) Step() bool {
+	if l.sched.Runnable() {
+		l.node.Charge(costmodel.SchedQuantum)
+		return l.sched.RunOne()
+	}
+	return l.pollDevice()
+}
+
+// Block parks the node.
+func (l *LibOS) Block(deadline sim.Time) bool { return l.node.Park(deadline) }
+
+// Now returns the node clock.
+func (l *LibOS) Now() sim.Time { return l.node.Now() }
+
+// pollDevice drains the completion queue, finishing qtokens.
+func (l *LibOS) pollDevice() bool {
+	comps := l.dev.PollCompletions(32)
+	if len(comps) == 0 {
+		l.node.Charge(costmodel.PollEmpty)
+		return false
+	}
+	for _, c := range comps {
+		l.node.Charge(costmodel.SPDKComplete)
+		if fn, ok := c.Cookie.(func(spdkdev.Completion)); ok {
+			fn(c)
+		}
+	}
+	return true
+}
+
+// logQueue is one PDPIX open of the device log, with its own read cursor.
+type logQueue struct {
+	lib      *LibOS
+	qd       core.QDesc
+	part     *partition
+	curBlock int64 // read cursor within the partition (records are padded)
+	closed   bool
+}
+
+// Open opens the named log, allocating a partition on first use. Opens of
+// the same name share the log but keep independent cursors.
+func (l *LibOS) Open(name string) (core.QDesc, error) {
+	l.node.Charge(costmodel.Libcall)
+	p, err := l.getPartition(name)
+	if err != nil {
+		return core.InvalidQD, err
+	}
+	q := &logQueue{lib: l, part: p}
+	q.qd = l.qds.Insert(q)
+	return q.qd, nil
+}
+
+// Close releases a log queue.
+func (l *LibOS) Close(qd core.QDesc) error {
+	l.node.Charge(costmodel.Libcall)
+	q, ok := l.qds.Remove(qd)
+	if !ok {
+		return core.ErrBadQDesc
+	}
+	if lq, ok := q.(*logQueue); ok {
+		lq.closed = true
+	}
+	return nil
+}
+
+// blocksFor returns the blocks needed for a record of n payload bytes.
+func blocksFor(n int) int {
+	total := recordHeaderLen + n
+	return (total + spdkdev.BlockSize - 1) / spdkdev.BlockSize
+}
+
+// Push appends one record containing sga's bytes; the qtoken completes
+// when the record is durable.
+func (l *LibOS) Push(qd core.QDesc, sga core.SGArray) (core.QToken, error) {
+	l.node.Charge(costmodel.Libcall)
+	q, ok := l.qds.Lookup(qd)
+	if !ok {
+		return core.InvalidQToken, core.ErrBadQDesc
+	}
+	lq, ok := q.(*logQueue)
+	if !ok {
+		return core.InvalidQToken, core.ErrNotSupported
+	}
+	if len(sga.Segs) == 0 {
+		return core.InvalidQToken, core.ErrEmptySGA
+	}
+	op := l.tokens.New()
+	payload := sga.Flatten() // staged into the block-aligned write buffer
+	l.node.Charge(costmodel.SPDKSubmit)
+	staging := l.frameRecord(payload, lq.part.gen)
+	nBlocks := int64(len(staging) / spdkdev.BlockSize)
+	if lq.part.tail+nBlocks > lq.part.size {
+		op.Fail(qd, core.OpPush, core.ErrQueueClosed) // partition full
+		return op.Token(), nil
+	}
+	lba := lq.part.base + lq.part.tail
+	lq.part.tail += nBlocks
+	// Hold libOS references until durable (UAF protection across storage).
+	for _, b := range sga.Segs {
+		b.IORef()
+	}
+	err := l.dev.SubmitWrite(lba, staging, func(spdkdev.Completion) {
+		for _, b := range sga.Segs {
+			b.IOUnref()
+		}
+		l.stats.Appends++
+		l.stats.BytesAppended += uint64(len(payload))
+		op.Complete(core.QEvent{QD: qd, Op: core.OpPush})
+	})
+	if err != nil {
+		for _, b := range sga.Segs {
+			b.IOUnref()
+		}
+		op.Fail(qd, core.OpPush, err)
+	}
+	return op.Token(), nil
+}
+
+// Pop reads the record at the queue's cursor. At the log end it completes
+// immediately with an empty SGA (EOF), so replay loops terminate.
+func (l *LibOS) Pop(qd core.QDesc) (core.QToken, error) {
+	l.node.Charge(costmodel.Libcall)
+	q, ok := l.qds.Lookup(qd)
+	if !ok {
+		return core.InvalidQToken, core.ErrBadQDesc
+	}
+	lq, ok := q.(*logQueue)
+	if !ok {
+		return core.InvalidQToken, core.ErrNotSupported
+	}
+	op := l.tokens.New()
+	if lq.curBlock >= lq.part.tail {
+		op.Complete(core.QEvent{QD: qd, Op: core.OpPop}) // EOF
+		return op.Token(), nil
+	}
+	l.node.Charge(costmodel.SPDKSubmit)
+	// Read one block to learn the record length, then the rest if needed.
+	rel := lq.curBlock
+	lba := lq.part.base + rel
+	err := l.dev.SubmitRead(lba, 1, func(c spdkdev.Completion) {
+		magic := binary.BigEndian.Uint32(c.Data[0:4])
+		gen := binary.BigEndian.Uint32(c.Data[4:8])
+		if magic != recordMagic || gen != lq.part.gen {
+			op.Fail(qd, core.OpPop, core.ErrQueueClosed)
+			return
+		}
+		length := int(binary.BigEndian.Uint32(c.Data[8:12]))
+		nBlocks := blocksFor(length)
+		lq.curBlock = rel + int64(nBlocks)
+		if nBlocks == 1 {
+			l.finishRead(op, qd, c.Data[recordHeaderLen:recordHeaderLen+length])
+			return
+		}
+		// Multi-block record: read the remainder.
+		rest := nBlocks - 1
+		l.dev.SubmitRead(lba+1, rest, func(c2 spdkdev.Completion) {
+			full := append(append([]byte{}, c.Data[recordHeaderLen:]...), c2.Data...)
+			l.finishRead(op, qd, full[:length])
+		})
+	})
+	if err != nil {
+		op.Fail(qd, core.OpPop, err)
+	}
+	return op.Token(), nil
+}
+
+// finishRead completes a pop with the record payload.
+func (l *LibOS) finishRead(op *core.Op, qd core.QDesc, payload []byte) {
+	l.stats.Reads++
+	buf := memory.CopyFrom(l.heap, payload)
+	op.Complete(core.QEvent{QD: qd, Op: core.OpPop, SGA: core.SGA(buf)})
+}
+
+// Seek moves the queue's read cursor to the given block offset within its
+// log (0 rewinds to the head).
+func (l *LibOS) Seek(qd core.QDesc, block int64) error {
+	l.node.Charge(costmodel.Libcall)
+	q, ok := l.qds.Lookup(qd)
+	if !ok {
+		return core.ErrBadQDesc
+	}
+	lq, ok := q.(*logQueue)
+	if !ok {
+		return core.ErrNotSupported
+	}
+	lq.curBlock = block
+	return nil
+}
+
+// Truncate garbage-collects the queue's log: its tail resets to zero.
+// (The paper's truncate moves the GC point; a full reset is the
+// degenerate, sufficient case for its workloads.)
+func (l *LibOS) Truncate(qd core.QDesc) error {
+	l.node.Charge(costmodel.Libcall)
+	q, ok := l.qds.Lookup(qd)
+	if !ok {
+		return core.ErrBadQDesc
+	}
+	lq, ok := q.(*logQueue)
+	if !ok {
+		return core.ErrNotSupported
+	}
+	lq.part.tail = 0
+	lq.part.gen++
+	// Persist the new generation so recovery ignores pre-truncate records.
+	idx := int((lq.part.base - dirBlocks) / l.partitionSize())
+	l.appendDirRecord(idx, lq.part.gen, lq.part.name)
+	l.stats.Truncates++
+	return nil
+}
+
+// readRecordSync synchronously reads the record header at lba, returning
+// its payload and total blocks (ok=false at a log end or generation
+// mismatch). Control path only.
+func (l *LibOS) readRecordSync(lba int64, wantGen uint32) (payload []byte, blocks int64, ok bool, err error) {
+	done := false
+	l.dev.SubmitRead(lba, 1, func(c spdkdev.Completion) {
+		defer func() { done = true }()
+		if binary.BigEndian.Uint32(c.Data[0:4]) != recordMagic {
+			return
+		}
+		if binary.BigEndian.Uint32(c.Data[4:8]) != wantGen {
+			return
+		}
+		length := int(binary.BigEndian.Uint32(c.Data[8:12]))
+		blocks = int64(blocksFor(length))
+		if length <= spdkdev.BlockSize-recordHeaderLen {
+			payload = append([]byte(nil), c.Data[recordHeaderLen:recordHeaderLen+length]...)
+			ok = true
+			return
+		}
+		// Multi-block record: synchronous continuation.
+		inner := false
+		l.dev.SubmitRead(lba+1, int(blocks-1), func(c2 spdkdev.Completion) {
+			full := append(append([]byte{}, c.Data[recordHeaderLen:]...), c2.Data...)
+			payload = append([]byte(nil), full[:length]...)
+			ok = true
+			inner = true
+		})
+		for !inner {
+			if !l.Step() && !l.node.Park(sim.Infinity) {
+				return
+			}
+		}
+	})
+	for !done {
+		if !l.Step() {
+			if !l.node.Park(sim.Infinity) {
+				return nil, 0, false, core.ErrStopped
+			}
+		}
+	}
+	return payload, blocks, ok, nil
+}
+
+// Mount recovers the directory and every named log's tail after a restart.
+// It blocks the calling application (control path).
+func (l *LibOS) Mount() error {
+	// Replay the directory log.
+	l.parts = make(map[string]*partition)
+	l.nParts = 0
+	l.dirTail = 0
+	for l.dirTail < dirBlocks {
+		payload, blocks, ok, err := l.readRecordSync(l.dirTail, 0)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		l.dirTail += blocks
+		if len(payload) < 6 {
+			continue
+		}
+		idx := int(payload[0])
+		gen := binary.BigEndian.Uint32(payload[1:5])
+		name := string(payload[5:])
+		l.parts[name] = &partition{
+			name: name,
+			base: dirBlocks + int64(idx)*l.partitionSize(),
+			size: l.partitionSize(),
+			gen:  gen,
+		}
+		if idx+1 > l.nParts {
+			l.nParts = idx + 1
+		}
+		l.stats.RecoveredRecs++
+	}
+	// Scan each named log for its tail.
+	for _, p := range l.parts {
+		p.tail = 0
+		for p.tail < p.size {
+			_, blocks, ok, err := l.readRecordSync(p.base+p.tail, p.gen)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			p.tail += blocks
+			l.stats.RecoveredRecs++
+		}
+	}
+	return nil
+}
+
+// --- Unsupported network operations (storage-only libOS) ---
+
+// Socket is unsupported; use an integration libOS for network+storage.
+func (l *LibOS) Socket(t core.SockType) (core.QDesc, error) {
+	return core.InvalidQD, core.ErrNotSupported
+}
+
+// Bind is unsupported.
+func (l *LibOS) Bind(qd core.QDesc, addr core.Addr) error { return core.ErrNotSupported }
+
+// Listen is unsupported.
+func (l *LibOS) Listen(qd core.QDesc, backlog int) error { return core.ErrNotSupported }
+
+// Accept is unsupported.
+func (l *LibOS) Accept(qd core.QDesc) (core.QToken, error) {
+	return core.InvalidQToken, core.ErrNotSupported
+}
+
+// Connect is unsupported.
+func (l *LibOS) Connect(qd core.QDesc, addr core.Addr) (core.QToken, error) {
+	return core.InvalidQToken, core.ErrNotSupported
+}
+
+// Queue creates an in-memory queue.
+func (l *LibOS) Queue() (core.QDesc, error) {
+	l.node.Charge(costmodel.Libcall)
+	qd := l.qds.Insert(nil)
+	l.qds.Restore(qd, core.NewMemQueue(qd))
+	return qd, nil
+}
+
+// Wait blocks until qt completes.
+func (l *LibOS) Wait(qt core.QToken) (core.QEvent, error) { return l.waiter.Wait(qt) }
+
+// WaitAny blocks until one of qts completes.
+func (l *LibOS) WaitAny(qts []core.QToken, timeout time.Duration) (int, core.QEvent, error) {
+	return l.waiter.WaitAny(qts, timeout)
+}
+
+// WaitAll blocks until all of qts complete.
+func (l *LibOS) WaitAll(qts []core.QToken, timeout time.Duration) ([]core.QEvent, error) {
+	return l.waiter.WaitAll(qts, timeout)
+}
+
+// Tokens exposes the qtoken table for libOS integration (demi.Combined).
+func (l *LibOS) Tokens() *core.TokenTable { return l.tokens }
+
+// PushTo is unsupported on the storage-only libOS.
+func (l *LibOS) PushTo(qd core.QDesc, sga core.SGArray, to core.Addr) (core.QToken, error) {
+	return core.InvalidQToken, core.ErrNotSupported
+}
+
+// TryTake redeems a completed qtoken (demi.Drivable).
+func (l *LibOS) TryTake(qt core.QToken) (core.QEvent, bool, error) {
+	return l.tokens.TryTake(qt)
+}

@@ -1,0 +1,299 @@
+package cattree
+
+import (
+	"bytes"
+	"testing"
+
+	"demikernel/internal/core"
+	"demikernel/internal/memory"
+	"demikernel/internal/sim"
+	"demikernel/internal/spdkdev"
+)
+
+// run executes fn on a node with a Cattree libOS over a fresh device.
+func run(t *testing.T, fn func(*sim.Engine, *LibOS, *spdkdev.Device)) {
+	t.Helper()
+	eng := sim.NewEngine(21)
+	node := eng.NewNode("host")
+	dev := spdkdev.New(node, spdkdev.OptaneParams(), 1<<16)
+	l := New(node, dev)
+	eng.Spawn(node, func() { fn(eng, l, dev) })
+	eng.Run()
+}
+
+func pushWait(t *testing.T, l *LibOS, qd core.QDesc, p []byte) {
+	t.Helper()
+	qt, err := l.Push(qd, core.SGA(memory.CopyFrom(l.Heap(), p)))
+	if err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	if ev, err := l.Wait(qt); err != nil || ev.Err != nil {
+		t.Fatalf("push wait: %v %v", err, ev.Err)
+	}
+}
+
+func popWait(t *testing.T, l *LibOS, qd core.QDesc) []byte {
+	t.Helper()
+	qt, err := l.Pop(qd)
+	if err != nil {
+		t.Fatalf("pop: %v", err)
+	}
+	ev, err := l.Wait(qt)
+	if err != nil || ev.Err != nil {
+		t.Fatalf("pop wait: %v %v", err, ev.Err)
+	}
+	if len(ev.SGA.Segs) == 0 {
+		return nil // EOF
+	}
+	out := ev.SGA.Flatten()
+	ev.SGA.Free()
+	return out
+}
+
+func TestAppendThenReadBack(t *testing.T) {
+	run(t, func(eng *sim.Engine, l *LibOS, dev *spdkdev.Device) {
+		qd, err := l.Open("log")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pushWait(t, l, qd, []byte("first record"))
+		pushWait(t, l, qd, []byte("second record"))
+		if got := popWait(t, l, qd); string(got) != "first record" {
+			t.Fatalf("got %q", got)
+		}
+		if got := popWait(t, l, qd); string(got) != "second record" {
+			t.Fatalf("got %q", got)
+		}
+		if got := popWait(t, l, qd); got != nil {
+			t.Fatalf("expected EOF, got %q", got)
+		}
+	})
+}
+
+func TestLargeRecordSpansBlocks(t *testing.T) {
+	run(t, func(eng *sim.Engine, l *LibOS, dev *spdkdev.Device) {
+		qd, _ := l.Open("log")
+		big := make([]byte, 5000) // ~10 blocks
+		for i := range big {
+			big[i] = byte(i * 3)
+		}
+		pushWait(t, l, qd, big)
+		if got := popWait(t, l, qd); !bytes.Equal(got, big) {
+			t.Fatal("multi-block record corrupted")
+		}
+	})
+}
+
+func TestIndependentCursors(t *testing.T) {
+	run(t, func(eng *sim.Engine, l *LibOS, dev *spdkdev.Device) {
+		q1, _ := l.Open("log")
+		q2, _ := l.Open("log")
+		pushWait(t, l, q1, []byte("shared"))
+		if got := popWait(t, l, q1); string(got) != "shared" {
+			t.Fatal("cursor 1 failed")
+		}
+		if got := popWait(t, l, q2); string(got) != "shared" {
+			t.Fatal("cursor 2 must read from its own position")
+		}
+	})
+}
+
+func TestSeekRewinds(t *testing.T) {
+	run(t, func(eng *sim.Engine, l *LibOS, dev *spdkdev.Device) {
+		qd, _ := l.Open("log")
+		pushWait(t, l, qd, []byte("replay me"))
+		popWait(t, l, qd)
+		if err := l.Seek(qd, 0); err != nil {
+			t.Fatal(err)
+		}
+		if got := popWait(t, l, qd); string(got) != "replay me" {
+			t.Fatalf("after seek got %q", got)
+		}
+	})
+}
+
+func TestTruncateResetsLog(t *testing.T) {
+	run(t, func(eng *sim.Engine, l *LibOS, dev *spdkdev.Device) {
+		qd, _ := l.Open("log")
+		pushWait(t, l, qd, []byte("old"))
+		if err := l.Truncate(qd); err != nil {
+			t.Fatal(err)
+		}
+		if l.TailBlock("log") != 0 {
+			t.Fatal("tail not reset")
+		}
+		pushWait(t, l, qd, []byte("new"))
+		l.Seek(qd, 0)
+		if got := popWait(t, l, qd); string(got) != "new" {
+			t.Fatalf("got %q", got)
+		}
+	})
+}
+
+func TestDurabilityPushCompletesOnlyWhenDurable(t *testing.T) {
+	run(t, func(eng *sim.Engine, l *LibOS, dev *spdkdev.Device) {
+		qd, _ := l.Open("log")
+		buf := memory.CopyFrom(l.Heap(), []byte("durable?"))
+		qt, _ := l.Push(qd, core.SGA(buf))
+		// Token must not be complete before the device write finishes.
+		if _, done, _ := tokensPeek(l, qt); done {
+			t.Fatal("push completed before device write")
+		}
+		if ev, err := l.Wait(qt); err != nil || ev.Err != nil {
+			t.Fatal(err)
+		}
+		// Two device writes: the directory record for the new log name,
+		// and the pushed record itself.
+		if dev.Stats().Writes != 2 {
+			t.Fatalf("device writes = %d", dev.Stats().Writes)
+		}
+	})
+}
+
+// tokensPeek inspects completion state without consuming (test helper).
+func tokensPeek(l *LibOS, qt core.QToken) (core.QEvent, bool, error) {
+	op, ok := l.tokens.Lookup(qt)
+	if !ok {
+		return core.QEvent{}, false, core.ErrBadQToken
+	}
+	return core.QEvent{}, op.Done(), nil
+}
+
+func TestMountRecoversAfterCrash(t *testing.T) {
+	run(t, func(eng *sim.Engine, l *LibOS, dev *spdkdev.Device) {
+		qd, _ := l.Open("log")
+		pushWait(t, l, qd, []byte("rec-a"))
+		pushWait(t, l, qd, []byte("rec-b"))
+		// An in-flight record lost to power failure:
+		l.Push(qd, core.SGA(memory.CopyFrom(l.Heap(), []byte("rec-lost"))))
+		dev.Crash()
+
+		// "Restart": fresh libOS over the same device.
+		l2 := New(l.Node(), dev)
+		if err := l2.Mount(); err != nil {
+			t.Fatal(err)
+		}
+		// Three recovered records: the directory entry plus two data
+		// records; the in-flight one is lost.
+		if l2.Stats().RecoveredRecs != 3 {
+			t.Fatalf("recovered %d records, want 3", l2.Stats().RecoveredRecs)
+		}
+		qd2, _ := l2.Open("log")
+		if got := popWait(t, l2, qd2); string(got) != "rec-a" {
+			t.Fatalf("got %q", got)
+		}
+		if got := popWait(t, l2, qd2); string(got) != "rec-b" {
+			t.Fatalf("got %q", got)
+		}
+		if got := popWait(t, l2, qd2); got != nil {
+			t.Fatalf("lost record resurrected: %q", got)
+		}
+	})
+}
+
+func TestUAFProtectionAcrossStorage(t *testing.T) {
+	run(t, func(eng *sim.Engine, l *LibOS, dev *spdkdev.Device) {
+		qd, _ := l.Open("log")
+		buf := l.Heap().Alloc(2048)
+		qt, _ := l.Push(qd, core.SGA(buf))
+		buf.Free() // immediately after push: legal
+		if l.Heap().LiveObjects() != 1 {
+			t.Fatal("buffer recycled while write in flight")
+		}
+		if ev, err := l.Wait(qt); err != nil || ev.Err != nil {
+			t.Fatal(err)
+		}
+		if l.Heap().LiveObjects() != 0 {
+			t.Fatal("buffer leaked after durable write")
+		}
+	})
+}
+
+func TestNetworkOpsUnsupported(t *testing.T) {
+	run(t, func(eng *sim.Engine, l *LibOS, dev *spdkdev.Device) {
+		if _, err := l.Socket(core.SockStream); err != core.ErrNotSupported {
+			t.Error("Socket should be unsupported")
+		}
+	})
+}
+
+func TestNamedLogsAreIsolated(t *testing.T) {
+	run(t, func(eng *sim.Engine, l *LibOS, dev *spdkdev.Device) {
+		a, _ := l.Open("alpha.log")
+		b, _ := l.Open("beta.log")
+		pushWait(t, l, a, []byte("for-alpha"))
+		pushWait(t, l, b, []byte("for-beta"))
+		if got := popWait(t, l, a); string(got) != "for-alpha" {
+			t.Errorf("alpha read %q", got)
+		}
+		if got := popWait(t, l, b); string(got) != "for-beta" {
+			t.Errorf("beta read %q", got)
+		}
+		// Truncating one log must not affect the other.
+		if err := l.Truncate(a); err != nil {
+			t.Fatal(err)
+		}
+		l.Seek(b, 0)
+		if got := popWait(t, l, b); string(got) != "for-beta" {
+			t.Errorf("beta lost data after alpha truncate: %q", got)
+		}
+		if l.Logs() != 2 {
+			t.Errorf("Logs() = %d", l.Logs())
+		}
+	})
+}
+
+func TestMountRecoversMultipleNamedLogs(t *testing.T) {
+	run(t, func(eng *sim.Engine, l *LibOS, dev *spdkdev.Device) {
+		a, _ := l.Open("x.log")
+		b, _ := l.Open("y.log")
+		pushWait(t, l, a, []byte("xa"))
+		pushWait(t, l, b, []byte("yb"))
+		pushWait(t, l, a, []byte("xc"))
+
+		l2 := New(l.Node(), dev)
+		if err := l2.Mount(); err != nil {
+			t.Fatal(err)
+		}
+		if l2.Logs() != 2 {
+			t.Fatalf("recovered %d logs, want 2", l2.Logs())
+		}
+		qa, _ := l2.Open("x.log")
+		if got := popWait(t, l2, qa); string(got) != "xa" {
+			t.Errorf("x.log first = %q", got)
+		}
+		if got := popWait(t, l2, qa); string(got) != "xc" {
+			t.Errorf("x.log second = %q", got)
+		}
+		qb, _ := l2.Open("y.log")
+		if got := popWait(t, l2, qb); string(got) != "yb" {
+			t.Errorf("y.log = %q", got)
+		}
+		// Appending after recovery lands at the recovered tail.
+		pushWait(t, l2, qa, []byte("xd"))
+		if got := popWait(t, l2, qa); string(got) != "xd" {
+			t.Errorf("append after mount = %q", got)
+		}
+	})
+}
+
+func TestPartitionFullRejectsPush(t *testing.T) {
+	run(t, func(eng *sim.Engine, l *LibOS, dev *spdkdev.Device) {
+		qd, _ := l.Open("tiny")
+		// Fill the partition to the brim.
+		part := l.parts["tiny"]
+		blockPayload := make([]byte, spdkdev.BlockSize*4)
+		for part.tail+int64(blocksFor(len(blockPayload))) <= part.size {
+			pushWait(t, l, qd, blockPayload)
+		}
+		// The remaining gap is smaller than one more full record.
+		qt, err := l.Push(qd, core.SGA(memory.CopyFrom(l.Heap(), blockPayload)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := l.Wait(qt)
+		if err != nil || ev.Err == nil {
+			t.Fatalf("overflowing push accepted: %v %+v", err, ev)
+		}
+	})
+}

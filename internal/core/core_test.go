@@ -1,0 +1,278 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"demikernel/internal/memory"
+	"demikernel/internal/sim"
+)
+
+func TestTokenLifecycle(t *testing.T) {
+	tb := NewTokenTable()
+	op := tb.New()
+	if op.Done() {
+		t.Fatal("fresh op already done")
+	}
+	if _, done, err := tb.TryTake(op.Token()); done || err != nil {
+		t.Fatalf("TryTake on pending: done=%v err=%v", done, err)
+	}
+	op.Complete(QEvent{QD: 3, Op: OpPop})
+	ev, done, err := tb.TryTake(op.Token())
+	if err != nil || !done {
+		t.Fatalf("TryTake after complete: done=%v err=%v", done, err)
+	}
+	if ev.QD != 3 || ev.Op != OpPop {
+		t.Errorf("event = %+v", ev)
+	}
+	// Redeeming twice is an error.
+	if _, _, err := tb.TryTake(op.Token()); !errors.Is(err, ErrBadQToken) {
+		t.Errorf("second take err = %v", err)
+	}
+}
+
+func TestDoubleCompletePanics(t *testing.T) {
+	tb := NewTokenTable()
+	op := tb.New()
+	op.Complete(QEvent{})
+	defer func() {
+		if recover() == nil {
+			t.Error("double complete did not panic")
+		}
+	}()
+	op.Complete(QEvent{})
+}
+
+func TestCancelFailsPendingOp(t *testing.T) {
+	tb := NewTokenTable()
+	op := tb.New()
+	tb.Cancel(op.Token(), 7, OpPop)
+	ev, done, _ := tb.TryTake(op.Token())
+	if !done || !errors.Is(ev.Err, ErrQueueClosed) {
+		t.Errorf("cancelled op: done=%v ev=%+v", done, ev)
+	}
+}
+
+func TestSGArrayHelpers(t *testing.T) {
+	h := memory.NewHeap(nil)
+	a := memory.CopyFrom(h, []byte("abc"))
+	b := memory.CopyFrom(h, []byte("defg"))
+	sga := SGA(a, b)
+	if sga.TotalLen() != 7 {
+		t.Errorf("TotalLen = %d", sga.TotalLen())
+	}
+	if string(sga.Flatten()) != "abcdefg" {
+		t.Errorf("Flatten = %q", sga.Flatten())
+	}
+	sga.Free()
+	if h.LiveObjects() != 0 {
+		t.Errorf("live = %d after Free", h.LiveObjects())
+	}
+}
+
+func TestMemQueuePushThenPop(t *testing.T) {
+	h := memory.NewHeap(nil)
+	tb := NewTokenTable()
+	q := NewMemQueue(1)
+	push := tb.New()
+	q.Push(push, SGA(memory.CopyFrom(h, []byte("x"))))
+	if !push.Done() {
+		t.Fatal("push did not complete immediately")
+	}
+	pop := tb.New()
+	q.Pop(pop)
+	if !pop.Done() {
+		t.Fatal("pop with buffered data did not complete")
+	}
+	ev, _, _ := tb.TryTake(pop.Token())
+	if string(ev.SGA.Flatten()) != "x" {
+		t.Errorf("popped %q", ev.SGA.Flatten())
+	}
+}
+
+func TestMemQueuePopThenPush(t *testing.T) {
+	h := memory.NewHeap(nil)
+	tb := NewTokenTable()
+	q := NewMemQueue(1)
+	pop := tb.New()
+	q.Pop(pop)
+	if pop.Done() {
+		t.Fatal("pop completed with no data")
+	}
+	q.Push(tb.New(), SGA(memory.CopyFrom(h, []byte("y"))))
+	if !pop.Done() {
+		t.Fatal("pending pop not completed by push")
+	}
+}
+
+func TestMemQueueFIFOAcrossWaiters(t *testing.T) {
+	h := memory.NewHeap(nil)
+	tb := NewTokenTable()
+	q := NewMemQueue(1)
+	pop1, pop2 := tb.New(), tb.New()
+	q.Pop(pop1)
+	q.Pop(pop2)
+	q.Push(tb.New(), SGA(memory.CopyFrom(h, []byte("first"))))
+	q.Push(tb.New(), SGA(memory.CopyFrom(h, []byte("second"))))
+	ev1, _, _ := tb.TryTake(pop1.Token())
+	ev2, _, _ := tb.TryTake(pop2.Token())
+	if string(ev1.SGA.Flatten()) != "first" || string(ev2.SGA.Flatten()) != "second" {
+		t.Error("pops not served FIFO")
+	}
+}
+
+func TestMemQueueClose(t *testing.T) {
+	h := memory.NewHeap(nil)
+	tb := NewTokenTable()
+	q := NewMemQueue(1)
+	pending := tb.New()
+	q.Pop(pending)
+	q.Push(tb.New(), SGA(memory.CopyFrom(h, []byte("z")))) // consumed by pending pop
+	q.Push(tb.New(), SGA(memory.CopyFrom(h, []byte("buffered"))))
+	q.Close()
+	// The buffered sga must be freed; only the popped one stays live.
+	if h.LiveObjects() != 1 {
+		t.Errorf("live = %d, want 1", h.LiveObjects())
+	}
+	pop := tb.New()
+	q.Pop(pop)
+	ev, _, _ := tb.TryTake(pop.Token())
+	if !errors.Is(ev.Err, ErrQueueClosed) {
+		t.Errorf("pop after close: %+v", ev)
+	}
+	push := tb.New()
+	q.Push(push, SGA(memory.CopyFrom(h, []byte("w"))))
+	ev, _, _ = tb.TryTake(push.Token())
+	if !errors.Is(ev.Err, ErrQueueClosed) {
+		t.Errorf("push after close: %+v", ev)
+	}
+}
+
+// stubRunner drives a Waiter in tests: Step completes queued ops; Block
+// advances a fake clock.
+type stubRunner struct {
+	now     sim.Time
+	work    []func()
+	stopped bool
+}
+
+func (r *stubRunner) Step() bool {
+	if len(r.work) == 0 {
+		return false
+	}
+	f := r.work[0]
+	r.work = r.work[1:]
+	f()
+	return true
+}
+
+func (r *stubRunner) Block(deadline sim.Time) bool {
+	if r.stopped {
+		return false
+	}
+	if deadline == sim.Infinity {
+		// Nothing will ever happen: simulate a stuck runtime by stopping.
+		r.stopped = true
+		return false
+	}
+	r.now = deadline
+	return true
+}
+
+func (r *stubRunner) Now() sim.Time { return r.now }
+
+func TestWaiterWaitCompletesViaStep(t *testing.T) {
+	tb := NewTokenTable()
+	op := tb.New()
+	r := &stubRunner{work: []func(){
+		func() {}, // a no-op quantum first
+		func() { op.Complete(QEvent{QD: 9, Op: OpPush}) },
+	}}
+	w := &Waiter{Table: tb, Runner: r}
+	ev, err := w.Wait(op.Token())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.QD != 9 {
+		t.Errorf("event = %+v", ev)
+	}
+}
+
+func TestWaiterTimeout(t *testing.T) {
+	tb := NewTokenTable()
+	op := tb.New()
+	r := &stubRunner{}
+	w := &Waiter{Table: tb, Runner: r}
+	_, _, err := w.WaitAny([]QToken{op.Token()}, 5*time.Microsecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestWaiterStopped(t *testing.T) {
+	tb := NewTokenTable()
+	op := tb.New()
+	r := &stubRunner{}
+	w := &Waiter{Table: tb, Runner: r}
+	if _, err := w.Wait(op.Token()); !errors.Is(err, ErrStopped) {
+		t.Errorf("err = %v, want ErrStopped", err)
+	}
+}
+
+func TestWaitAnyReturnsFirstCompleted(t *testing.T) {
+	tb := NewTokenTable()
+	a, b := tb.New(), tb.New()
+	r := &stubRunner{work: []func(){
+		func() { b.Complete(QEvent{QD: 2, Op: OpPop}) },
+	}}
+	w := &Waiter{Table: tb, Runner: r}
+	i, ev, err := w.WaitAny([]QToken{a.Token(), b.Token()}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != 1 || ev.QD != 2 {
+		t.Errorf("i=%d ev=%+v", i, ev)
+	}
+	// a is still outstanding and redeemable later.
+	if _, done, err := tb.TryTake(a.Token()); done || err != nil {
+		t.Error("untouched token corrupted by WaitAny")
+	}
+}
+
+func TestWaitAllCollectsInOrder(t *testing.T) {
+	tb := NewTokenTable()
+	a, b, c := tb.New(), tb.New(), tb.New()
+	r := &stubRunner{work: []func(){
+		func() { c.Complete(QEvent{QD: 3}) },
+		func() { a.Complete(QEvent{QD: 1}) },
+		func() { b.Complete(QEvent{QD: 2}) },
+	}}
+	w := &Waiter{Table: tb, Runner: r}
+	evs, err := w.WaitAll([]QToken{a.Token(), b.Token(), c.Token()}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []QDesc{1, 2, 3} {
+		if evs[i].QD != want {
+			t.Errorf("evs[%d].QD = %d, want %d", i, evs[i].QD, want)
+		}
+	}
+}
+
+func TestQDescTable(t *testing.T) {
+	tbl := NewQDescTable()
+	qd := tbl.Insert("sock")
+	if got, ok := tbl.Lookup(qd); !ok || got != "sock" {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := tbl.Lookup(qd + 100); ok {
+		t.Error("phantom descriptor")
+	}
+	if got, ok := tbl.Remove(qd); !ok || got != "sock" {
+		t.Error("remove failed")
+	}
+	if _, ok := tbl.Lookup(qd); ok {
+		t.Error("descriptor survived removal")
+	}
+}

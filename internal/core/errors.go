@@ -1,0 +1,29 @@
+package core
+
+import "errors"
+
+// Errors shared by all library OSes.
+var (
+	// ErrBadQDesc means the queue descriptor is unknown or closed.
+	ErrBadQDesc = errors.New("pdpix: bad queue descriptor")
+	// ErrBadQToken means the qtoken is unknown or already redeemed.
+	ErrBadQToken = errors.New("pdpix: bad qtoken")
+	// ErrTimeout means a wait's timeout elapsed first.
+	ErrTimeout = errors.New("pdpix: wait timed out")
+	// ErrStopped means the runtime is shutting down.
+	ErrStopped = errors.New("pdpix: runtime stopped")
+	// ErrNotSupported means the libOS does not implement the operation
+	// (e.g. Accept on a datagram socket).
+	ErrNotSupported = errors.New("pdpix: operation not supported")
+	// ErrQueueClosed means the peer closed the connection or the queue
+	// was closed locally with operations outstanding.
+	ErrQueueClosed = errors.New("pdpix: queue closed")
+	// ErrInUse means the address or port is already bound.
+	ErrInUse = errors.New("pdpix: address in use")
+	// ErrConnRefused means no listener exists at the remote address.
+	ErrConnRefused = errors.New("pdpix: connection refused")
+	// ErrNotBound means the socket needs a bind or connect first.
+	ErrNotBound = errors.New("pdpix: socket not bound")
+	// ErrEmptySGA means a push carried no data.
+	ErrEmptySGA = errors.New("pdpix: empty scatter-gather array")
+)

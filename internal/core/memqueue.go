@@ -1,0 +1,109 @@
+package core
+
+// MemQueue is PDPIX's lightweight in-memory queue (paper §4.2: "queue()
+// creates a light-weight in-memory queue, similar to a Go channel"). Pushes
+// complete immediately; pops complete when data is available. Buffers pass
+// by reference from producer to consumer — the consumer becomes the owner
+// and frees them.
+type MemQueue struct {
+	qd     QDesc
+	data   []SGArray
+	waiter []*Op // pending pops, FIFO
+	closed bool
+}
+
+// NewMemQueue creates an in-memory queue with descriptor qd.
+func NewMemQueue(qd QDesc) *MemQueue { return &MemQueue{qd: qd} }
+
+// QD returns the queue's descriptor.
+func (q *MemQueue) QD() QDesc { return q.qd }
+
+// Len returns the number of buffered scatter-gather arrays.
+func (q *MemQueue) Len() int { return len(q.data) }
+
+// Push enqueues sga and completes op immediately. Ownership of the segments
+// passes through the queue to the eventual popper.
+func (q *MemQueue) Push(op *Op, sga SGArray) {
+	if q.closed {
+		op.Fail(q.qd, OpPush, ErrQueueClosed)
+		return
+	}
+	if len(q.waiter) > 0 {
+		pop := q.waiter[0]
+		q.waiter = q.waiter[1:]
+		pop.Complete(QEvent{QD: q.qd, Op: OpPop, SGA: sga})
+	} else {
+		q.data = append(q.data, sga)
+	}
+	op.Complete(QEvent{QD: q.qd, Op: OpPush})
+}
+
+// Pop completes op with buffered data, or parks it until a push arrives.
+func (q *MemQueue) Pop(op *Op) {
+	if len(q.data) > 0 {
+		sga := q.data[0]
+		q.data = q.data[1:]
+		op.Complete(QEvent{QD: q.qd, Op: OpPop, SGA: sga})
+		return
+	}
+	if q.closed {
+		op.Fail(q.qd, OpPop, ErrQueueClosed)
+		return
+	}
+	q.waiter = append(q.waiter, op)
+}
+
+// Close fails all pending pops and rejects future operations. Buffered data
+// is freed.
+func (q *MemQueue) Close() {
+	q.closed = true
+	for _, op := range q.waiter {
+		op.Fail(q.qd, OpPop, ErrQueueClosed)
+	}
+	q.waiter = nil
+	for _, sga := range q.data {
+		sga.Free()
+	}
+	q.data = nil
+}
+
+// QDescTable allocates queue descriptors and maps them to libOS-specific
+// queue state.
+type QDescTable struct {
+	next QDesc
+	qs   map[QDesc]any
+}
+
+// NewQDescTable returns an empty descriptor table.
+func NewQDescTable() *QDescTable {
+	return &QDescTable{qs: make(map[QDesc]any)}
+}
+
+// Insert allocates a descriptor for state q.
+func (t *QDescTable) Insert(q any) QDesc {
+	t.next++
+	t.qs[t.next] = q
+	return t.next
+}
+
+// Lookup returns the state for qd.
+func (t *QDescTable) Lookup(qd QDesc) (any, bool) {
+	q, ok := t.qs[qd]
+	return q, ok
+}
+
+// Restore sets the state stored for an already-allocated descriptor (used
+// when queue state needs its descriptor value at construction time).
+func (t *QDescTable) Restore(qd QDesc, q any) { t.qs[qd] = q }
+
+// Remove deletes qd, returning its state.
+func (t *QDescTable) Remove(qd QDesc) (any, bool) {
+	q, ok := t.qs[qd]
+	if ok {
+		delete(t.qs, qd)
+	}
+	return q, ok
+}
+
+// Len returns the number of live descriptors.
+func (t *QDescTable) Len() int { return len(t.qs) }

@@ -1,0 +1,92 @@
+package core
+
+// Op is one outstanding operation's state in the token table. Library OSes
+// create an Op when a libcall is issued and complete it from their I/O
+// stacks; the wait machinery redeems it.
+type Op struct {
+	qt   QToken
+	done bool
+	ev   QEvent
+}
+
+// Token returns the operation's qtoken.
+func (o *Op) Token() QToken { return o.qt }
+
+// Done reports whether the operation completed.
+func (o *Op) Done() bool { return o.done }
+
+// Complete finishes the operation with ev. Completing twice panics: an
+// I/O stack delivering two results for one token is a bug.
+func (o *Op) Complete(ev QEvent) {
+	if o.done {
+		panic("pdpix: operation completed twice")
+	}
+	o.done = true
+	o.ev = ev
+}
+
+// Fail finishes the operation with an error event.
+func (o *Op) Fail(qd QDesc, opc OpCode, err error) {
+	o.Complete(QEvent{QD: qd, Op: opc, Err: err})
+}
+
+// TokenTable issues qtokens and tracks outstanding operations. Demikernel
+// datapaths are single-threaded, so the table needs no locking.
+type TokenTable struct {
+	next QToken
+	ops  map[QToken]*Op
+}
+
+// NewTokenTable returns an empty table.
+func NewTokenTable() *TokenTable {
+	return &TokenTable{ops: make(map[QToken]*Op)}
+}
+
+// New allocates a fresh operation and its qtoken.
+func (t *TokenTable) New() *Op {
+	t.next++
+	op := &Op{qt: t.next}
+	t.ops[op.qt] = op
+	return op
+}
+
+// Lookup returns the operation for qt, if outstanding.
+func (t *TokenTable) Lookup(qt QToken) (*Op, bool) {
+	op, ok := t.ops[qt]
+	return op, ok
+}
+
+// TryTake redeems qt if its operation has completed, removing it from the
+// table. ok reports completion; a false ok with a nil error means the
+// operation is still outstanding.
+func (t *TokenTable) TryTake(qt QToken) (QEvent, bool, error) {
+	op, exists := t.ops[qt]
+	if !exists {
+		return QEvent{}, false, ErrBadQToken
+	}
+	if !op.done {
+		return QEvent{}, false, nil
+	}
+	delete(t.ops, qt)
+	return op.ev, true, nil
+}
+
+// Cancel drops an outstanding operation without completing it (used when a
+// queue closes with operations pending). The token is failed so a waiter
+// redeems an error instead of hanging.
+func (t *TokenTable) Cancel(qt QToken, qd QDesc, opc OpCode) {
+	if op, ok := t.ops[qt]; ok && !op.done {
+		op.Fail(qd, opc, ErrQueueClosed)
+	}
+}
+
+// Outstanding returns the number of incomplete operations.
+func (t *TokenTable) Outstanding() int {
+	n := 0
+	for _, op := range t.ops {
+		if !op.done {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"time"
+
+	"demikernel/internal/sim"
+)
+
+// Waiter implements the PDPIX wait family over a token table and a Runner.
+// This is the heart of Demikernel's cooperative execution: Wait does not
+// sleep in a kernel — it *is* the scheduler loop, running application
+// coroutines, background protocol work and the device fast path until the
+// awaited token completes (paper §5.2's run-to-completion flow).
+type Waiter struct {
+	Table  *TokenTable
+	Runner Runner
+}
+
+// Wait blocks until qt completes and returns its event.
+func (w *Waiter) Wait(qt QToken) (QEvent, error) {
+	_, ev, err := w.WaitAny([]QToken{qt}, -1)
+	return ev, err
+}
+
+// WaitAny blocks until one of qts completes, returning its index and event.
+// A negative timeout waits forever. Unlike epoll, exactly one completion is
+// consumed per call, so each worker waiting on its own tokens wakes alone
+// (no thundering herd; paper §3.3).
+func (w *Waiter) WaitAny(qts []QToken, timeout time.Duration) (int, QEvent, error) {
+	deadline := sim.Infinity
+	if timeout >= 0 {
+		deadline = w.Runner.Now().Add(timeout)
+	}
+	for {
+		for i, qt := range qts {
+			ev, done, err := w.Table.TryTake(qt)
+			if err != nil {
+				return -1, QEvent{}, err
+			}
+			if done {
+				return i, ev, nil
+			}
+		}
+		if w.Runner.Step() {
+			continue
+		}
+		if w.Runner.Now() >= deadline {
+			return -1, QEvent{}, ErrTimeout
+		}
+		if !w.Runner.Block(deadline) {
+			return -1, QEvent{}, ErrStopped
+		}
+	}
+}
+
+// WaitAll blocks until every token completes, returning events in token
+// order. On timeout, completed events consumed so far are returned with
+// ErrTimeout.
+func (w *Waiter) WaitAll(qts []QToken, timeout time.Duration) ([]QEvent, error) {
+	deadline := sim.Infinity
+	if timeout >= 0 {
+		deadline = w.Runner.Now().Add(timeout)
+	}
+	events := make([]QEvent, len(qts))
+	got := make([]bool, len(qts))
+	remaining := len(qts)
+	for remaining > 0 {
+		progress := false
+		for i, qt := range qts {
+			if got[i] {
+				continue
+			}
+			ev, done, err := w.Table.TryTake(qt)
+			if err != nil {
+				return events, err
+			}
+			if done {
+				events[i] = ev
+				got[i] = true
+				remaining--
+				progress = true
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		if progress || w.Runner.Step() {
+			continue
+		}
+		if w.Runner.Now() >= deadline {
+			return events, ErrTimeout
+		}
+		if !w.Runner.Block(deadline) {
+			return events, ErrStopped
+		}
+	}
+	return events, nil
+}

@@ -1,0 +1,34 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMemcpyScalesLinearly(t *testing.T) {
+	if Memcpy(0) != 0 {
+		t.Error("zero-byte copy should be free")
+	}
+	if Memcpy(32<<10) != 1024*time.Nanosecond {
+		t.Errorf("32 KiB copy = %v, want 1024ns at 32 B/ns", Memcpy(32<<10))
+	}
+	if Memcpy(64) >= Memcpy(6400) {
+		t.Error("memcpy not monotone")
+	}
+}
+
+func TestArchitecturalOrderings(t *testing.T) {
+	// The cost model must preserve the paper's architectural relations.
+	if Libcall >= Syscall {
+		t.Error("a libcall must be cheaper than a kernel crossing")
+	}
+	if TCPIngress >= KernelTCPRx {
+		t.Error("Catnip's TCP must be cheaper than the kernel's")
+	}
+	if CaladanPerPacket >= ShenangoPerPacket+2*CoreHop {
+		t.Error("run-to-completion must beat the IOKernel hop")
+	}
+	if IOUringSubmit >= Syscall+EpollWait {
+		t.Error("io_uring must be cheaper than syscall+epoll")
+	}
+}

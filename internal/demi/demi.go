@@ -1,0 +1,302 @@
+// Package demi assembles Demikernel library OSes into the integrated
+// datapath OS the application links against. Its centerpiece is Combined,
+// the network×storage integration (paper §5.5: Catnip×Cattree and
+// Catmint×Cattree): one node runs both stacks, the scheduler splits the
+// fast path between the NIC and the NVMe completion queues round-robin,
+// and a single wait call spans qtokens from both — which is what lets
+// Redis receive a PUT, log it to disk, and reply without a copy or context
+// switch.
+package demi
+
+import (
+	"time"
+
+	"demikernel/internal/core"
+	"demikernel/internal/memory"
+	"demikernel/internal/sim"
+)
+
+// LibOS is the application-facing Demikernel interface: PDPIX (core.LibOS)
+// plus the datagram and storage extensions the example applications use.
+type LibOS interface {
+	core.LibOS
+	// PushTo is push with an explicit datagram destination (demi_pushto).
+	PushTo(qd core.QDesc, sga core.SGArray, to core.Addr) (core.QToken, error)
+}
+
+// StorageOS is implemented by libOSes with a storage log (Cattree, Catnap,
+// Combined): cursor control and log truncation beyond plain push/pop.
+type StorageOS interface {
+	Seek(qd core.QDesc, offset int64) error
+	Truncate(qd core.QDesc) error
+}
+
+// NetOS is the libOS-internal contract Combined needs from a network
+// libOS (Catnip or Catmint satisfy it).
+type NetOS interface {
+	LibOS
+	Tokens() *core.TokenTable
+	Step() bool
+	Block(deadline sim.Time) bool
+	Now() sim.Time
+}
+
+// StorOS is the libOS-internal contract for the storage side (Cattree).
+type StorOS interface {
+	core.LibOS
+	StorageOS
+	Tokens() *core.TokenTable
+	Step() bool
+	Mount() error
+}
+
+// Drivable is a libOS whose wait loop can be driven externally (the
+// baseline wrappers re-implement the wait loop to charge kernel-path
+// costs). Combined and the network libOSes satisfy it.
+type Drivable interface {
+	LibOS
+	TryTake(qt core.QToken) (core.QEvent, bool, error)
+	Step() bool
+	Block(deadline sim.Time) bool
+	Now() sim.Time
+}
+
+// storTag marks descriptors and tokens owned by the storage libOS.
+const storTag = 1 << 30
+
+// Combined is a network×storage datapath OS on one node.
+type Combined struct {
+	Net  NetOS
+	Stor StorOS
+	// pollNetNext alternates the fast path between devices.
+	pollNetNext bool
+}
+
+// NewCombined integrates a network and a storage libOS running on the same
+// node.
+func NewCombined(net NetOS, stor StorOS) *Combined {
+	return &Combined{Net: net, Stor: stor}
+}
+
+// Heap returns the network libOS's DMA heap (shared by convention: the
+// paper backs both devices from one allocator).
+func (c *Combined) Heap() *memory.Heap { return c.Net.Heap() }
+
+// Mount recovers the storage log (control path).
+func (c *Combined) Mount() error { return c.Stor.Mount() }
+
+// --- descriptor/token tagging ---
+
+func isStorQD(qd core.QDesc) bool    { return qd&storTag != 0 }
+func tagQD(qd core.QDesc) core.QDesc { return qd | storTag }
+func untagQD(qd core.QDesc) core.QDesc {
+	return qd &^ storTag
+}
+
+func isStorQT(qt core.QToken) bool     { return qt&storTag != 0 }
+func tagQT(qt core.QToken) core.QToken { return qt | storTag }
+func untagQT(qt core.QToken) core.QToken {
+	return qt &^ storTag
+}
+
+// retagEvent rewrites a storage event into the combined namespace.
+func retagEvent(ev core.QEvent) core.QEvent {
+	ev.QD = tagQD(ev.QD)
+	return ev
+}
+
+// --- PDPIX: network calls pass through ---
+
+// Socket creates a network socket.
+func (c *Combined) Socket(t core.SockType) (core.QDesc, error) { return c.Net.Socket(t) }
+
+// Bind binds a network socket.
+func (c *Combined) Bind(qd core.QDesc, a core.Addr) error { return c.Net.Bind(qd, a) }
+
+// Listen starts a listener.
+func (c *Combined) Listen(qd core.QDesc, backlog int) error { return c.Net.Listen(qd, backlog) }
+
+// Accept asks for an inbound connection.
+func (c *Combined) Accept(qd core.QDesc) (core.QToken, error) { return c.Net.Accept(qd) }
+
+// Connect initiates a connection.
+func (c *Combined) Connect(qd core.QDesc, a core.Addr) (core.QToken, error) {
+	return c.Net.Connect(qd, a)
+}
+
+// Queue creates an in-memory queue (on the network side).
+func (c *Combined) Queue() (core.QDesc, error) { return c.Net.Queue() }
+
+// Open opens the storage log.
+func (c *Combined) Open(name string) (core.QDesc, error) {
+	qd, err := c.Stor.Open(name)
+	if err != nil {
+		return core.InvalidQD, err
+	}
+	return tagQD(qd), nil
+}
+
+// Seek moves a storage cursor.
+func (c *Combined) Seek(qd core.QDesc, off int64) error {
+	if !isStorQD(qd) {
+		return core.ErrNotSupported
+	}
+	return c.Stor.Seek(untagQD(qd), off)
+}
+
+// Truncate garbage-collects the log.
+func (c *Combined) Truncate(qd core.QDesc) error {
+	if !isStorQD(qd) {
+		return core.ErrNotSupported
+	}
+	return c.Stor.Truncate(untagQD(qd))
+}
+
+// Close releases a queue on whichever side owns it.
+func (c *Combined) Close(qd core.QDesc) error {
+	if isStorQD(qd) {
+		return c.Stor.Close(untagQD(qd))
+	}
+	return c.Net.Close(qd)
+}
+
+// Push dispatches to the owning libOS.
+func (c *Combined) Push(qd core.QDesc, sga core.SGArray) (core.QToken, error) {
+	if isStorQD(qd) {
+		qt, err := c.Stor.Push(untagQD(qd), sga)
+		if err != nil {
+			return core.InvalidQToken, err
+		}
+		return tagQT(qt), nil
+	}
+	return c.Net.Push(qd, sga)
+}
+
+// PushTo dispatches a datagram push.
+func (c *Combined) PushTo(qd core.QDesc, sga core.SGArray, to core.Addr) (core.QToken, error) {
+	if isStorQD(qd) {
+		return core.InvalidQToken, core.ErrNotSupported
+	}
+	return c.Net.PushTo(qd, sga, to)
+}
+
+// Pop dispatches to the owning libOS.
+func (c *Combined) Pop(qd core.QDesc) (core.QToken, error) {
+	if isStorQD(qd) {
+		qt, err := c.Stor.Pop(untagQD(qd))
+		if err != nil {
+			return core.InvalidQToken, err
+		}
+		return tagQT(qt), nil
+	}
+	return c.Net.Pop(qd)
+}
+
+// --- Integrated wait machinery ---
+
+// TryTake redeems a token from whichever table owns it.
+func (c *Combined) TryTake(qt core.QToken) (core.QEvent, bool, error) {
+	if isStorQT(qt) {
+		ev, done, err := c.Stor.Tokens().TryTake(untagQT(qt))
+		if done {
+			ev = retagEvent(ev)
+		}
+		return ev, done, err
+	}
+	return c.Net.Tokens().TryTake(qt)
+}
+
+// Step alternates the two stacks' fast paths (paper §5.5: round-robin CPU
+// between network and storage I/O given no pending work).
+func (c *Combined) Step() bool {
+	c.pollNetNext = !c.pollNetNext
+	if c.pollNetNext {
+		return c.Net.Step() || c.Stor.Step()
+	}
+	return c.Stor.Step() || c.Net.Step()
+}
+
+// Block parks the node until an event or deadline.
+func (c *Combined) Block(deadline sim.Time) bool { return c.Net.Block(deadline) }
+
+// Now returns the node clock.
+func (c *Combined) Now() sim.Time { return c.Net.Now() }
+
+// IsStorageQD reports whether qd belongs to the storage side.
+func (c *Combined) IsStorageQD(qd core.QDesc) bool { return isStorQD(qd) }
+
+// Wait blocks until qt completes.
+func (c *Combined) Wait(qt core.QToken) (core.QEvent, error) {
+	_, ev, err := c.WaitAny([]core.QToken{qt}, -1)
+	return ev, err
+}
+
+// WaitAny blocks until one of qts completes.
+func (c *Combined) WaitAny(qts []core.QToken, timeout time.Duration) (int, core.QEvent, error) {
+	deadline := sim.Infinity
+	if timeout >= 0 {
+		deadline = c.Net.Now().Add(timeout)
+	}
+	for {
+		for i, qt := range qts {
+			ev, done, err := c.TryTake(qt)
+			if err != nil {
+				return -1, core.QEvent{}, err
+			}
+			if done {
+				return i, ev, nil
+			}
+		}
+		if c.Step() {
+			continue
+		}
+		if c.Net.Now() >= deadline {
+			return -1, core.QEvent{}, core.ErrTimeout
+		}
+		if !c.Net.Block(deadline) {
+			return -1, core.QEvent{}, core.ErrStopped
+		}
+	}
+}
+
+// WaitAll blocks until every token completes.
+func (c *Combined) WaitAll(qts []core.QToken, timeout time.Duration) ([]core.QEvent, error) {
+	events := make([]core.QEvent, len(qts))
+	got := make([]bool, len(qts))
+	remaining := len(qts)
+	deadline := sim.Infinity
+	if timeout >= 0 {
+		deadline = c.Net.Now().Add(timeout)
+	}
+	for remaining > 0 {
+		progress := false
+		for i, qt := range qts {
+			if got[i] {
+				continue
+			}
+			ev, done, err := c.TryTake(qt)
+			if err != nil {
+				return events, err
+			}
+			if done {
+				events[i] = ev
+				got[i] = true
+				remaining--
+				progress = true
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		if progress || c.Step() {
+			continue
+		}
+		if c.Net.Now() >= deadline {
+			return events, core.ErrTimeout
+		}
+		if !c.Net.Block(deadline) {
+			return events, core.ErrStopped
+		}
+	}
+	return events, nil
+}

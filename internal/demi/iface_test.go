@@ -1,0 +1,19 @@
+package demi
+
+import (
+	"demikernel/internal/catmint"
+	"demikernel/internal/catnap"
+	"demikernel/internal/catnip"
+	"demikernel/internal/cattree"
+)
+
+// Compile-time interface conformance checks.
+var (
+	_ NetOS     = (*catnip.LibOS)(nil)
+	_ NetOS     = (*catmint.LibOS)(nil)
+	_ LibOS     = (*catnap.LibOS)(nil)
+	_ StorOS    = (*cattree.LibOS)(nil)
+	_ LibOS     = (*Combined)(nil)
+	_ StorageOS = (*Combined)(nil)
+	_ StorageOS = (*catnap.LibOS)(nil)
+)

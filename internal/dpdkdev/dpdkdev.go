@@ -1,0 +1,115 @@
+// Package dpdkdev simulates a DPDK-style kernel-bypass Ethernet device: a
+// raw NIC port with polled burst receive/transmit rings and a pool-based
+// mbuf allocator, attached to the simnet fabric. Like real DPDK, the device
+// offers no protocol processing at all — Catnip implements ARP, IPv4, UDP
+// and TCP entirely in software above this interface (paper §2.1: DPDK is
+// the "low-level raw NIC interface" end of the offload spectrum).
+package dpdkdev
+
+import (
+	"demikernel/internal/sim"
+	"demikernel/internal/simnet"
+)
+
+// Mbuf is a packet buffer handed between the device and the stack. Rx mbufs
+// reference the frame delivered by the fabric; Tx mbufs are built by the
+// stack. Pool accounting mirrors DPDK's rte_mempool: the stack must Free rx
+// mbufs back or the pool runs dry.
+type Mbuf struct {
+	Data []byte
+	pool *MbufPool
+}
+
+// Free returns the mbuf to its pool. Freeing a Tx mbuf (no pool) is a
+// no-op.
+func (m *Mbuf) Free() {
+	if m.pool != nil {
+		m.pool.free++
+		m.pool = nil
+	}
+}
+
+// MbufPool tracks rx buffer credit, modelling a finite DPDK mempool.
+type MbufPool struct {
+	size int
+	free int
+}
+
+// NewMbufPool returns a pool with the given number of buffers.
+func NewMbufPool(size int) *MbufPool { return &MbufPool{size: size, free: size} }
+
+// Available returns the number of free mbufs.
+func (p *MbufPool) Available() int { return p.free }
+
+// Stats counts device activity.
+type Stats struct {
+	RxPackets, TxPackets uint64
+	RxNoMbuf             uint64 // frames dropped because the pool was empty
+}
+
+// Port is a simulated DPDK ethdev port.
+type Port struct {
+	net   *simnet.Port
+	pool  *MbufPool
+	stats Stats
+}
+
+// Attach creates a port for node on the switch. poolSize bounds the rx mbuf
+// pool; rxRing bounds the hardware descriptor ring.
+func Attach(sw *simnet.Switch, node *sim.Node, link simnet.LinkParams, poolSize, rxRing int) *Port {
+	return &Port{
+		net:  sw.Attach(node, link, rxRing),
+		pool: NewMbufPool(poolSize),
+	}
+}
+
+// MAC returns the port's Ethernet address.
+func (p *Port) MAC() simnet.MAC { return p.net.MAC() }
+
+// Node returns the owning simulated host.
+func (p *Port) Node() *sim.Node { return p.net.Node() }
+
+// Pool returns the port's mbuf pool.
+func (p *Port) Pool() *MbufPool { return p.pool }
+
+// Stats returns a snapshot of port counters.
+func (p *Port) Stats() Stats { return p.stats }
+
+// RxBurst polls up to max frames from the rx ring into fresh mbufs,
+// DPDK's rte_rx_burst. It returns nil immediately when the ring is empty.
+func (p *Port) RxBurst(max int) []*Mbuf {
+	if p.net.RxPending() == 0 {
+		return nil
+	}
+	var out []*Mbuf
+	for len(out) < max {
+		f, ok := p.net.Recv()
+		if !ok {
+			break
+		}
+		if p.pool.free == 0 {
+			p.stats.RxNoMbuf++
+			continue
+		}
+		p.pool.free--
+		out = append(out, &Mbuf{Data: f.Data, pool: p.pool})
+		p.stats.RxPackets++
+	}
+	return out
+}
+
+// TxBurst submits frames to the wire, DPDK's rte_tx_burst. Frames must be
+// complete Ethernet frames sourced from this port's MAC. It returns the
+// number accepted (always all, the fabric applies backpressure as
+// serialization delay).
+func (p *Port) TxBurst(frames [][]byte) int {
+	for _, f := range frames {
+		p.net.Send(simnet.Frame{Data: f})
+		p.stats.TxPackets++
+	}
+	return len(frames)
+}
+
+// InjectRx delivers a frame straight into the port's receive ring — the
+// trace-replay hook (call from an engine event targeting the owning node).
+func (p *Port) InjectRx(data []byte) { p.net.InjectRx(simnet.Frame{Data: data}) }

@@ -1,0 +1,171 @@
+// Package evloop is a small libevent-style callback layer over PDPIX — the
+// library the paper hopes for in §4.2: "wait_* is a low-level API, so we
+// hope to eventually implement libraries, like libevent, to reduce
+// application changes." Applications register callbacks per queue; the
+// loop multiplexes every outstanding operation through one wait_any set.
+//
+// Unlike epoll-based libevent, a callback receives the completed data
+// directly (no follow-up read), and exactly one callback fires per
+// completion — the two epoll problems PDPIX removes (paper §3.3).
+package evloop
+
+import (
+	"fmt"
+
+	"demikernel/internal/core"
+	"demikernel/internal/demi"
+)
+
+// ConnHandler receives events for one connection.
+type ConnHandler interface {
+	// OnData is called with received data (ownership of sga passes to the
+	// handler). Returning false closes the connection.
+	OnData(conn core.QDesc, sga core.SGArray) bool
+	// OnClose is called when the peer closes or errors.
+	OnClose(conn core.QDesc)
+}
+
+// AcceptHandler decides per-connection handlers.
+type AcceptHandler func(conn core.QDesc) ConnHandler
+
+// Loop multiplexes listeners and connections over one wait set.
+type Loop struct {
+	lib     demi.LibOS
+	tokens  []core.QToken
+	entries map[core.QToken]entry
+	stopped bool
+}
+
+type entryKind int
+
+const (
+	kindAccept entryKind = iota
+	kindPop
+	kindPush
+)
+
+type entry struct {
+	kind    entryKind
+	conn    core.QDesc
+	handler ConnHandler
+	accept  AcceptHandler
+	sga     core.SGArray // kindPush: released on completion
+}
+
+// New builds an event loop over the libOS.
+func New(lib demi.LibOS) *Loop {
+	return &Loop{lib: lib, entries: make(map[core.QToken]entry)}
+}
+
+// Listen binds and listens on addr; each accepted connection gets the
+// handler returned by onAccept.
+func (l *Loop) Listen(addr core.Addr, backlog int, onAccept AcceptHandler) error {
+	qd, err := l.lib.Socket(core.SockStream)
+	if err != nil {
+		return err
+	}
+	if err := l.lib.Bind(qd, addr); err != nil {
+		return err
+	}
+	if err := l.lib.Listen(qd, backlog); err != nil {
+		return err
+	}
+	return l.armAccept(qd, onAccept)
+}
+
+func (l *Loop) armAccept(qd core.QDesc, onAccept AcceptHandler) error {
+	qt, err := l.lib.Accept(qd)
+	if err != nil {
+		return err
+	}
+	l.add(qt, entry{kind: kindAccept, conn: qd, accept: onAccept})
+	return nil
+}
+
+// Watch starts delivering a connected queue's data to handler.
+func (l *Loop) Watch(conn core.QDesc, handler ConnHandler) error {
+	return l.armPop(conn, handler)
+}
+
+func (l *Loop) armPop(conn core.QDesc, handler ConnHandler) error {
+	qt, err := l.lib.Pop(conn)
+	if err != nil {
+		return err
+	}
+	l.add(qt, entry{kind: kindPop, conn: conn, handler: handler})
+	return nil
+}
+
+// Send pushes sga on conn; the loop frees the buffers once delivered.
+func (l *Loop) Send(conn core.QDesc, sga core.SGArray) error {
+	qt, err := l.lib.Push(conn, sga)
+	if err != nil {
+		return err
+	}
+	l.add(qt, entry{kind: kindPush, conn: conn, sga: sga})
+	return nil
+}
+
+// Stop makes Run return after the current dispatch.
+func (l *Loop) Stop() { l.stopped = true }
+
+func (l *Loop) add(qt core.QToken, e entry) {
+	l.tokens = append(l.tokens, qt)
+	l.entries[qt] = e
+}
+
+func (l *Loop) remove(i int) entry {
+	qt := l.tokens[i]
+	e := l.entries[qt]
+	delete(l.entries, qt)
+	l.tokens = append(l.tokens[:i], l.tokens[i+1:]...)
+	return e
+}
+
+// Run dispatches completions until Stop is called, the libOS stops, or no
+// operations remain armed.
+func (l *Loop) Run() error {
+	for !l.stopped {
+		if len(l.tokens) == 0 {
+			return nil
+		}
+		i, ev, err := l.lib.WaitAny(l.tokens, -1)
+		if err != nil {
+			return nil // libOS stopped
+		}
+		e := l.remove(i)
+		switch e.kind {
+		case kindAccept:
+			if ev.Err == nil {
+				if h := e.accept(ev.NewQD); h != nil {
+					if err := l.armPop(ev.NewQD, h); err != nil {
+						return fmt.Errorf("evloop: arm pop: %w", err)
+					}
+				} else {
+					l.lib.Close(ev.NewQD)
+				}
+			}
+			if err := l.armAccept(e.conn, e.accept); err != nil {
+				return fmt.Errorf("evloop: re-arm accept: %w", err)
+			}
+		case kindPush:
+			e.sga.Free()
+		case kindPop:
+			if ev.Err != nil || len(ev.SGA.Segs) == 0 {
+				e.handler.OnClose(e.conn)
+				l.lib.Close(e.conn)
+				continue
+			}
+			if !e.handler.OnData(e.conn, ev.SGA) {
+				e.handler.OnClose(e.conn)
+				l.lib.Close(e.conn)
+				continue
+			}
+			if err := l.armPop(e.conn, e.handler); err != nil {
+				e.handler.OnClose(e.conn)
+				l.lib.Close(e.conn)
+			}
+		}
+	}
+	return nil
+}

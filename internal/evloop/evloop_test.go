@@ -1,0 +1,143 @@
+package evloop
+
+import (
+	"testing"
+	"time"
+
+	"demikernel/internal/catnip"
+	"demikernel/internal/core"
+	"demikernel/internal/dpdkdev"
+	"demikernel/internal/memory"
+	"demikernel/internal/sim"
+	"demikernel/internal/simnet"
+	"demikernel/internal/wire"
+)
+
+var (
+	ipS = wire.IPAddr{10, 13, 0, 1}
+	ipC = wire.IPAddr{10, 13, 0, 2}
+)
+
+// echoHandler echoes everything and counts messages.
+type echoHandler struct {
+	loop   *Loop
+	served *int
+	closed *bool
+}
+
+func (h *echoHandler) OnData(conn core.QDesc, sga core.SGArray) bool {
+	*h.served++
+	h.loop.Send(conn, sga)
+	return true
+}
+
+func (h *echoHandler) OnClose(core.QDesc) { *h.closed = true }
+
+func TestEventLoopEchoServer(t *testing.T) {
+	eng := sim.NewEngine(88)
+	sw := simnet.NewSwitch(eng, simnet.DefaultSwitch())
+	ns, nc := eng.NewNode("srv"), eng.NewNode("cli")
+	ps := dpdkdev.Attach(sw, ns, simnet.DefaultLink(), 8192, 0)
+	pc := dpdkdev.Attach(sw, nc, simnet.DefaultLink(), 8192, 0)
+	ls := catnip.New(ns, ps, catnip.DefaultConfig(ipS))
+	lc := catnip.New(nc, pc, catnip.DefaultConfig(ipC))
+	ls.SeedARP(ipC, pc.MAC())
+	lc.SeedARP(ipS, ps.MAC())
+
+	served := 0
+	closed := false
+	eng.Spawn(ns, func() {
+		loop := New(ls)
+		err := loop.Listen(core.Addr{IP: ipS, Port: 80}, 8, func(conn core.QDesc) ConnHandler {
+			return &echoHandler{loop: loop, served: &served, closed: &closed}
+		})
+		if err != nil {
+			t.Errorf("listen: %v", err)
+			return
+		}
+		loop.Run()
+	})
+	const rounds = 25
+	got := 0
+	eng.Spawn(nc, func() {
+		qd, _ := lc.Socket(core.SockStream)
+		cqt, _ := lc.Connect(qd, core.Addr{IP: ipS, Port: 80})
+		if ev, err := lc.Wait(cqt); err != nil || ev.Err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		for i := 0; i < rounds; i++ {
+			msg := memory.CopyFrom(lc.Heap(), []byte("callback me"))
+			lc.Push(qd, core.SGA(msg))
+			msg.Free()
+			pqt, _ := lc.Pop(qd)
+			ev, err := lc.Wait(pqt)
+			if err != nil || ev.Err != nil {
+				return
+			}
+			got += ev.SGA.TotalLen()
+			ev.SGA.Free()
+		}
+		lc.Close(qd)
+		lc.WaitAny(nil, 100*time.Millisecond)
+	})
+	eng.Run()
+	if served != rounds {
+		t.Fatalf("handler served %d messages, want %d", served, rounds)
+	}
+	if got != rounds*len("callback me") {
+		t.Fatalf("client echoed %d bytes", got)
+	}
+	if !closed {
+		t.Error("OnClose never fired after client close")
+	}
+}
+
+// rejectingHandler closes every connection after the first message.
+type rejectingHandler struct{ loop *Loop }
+
+func (h *rejectingHandler) OnData(conn core.QDesc, sga core.SGArray) bool {
+	sga.Free()
+	return false // drop the connection
+}
+func (h *rejectingHandler) OnClose(core.QDesc) {}
+
+func TestEventLoopHandlerCanReject(t *testing.T) {
+	eng := sim.NewEngine(89)
+	sw := simnet.NewSwitch(eng, simnet.DefaultSwitch())
+	ns, nc := eng.NewNode("srv"), eng.NewNode("cli")
+	ps := dpdkdev.Attach(sw, ns, simnet.DefaultLink(), 8192, 0)
+	pc := dpdkdev.Attach(sw, nc, simnet.DefaultLink(), 8192, 0)
+	ls := catnip.New(ns, ps, catnip.DefaultConfig(ipS))
+	lc := catnip.New(nc, pc, catnip.DefaultConfig(ipC))
+	ls.SeedARP(ipC, pc.MAC())
+	lc.SeedARP(ipS, ps.MAC())
+	eng.Spawn(ns, func() {
+		loop := New(ls)
+		loop.Listen(core.Addr{IP: ipS, Port: 80}, 8, func(conn core.QDesc) ConnHandler {
+			return &rejectingHandler{loop: loop}
+		})
+		loop.Run()
+	})
+	sawEOF := false
+	eng.Spawn(nc, func() {
+		qd, _ := lc.Socket(core.SockStream)
+		cqt, _ := lc.Connect(qd, core.Addr{IP: ipS, Port: 80})
+		if ev, err := lc.Wait(cqt); err != nil || ev.Err != nil {
+			return
+		}
+		msg := memory.CopyFrom(lc.Heap(), []byte("x"))
+		lc.Push(qd, core.SGA(msg))
+		pqt, _ := lc.Pop(qd)
+		ev, err := lc.Wait(pqt)
+		if err == nil && (ev.Err != nil || len(ev.SGA.Segs) == 0) {
+			sawEOF = true
+		}
+		lc.Close(qd)
+		lc.WaitAny(nil, 100*time.Millisecond)
+	})
+	eng.Run()
+	if !sawEOF {
+		t.Fatal("client did not observe the server-side close")
+	}
+}

@@ -1,0 +1,223 @@
+// Package memory implements Demikernel's kernel-bypass-aware memory
+// allocator (paper §5.3): a Hoard-style pool allocator whose superblocks
+// carry the metadata zero-copy I/O needs. Each superblock holds fixed-size
+// objects backed by one contiguous DMA-capable arena; its header records
+// the device registration (rkey) obtained lazily on first I/O and a
+// reference-count bitmap granting use-after-free (UAF) protection: an
+// object is recycled only after both the application and the library OS
+// have released it.
+//
+// The paper limits refcounting and DMA registration to objects of at least
+// 1 KiB, since zero-copy only pays off above that size; ZeroCopyThreshold
+// exposes the same policy to the library OSes.
+package memory
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// ZeroCopyThreshold is the smallest buffer size worth transmitting
+// zero-copy (paper §5.3); smaller buffers are copied by the I/O stacks.
+const ZeroCopyThreshold = 1024
+
+// objectsPerSuperblock is the number of fixed-size slots per superblock.
+// 64 keeps the refcount bitmaps to one word per holder class.
+const objectsPerSuperblock = 64
+
+// RegisterFunc registers a superblock arena with a kernel-bypass device and
+// returns the device's access key (an RDMA rkey, a DPDK mempool cookie...).
+// It is called at most once per superblock, on first I/O touch, mirroring
+// Catmint's get_rkey.
+type RegisterFunc func(arena []byte) uint32
+
+// sizeClasses are the superblock object sizes, ascending. Requests above
+// the largest class get a dedicated single-object superblock.
+var sizeClasses = []int{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 65536, 262144, 1 << 20}
+
+// classFor returns the index of the smallest class that fits size, or -1
+// for huge allocations.
+func classFor(size int) int {
+	for i, c := range sizeClasses {
+		if size <= c {
+			return i
+		}
+	}
+	return -1
+}
+
+// Stats counts allocator activity.
+type Stats struct {
+	Allocs, Frees  uint64
+	Live           int
+	Superblocks    int
+	Registrations  uint64
+	UAFDeferred    uint64 // frees deferred because the libOS still held a reference
+	HugeAllocs     uint64
+	BytesRequested uint64
+}
+
+// A superblock is one pool of fixed-size objects in a contiguous arena.
+type superblock struct {
+	heap     *Heap
+	class    int // object size in bytes
+	arena    []byte
+	bufs     []Buf
+	freeHead int // LIFO free list threaded through nextFree
+	nextFree []int
+
+	// appRef and ioRef are the per-object reference bitmaps (paper §5.3):
+	// one bit for the application's reference, one for the library OS's.
+	// Additional concurrent libOS references (e.g. a buffer in flight on
+	// two queues) spill into ioExtra, the paper's "reference table".
+	appRef  uint64
+	ioRef   uint64
+	ioExtra map[int]int
+
+	registered bool
+	rkey       uint32
+}
+
+// Heap is a DMA-capable application heap. It is not safe for concurrent
+// use: Demikernel datapaths are single-threaded per core by design.
+type Heap struct {
+	// register is the device hook for DMA registration; nil means the
+	// device needs none (e.g. Catnap's kernel path).
+	register RegisterFunc
+	partial  [][]*superblock // per class: superblocks with free slots
+	stats    Stats
+	rkeySeq  uint32
+}
+
+// NewHeap returns an empty heap. register may be nil.
+func NewHeap(register RegisterFunc) *Heap {
+	return &Heap{
+		register: register,
+		partial:  make([][]*superblock, len(sizeClasses)),
+	}
+}
+
+// SetRegisterFunc installs the device registration hook. Superblocks
+// already registered keep their keys; new ones use the new hook. Installing
+// a hook is how a libOS adopts an existing application heap.
+func (h *Heap) SetRegisterFunc(f RegisterFunc) { h.register = f }
+
+// Stats returns a snapshot of allocator counters.
+func (h *Heap) Stats() Stats { return h.stats }
+
+// Alloc returns a buffer of exactly size bytes from the DMA-capable heap,
+// with the application holding its reference. The backing slot is from a
+// size-class superblock (or a dedicated one for huge sizes).
+func (h *Heap) Alloc(size int) *Buf {
+	if size <= 0 {
+		panic("memory: Alloc with non-positive size")
+	}
+	h.stats.Allocs++
+	h.stats.BytesRequested += uint64(size)
+	ci := classFor(size)
+	var sb *superblock
+	if ci < 0 {
+		sb = h.newSuperblock(size, 1)
+		h.stats.HugeAllocs++
+	} else {
+		list := h.partial[ci]
+		if len(list) == 0 {
+			h.partial[ci] = append(h.partial[ci], h.newSuperblock(sizeClasses[ci], objectsPerSuperblock))
+			list = h.partial[ci]
+		}
+		sb = list[len(list)-1]
+	}
+	idx := sb.freeHead
+	if idx < 0 {
+		panic("memory: superblock on partial list has no free slot")
+	}
+	sb.freeHead = sb.nextFree[idx]
+	sb.appRef |= 1 << uint(idx)
+	b := &sb.bufs[idx]
+	b.data = sb.arena[idx*sb.class : idx*sb.class+size]
+	h.stats.Live++
+	if sb.freeHead < 0 {
+		h.dropPartial(sb)
+	}
+	return b
+}
+
+// newSuperblock carves a fresh arena of count objects of the given size.
+func (h *Heap) newSuperblock(objSize, count int) *superblock {
+	sb := &superblock{
+		heap:     h,
+		class:    objSize,
+		arena:    make([]byte, objSize*count),
+		bufs:     make([]Buf, count),
+		nextFree: make([]int, count),
+		ioExtra:  make(map[int]int),
+	}
+	for i := range sb.bufs {
+		sb.bufs[i] = Buf{sb: sb, idx: i}
+		sb.nextFree[i] = i + 1
+	}
+	sb.nextFree[count-1] = -1
+	sb.freeHead = 0
+	h.stats.Superblocks++
+	return sb
+}
+
+// dropPartial removes a now-full superblock from its class's partial list.
+func (h *Heap) dropPartial(sb *superblock) {
+	ci := classFor(sb.class)
+	if ci < 0 || sizeClasses[ci] != sb.class {
+		return // huge superblocks are never on partial lists
+	}
+	list := h.partial[ci]
+	for i, s := range list {
+		if s == sb {
+			list[i] = list[len(list)-1]
+			h.partial[ci] = list[:len(list)-1]
+			return
+		}
+	}
+}
+
+// recycle returns a fully released slot to the free list.
+func (sb *superblock) recycle(idx int) {
+	wasFull := sb.freeHead < 0
+	sb.nextFree[idx] = sb.freeHead
+	sb.freeHead = idx
+	sb.heap.stats.Live--
+	sb.heap.stats.Frees++
+	if wasFull {
+		if ci := classFor(sb.class); ci >= 0 && sizeClasses[ci] == sb.class {
+			sb.heap.partial[ci] = append(sb.heap.partial[ci], sb)
+		}
+	}
+}
+
+// ensureRegistered lazily registers the arena with the device and caches
+// the key in the superblock header (Catmint's get_rkey fast path).
+func (sb *superblock) ensureRegistered() uint32 {
+	if !sb.registered {
+		sb.registered = true
+		sb.heap.stats.Registrations++
+		if sb.heap.register != nil {
+			sb.rkey = sb.heap.register(sb.arena)
+		} else {
+			sb.heap.rkeySeq++
+			sb.rkey = sb.heap.rkeySeq
+		}
+	}
+	return sb.rkey
+}
+
+// LiveObjects returns the number of objects currently allocated (owned by
+// the app, the libOS, or both). Exposed for tests and leak checks.
+func (h *Heap) LiveObjects() int { return h.stats.Live }
+
+// refCount is a test/debug helper describing a slot's reference state.
+func (sb *superblock) refString(idx int) string {
+	bit := uint64(1) << uint(idx)
+	return fmt.Sprintf("app=%v io=%v extra=%d",
+		sb.appRef&bit != 0, sb.ioRef&bit != 0, sb.ioExtra[idx])
+}
+
+// popcountLive is used by invariant checks: the number of set app bits.
+func (sb *superblock) popcountLive() int { return bits.OnesCount64(sb.appRef | sb.ioRef) }

@@ -1,0 +1,288 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+
+	"demikernel/internal/sim"
+)
+
+func TestAllocReturnsDistinctWritableBuffers(t *testing.T) {
+	h := NewHeap(nil)
+	var bufs []*Buf
+	for i := 0; i < 100; i++ {
+		b := h.Alloc(64)
+		b.Bytes()[0] = byte(i)
+		bufs = append(bufs, b)
+	}
+	for i, b := range bufs {
+		if b.Bytes()[0] != byte(i) {
+			t.Fatalf("buffer %d stomped: got %d", i, b.Bytes()[0])
+		}
+	}
+	if h.LiveObjects() != 100 {
+		t.Errorf("live = %d, want 100", h.LiveObjects())
+	}
+}
+
+func TestFreeRecyclesSlot(t *testing.T) {
+	h := NewHeap(nil)
+	a := h.Alloc(128)
+	a.Free()
+	b := h.Alloc(128)
+	if &a.Bytes()[0] != &b.Bytes()[0] {
+		t.Error("freed slot not recycled LIFO")
+	}
+	if h.LiveObjects() != 1 {
+		t.Errorf("live = %d, want 1", h.LiveObjects())
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	h := NewHeap(nil)
+	b := h.Alloc(64)
+	b.Free()
+	defer func() {
+		if recover() == nil {
+			t.Error("double free did not panic")
+		}
+	}()
+	b.Free()
+}
+
+func TestUAFProtectionDefersRecycle(t *testing.T) {
+	h := NewHeap(nil)
+	b := h.Alloc(2048)
+	b.IORef() // libOS takes the buffer for I/O (e.g. TCP retransmit queue)
+	b.Free()  // app frees immediately after push: legal under PDPIX
+	if h.LiveObjects() != 1 {
+		t.Fatal("slot recycled while libOS reference held")
+	}
+	// The slot must not be handed out again yet.
+	c := h.Alloc(2048)
+	if &c.Bytes()[0] == &b.Bytes()[0] {
+		t.Fatal("UAF: in-flight buffer reallocated")
+	}
+	b.IOUnref() // ack arrived
+	if h.LiveObjects() != 1 {
+		t.Errorf("live = %d, want 1 after full release", h.LiveObjects())
+	}
+	if h.Stats().UAFDeferred != 1 {
+		t.Errorf("UAFDeferred = %d, want 1", h.Stats().UAFDeferred)
+	}
+}
+
+func TestMultipleIORefsUseReferenceTable(t *testing.T) {
+	h := NewHeap(nil)
+	b := h.Alloc(4096)
+	b.IORef()
+	b.IORef() // e.g. pushed to two queues
+	b.IORef()
+	b.Free()
+	b.IOUnref()
+	b.IOUnref()
+	if h.LiveObjects() != 1 {
+		t.Fatal("slot recycled with outstanding extra reference")
+	}
+	b.IOUnref()
+	if h.LiveObjects() != 0 {
+		t.Errorf("live = %d, want 0", h.LiveObjects())
+	}
+}
+
+func TestIOUnrefWithoutRefPanics(t *testing.T) {
+	h := NewHeap(nil)
+	b := h.Alloc(64)
+	defer func() {
+		if recover() == nil {
+			t.Error("IOUnref without IORef did not panic")
+		}
+	}()
+	b.IOUnref()
+}
+
+func TestLazyRegistration(t *testing.T) {
+	var registered [][]byte
+	h := NewHeap(func(arena []byte) uint32 {
+		registered = append(registered, arena)
+		return uint32(100 + len(registered))
+	})
+	a := h.Alloc(2048)
+	b := h.Alloc(2048) // same superblock
+	if len(registered) != 0 {
+		t.Fatal("registration before first I/O touch")
+	}
+	k1 := a.Rkey()
+	k2 := b.Rkey()
+	if len(registered) != 1 {
+		t.Fatalf("registered %d arenas, want 1 (shared superblock)", len(registered))
+	}
+	if k1 != 101 || k2 != 101 {
+		t.Errorf("rkeys = %d, %d, want both 101", k1, k2)
+	}
+	c := h.Alloc(64) // different class: new superblock
+	if c.Rkey() != 102 {
+		t.Errorf("second superblock rkey = %d, want 102", c.Rkey())
+	}
+}
+
+func TestHugeAllocation(t *testing.T) {
+	h := NewHeap(nil)
+	b := h.Alloc(1 << 20)
+	if b.Len() != 1<<20 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	if !b.ZeroCopyEligible() {
+		t.Error("1 MiB buffer not zero-copy eligible")
+	}
+	b.Free()
+	if h.LiveObjects() != 0 {
+		t.Error("huge object leaked a live count")
+	}
+}
+
+func TestZeroCopyThreshold(t *testing.T) {
+	h := NewHeap(nil)
+	small := h.Alloc(512)
+	big := h.Alloc(1024)
+	if small.ZeroCopyEligible() {
+		t.Error("512 B buffer should be copied, not zero-copy")
+	}
+	if !big.ZeroCopyEligible() {
+		t.Error("1 KiB buffer should be zero-copy")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	h := NewHeap(nil)
+	b := CopyFrom(h, []byte("hello"))
+	if string(b.Bytes()) != "hello" {
+		t.Errorf("contents = %q", b.Bytes())
+	}
+	empty := CopyFrom(h, nil)
+	if empty.Len() != 0 {
+		t.Errorf("empty copy has len %d", empty.Len())
+	}
+}
+
+func TestSuperblockExhaustionGrowsHeap(t *testing.T) {
+	h := NewHeap(nil)
+	var bufs []*Buf
+	for i := 0; i < objectsPerSuperblock*3+1; i++ {
+		bufs = append(bufs, h.Alloc(256))
+	}
+	if got := h.Stats().Superblocks; got != 4 {
+		t.Errorf("superblocks = %d, want 4", got)
+	}
+	for _, b := range bufs {
+		b.Free()
+	}
+	if h.LiveObjects() != 0 {
+		t.Errorf("live = %d after freeing all", h.LiveObjects())
+	}
+	// Everything must be allocatable again without new superblocks.
+	before := h.Stats().Superblocks
+	for i := 0; i < objectsPerSuperblock*3; i++ {
+		h.Alloc(256)
+	}
+	if h.Stats().Superblocks != before {
+		t.Error("recycled slots not reused")
+	}
+}
+
+// Property: under any interleaving of alloc, app-free, io-ref and io-unref,
+// no slot is ever handed out while still referenced, and live counts stay
+// consistent.
+func TestAllocatorInvariantProperty(t *testing.T) {
+	f := func(seed uint64, steps uint16) bool {
+		rng := sim.NewRand(seed)
+		h := NewHeap(nil)
+		type tracked struct {
+			b      *Buf
+			first  byte
+			appRef bool
+			ioRefs int
+		}
+		var live []*tracked
+		for i := 0; i < int(steps)%400+50; i++ {
+			switch rng.Intn(4) {
+			case 0: // alloc
+				size := []int{64, 512, 1024, 4096}[rng.Intn(4)]
+				b := h.Alloc(size)
+				tag := byte(rng.Intn(256))
+				b.Bytes()[0] = tag
+				live = append(live, &tracked{b: b, first: tag, appRef: true})
+			case 1: // app free
+				if len(live) == 0 {
+					continue
+				}
+				tr := live[rng.Intn(len(live))]
+				if tr.appRef {
+					tr.appRef = false
+					tr.b.Free()
+				}
+			case 2: // io ref
+				if len(live) == 0 {
+					continue
+				}
+				tr := live[rng.Intn(len(live))]
+				if tr.appRef || tr.ioRefs > 0 { // can only ref while owned
+					tr.ioRefs++
+					tr.b.IORef()
+				}
+			case 3: // io unref
+				if len(live) == 0 {
+					continue
+				}
+				tr := live[rng.Intn(len(live))]
+				if tr.ioRefs > 0 {
+					tr.ioRefs--
+					tr.b.IOUnref()
+				}
+			}
+			// Check no referenced buffer was stomped by a later alloc.
+			want := 0
+			for j := 0; j < len(live); j++ {
+				tr := live[j]
+				if !tr.appRef && tr.ioRefs == 0 {
+					live[j] = live[len(live)-1]
+					live = live[:len(live)-1]
+					j--
+					continue
+				}
+				want++
+				if tr.b.Bytes()[0] != tr.first {
+					return false // slot reused while referenced
+				}
+			}
+			if h.LiveObjects() != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// BenchmarkAllocator measures alloc/free throughput with the refcount
+// discipline the datapath uses (µ3 in DESIGN.md's experiment index).
+func BenchmarkAllocator(b *testing.B) {
+	h := NewHeap(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := h.Alloc(2048)
+		buf.IORef()
+		buf.Free()
+		buf.IOUnref()
+	}
+}
+
+// BenchmarkAllocatorSmall measures the sub-threshold (copied) class.
+func BenchmarkAllocatorSmall(b *testing.B) {
+	h := NewHeap(nil)
+	for i := 0; i < b.N; i++ {
+		h.Alloc(64).Free()
+	}
+}

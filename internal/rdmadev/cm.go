@@ -1,0 +1,111 @@
+package rdmadev
+
+import (
+	"fmt"
+
+	"demikernel/internal/sim"
+	"demikernel/internal/simnet"
+)
+
+// Connection management, modelling rdma_cm: a control-path rendezvous that
+// pairs queue pairs across the fabric. It runs through the legacy kernel in
+// the real system, so it charges microsecond-scale latency and stays off
+// the datapath.
+
+// cmRequest is one in-flight connection attempt.
+type cmRequest struct {
+	clientNIC *NIC
+	clientQP  *QP
+	serverQP  *QP
+	done      bool
+	rejected  bool
+}
+
+// Listener accepts inbound connection requests on a CM port.
+type Listener struct {
+	nic     *NIC
+	port    uint16
+	pending []*cmRequest
+	closed  bool
+}
+
+// ListenCM starts listening for connections on the given CM port number.
+func (n *NIC) ListenCM(port uint16) (*Listener, error) {
+	if _, exists := n.listeners[port]; exists {
+		return nil, fmt.Errorf("rdmadev: CM port %d already listening", port)
+	}
+	l := &Listener{nic: n, port: port}
+	n.listeners[port] = l
+	return l, nil
+}
+
+// Close stops the listener; pending requests are rejected.
+func (l *Listener) Close() {
+	l.closed = true
+	delete(l.nic.listeners, l.port)
+	for _, req := range l.pending {
+		req.rejected = true
+		req.done = true
+	}
+	l.pending = nil
+}
+
+// Pending reports whether a connection request is waiting.
+func (l *Listener) Pending() bool { return len(l.pending) > 0 }
+
+// Accept takes the oldest pending connection request, creating and pairing
+// a local QP. It returns ok=false when nothing is pending (the caller polls
+// or parks on its node).
+func (l *Listener) Accept() (*QP, bool) {
+	if len(l.pending) == 0 {
+		return nil, false
+	}
+	req := l.pending[0]
+	l.pending = l.pending[1:]
+	q := l.nic.newQP()
+	q.remoteMAC = req.clientNIC.MAC()
+	q.remoteQPN = req.clientQP.qpn
+	q.connected = true
+	req.serverQP = q
+	req.done = true
+	// Complete the client's half once the CM reply crosses the fabric.
+	client := req.clientNIC
+	l.nic.node.Engine().At(l.nic.node.Now().Add(cmLatency), client.node, func() {
+		req.clientQP.remoteMAC = l.nic.MAC()
+		req.clientQP.remoteQPN = q.qpn
+		req.clientQP.connected = true
+	})
+	return q, true
+}
+
+// ConnectCM connects to a listener at (remote, port), blocking the caller's
+// node until the server accepts or rejects. It returns the connected QP.
+func (n *NIC) ConnectCM(remote simnet.MAC, port uint16) (*QP, error) {
+	server, ok := n.reg.byMAC[remote]
+	if !ok {
+		return nil, fmt.Errorf("rdmadev: no NIC at %v", remote)
+	}
+	l, ok := server.listeners[port]
+	if !ok {
+		return nil, fmt.Errorf("rdmadev: connection refused at %v port %d", remote, port)
+	}
+	req := &cmRequest{clientNIC: n, clientQP: n.newQP()}
+	// The request reaches the server after the control-path latency.
+	n.node.Engine().At(n.node.Now().Add(cmLatency), server.node, func() {
+		if l.closed {
+			req.rejected = true
+			req.done = true
+			return
+		}
+		l.pending = append(l.pending, req)
+	})
+	for !req.clientQP.connected && !req.rejected {
+		if !n.node.Park(sim.Infinity) {
+			return nil, fmt.Errorf("rdmadev: engine stopped during connect")
+		}
+	}
+	if req.rejected {
+		return nil, fmt.Errorf("rdmadev: connection rejected")
+	}
+	return req.clientQP, nil
+}

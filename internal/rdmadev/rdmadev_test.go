@@ -1,0 +1,343 @@
+package rdmadev
+
+import (
+	"bytes"
+	"testing"
+
+	"demikernel/internal/memory"
+	"demikernel/internal/sim"
+	"demikernel/internal/simnet"
+)
+
+// pair builds a connected client/server QP pair on a fresh fabric. The
+// server node runs serverFn once connected; the client body runs inline.
+func pair(t *testing.T, clientFn func(*NIC, *QP), serverFn func(*NIC, *QP)) *sim.Engine {
+	t.Helper()
+	eng := sim.NewEngine(3)
+	sw := simnet.NewSwitch(eng, simnet.DefaultSwitch())
+	reg := NewRegistry(sw)
+	serverNode := eng.NewNode("server")
+	clientNode := eng.NewNode("client")
+	serverNIC := reg.NewNIC(serverNode, simnet.DefaultLink(), 0)
+	clientNIC := reg.NewNIC(clientNode, simnet.DefaultLink(), 0)
+	l, err := serverNIC.ListenCM(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Spawn(serverNode, func() {
+		var qp *QP
+		for {
+			var ok bool
+			if qp, ok = l.Accept(); ok {
+				break
+			}
+			if !serverNode.Park(sim.Infinity) {
+				return
+			}
+		}
+		serverFn(serverNIC, qp)
+	})
+	eng.Spawn(clientNode, func() {
+		qp, err := clientNIC.ConnectCM(serverNIC.MAC(), 1)
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		clientFn(clientNIC, qp)
+	})
+	eng.Run()
+	return eng
+}
+
+// waitCQE polls the NIC until a completion arrives, parking between polls.
+func waitCQE(nic *NIC) (CQE, bool) {
+	for {
+		if cqes := nic.PollCQ(1); len(cqes) > 0 {
+			return cqes[0], true
+		}
+		if !nic.node.Park(sim.Infinity) {
+			return CQE{}, false
+		}
+	}
+}
+
+func TestSendRecvRoundtrip(t *testing.T) {
+	heap := memory.NewHeap(nil)
+	msg := []byte("hello over rdma")
+	var got []byte
+	pair(t,
+		func(nic *NIC, qp *QP) { // client
+			if err := qp.PostSend("send-ctx", msg); err != nil {
+				t.Error(err)
+			}
+			cqe, ok := waitCQE(nic)
+			if !ok {
+				return
+			}
+			if cqe.Op != OpSend || cqe.Ctx != "send-ctx" {
+				t.Errorf("send CQE = %+v", cqe)
+			}
+		},
+		func(nic *NIC, qp *QP) { // server
+			buf := heap.Alloc(4096)
+			qp.PostRecv(buf, "recv-ctx")
+			cqe, ok := waitCQE(nic)
+			if !ok {
+				return
+			}
+			if cqe.Op != OpRecv || cqe.Ctx != "recv-ctx" {
+				t.Fatalf("recv CQE = %+v", cqe)
+			}
+			got = append([]byte{}, cqe.Buf.Bytes()[:cqe.Len]...)
+		})
+	if !bytes.Equal(got, msg) {
+		t.Errorf("got %q, want %q", got, msg)
+	}
+}
+
+func TestLargeMessageFragmentsAndReassembles(t *testing.T) {
+	heap := memory.NewHeap(nil)
+	big := make([]byte, 3*WireMTU+123)
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	var got []byte
+	var gotLen int
+	eng := pair(t,
+		func(nic *NIC, qp *QP) {
+			qp.PostSend(nil, big)
+		},
+		func(nic *NIC, qp *QP) {
+			buf := heap.Alloc(len(big))
+			qp.PostRecv(buf, nil)
+			cqe, ok := waitCQE(nic)
+			if !ok {
+				return
+			}
+			gotLen = cqe.Len
+			got = append([]byte{}, cqe.Buf.Bytes()[:cqe.Len]...)
+		})
+	if gotLen != len(big) || !bytes.Equal(got, big) {
+		t.Fatalf("reassembly failed: got %d bytes, want %d", gotLen, len(big))
+	}
+	_ = eng
+}
+
+func TestScatterGatherSend(t *testing.T) {
+	heap := memory.NewHeap(nil)
+	var got []byte
+	pair(t,
+		func(nic *NIC, qp *QP) {
+			qp.PostSend(nil, []byte("header|"), []byte("body"))
+		},
+		func(nic *NIC, qp *QP) {
+			buf := heap.Alloc(64)
+			qp.PostRecv(buf, nil)
+			cqe, ok := waitCQE(nic)
+			if !ok {
+				return
+			}
+			got = append([]byte{}, cqe.Buf.Bytes()[:cqe.Len]...)
+		})
+	if string(got) != "header|body" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestOneSidedWriteLandsInMR(t *testing.T) {
+	eng := sim.NewEngine(3)
+	sw := simnet.NewSwitch(eng, simnet.DefaultSwitch())
+	reg := NewRegistry(sw)
+	serverNode := eng.NewNode("server")
+	clientNode := eng.NewNode("client")
+	serverNIC := reg.NewNIC(serverNode, simnet.DefaultLink(), 0)
+	clientNIC := reg.NewNIC(clientNode, simnet.DefaultLink(), 0)
+	window := make([]byte, 16)
+	rkey := serverNIC.RegisterMemory(window)
+	l, _ := serverNIC.ListenCM(1)
+	eng.Spawn(serverNode, func() {
+		for {
+			if _, ok := l.Accept(); ok {
+				break
+			}
+			if !serverNode.Park(sim.Infinity) {
+				return
+			}
+		}
+		// Poll until the write is visible.
+		for window[3] == 0 {
+			serverNIC.PollCQ(8)
+			if !serverNode.Park(sim.Infinity) {
+				return
+			}
+		}
+	})
+	eng.Spawn(clientNode, func() {
+		qp, err := clientNIC.ConnectCM(serverNIC.MAC(), 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		qp.PostWrite(rkey, 3, []byte{42})
+	})
+	eng.Run()
+	if window[3] != 42 {
+		t.Errorf("window[3] = %d, want 42", window[3])
+	}
+	if serverNIC.Stats().WriteMsgs != 0 || clientNIC.Stats().WriteMsgs != 1 {
+		t.Errorf("write accounted on wrong side")
+	}
+}
+
+func TestRNRDropWhenNoRecvPosted(t *testing.T) {
+	var serverNICRef *NIC
+	pair(t,
+		func(nic *NIC, qp *QP) {
+			qp.PostSend(nil, []byte("nobody home"))
+			nic.node.Park(nic.node.Now().Add(10 * 1000 * 1000))
+		},
+		func(nic *NIC, qp *QP) {
+			serverNICRef = nic
+			// No PostRecv: the message must be dropped and counted.
+			for nic.Stats().RNRDrops == 0 {
+				nic.PollCQ(8)
+				if !nic.node.Park(sim.Infinity) {
+					return
+				}
+			}
+		})
+	if serverNICRef.Stats().RNRDrops != 1 {
+		t.Errorf("RNRDrops = %d, want 1", serverNICRef.Stats().RNRDrops)
+	}
+}
+
+func TestUndersizedRecvBufferCounted(t *testing.T) {
+	heap := memory.NewHeap(nil)
+	var nicRef *NIC
+	pair(t,
+		func(nic *NIC, qp *QP) {
+			qp.PostSend(nil, make([]byte, 2048))
+			nic.node.Park(nic.node.Now().Add(10 * 1000 * 1000))
+		},
+		func(nic *NIC, qp *QP) {
+			nicRef = nic
+			qp.PostRecv(heap.Alloc(64), nil) // too small
+			for nic.Stats().RecvTooSmall == 0 {
+				nic.PollCQ(8)
+				if !nic.node.Park(sim.Infinity) {
+					return
+				}
+			}
+		})
+	if nicRef.Stats().RecvTooSmall != 1 {
+		t.Errorf("RecvTooSmall = %d", nicRef.Stats().RecvTooSmall)
+	}
+}
+
+func TestSendOnUnconnectedQPFails(t *testing.T) {
+	eng := sim.NewEngine(3)
+	sw := simnet.NewSwitch(eng, simnet.DefaultSwitch())
+	reg := NewRegistry(sw)
+	nic := reg.NewNIC(eng.NewNode("n"), simnet.DefaultLink(), 0)
+	qp := nic.newQP()
+	if err := qp.PostSend(nil, []byte("x")); err == nil {
+		t.Error("send on unconnected QP succeeded")
+	}
+	if err := qp.PostWrite(1, 0, []byte("x")); err == nil {
+		t.Error("write on unconnected QP succeeded")
+	}
+}
+
+func TestConnectRefusedWithoutListener(t *testing.T) {
+	eng := sim.NewEngine(3)
+	sw := simnet.NewSwitch(eng, simnet.DefaultSwitch())
+	reg := NewRegistry(sw)
+	a := reg.NewNIC(eng.NewNode("a"), simnet.DefaultLink(), 0)
+	b := reg.NewNIC(eng.NewNode("b"), simnet.DefaultLink(), 0)
+	eng.Spawn(a.node, func() {
+		if _, err := a.ConnectCM(b.MAC(), 99); err == nil {
+			t.Error("connect to non-listening port succeeded")
+		}
+	})
+	eng.Run()
+}
+
+func TestManyMessagesInOrder(t *testing.T) {
+	heap := memory.NewHeap(nil)
+	const n = 200
+	var received []byte
+	pair(t,
+		func(nic *NIC, qp *QP) {
+			for i := 0; i < n; i++ {
+				qp.PostSend(nil, []byte{byte(i)})
+				nic.node.Charge(100)
+			}
+		},
+		func(nic *NIC, qp *QP) {
+			for i := 0; i < n; i++ {
+				qp.PostRecv(heap.Alloc(64), nil)
+			}
+			for len(received) < n {
+				for _, cqe := range nic.PollCQ(16) {
+					if cqe.Op == OpRecv {
+						received = append(received, cqe.Buf.Bytes()[0])
+					}
+				}
+				if len(received) < n && !nic.node.Park(sim.Infinity) {
+					return
+				}
+			}
+		})
+	if len(received) != n {
+		t.Fatalf("received %d, want %d", len(received), n)
+	}
+	for i, v := range received {
+		if v != byte(i) {
+			t.Fatalf("message %d out of order: got %d", i, v)
+		}
+	}
+}
+
+func TestCMListenerCloseRejectsPending(t *testing.T) {
+	eng := sim.NewEngine(12)
+	sw := simnet.NewSwitch(eng, simnet.DefaultSwitch())
+	reg := NewRegistry(sw)
+	serverNode := eng.NewNode("server")
+	clientNode := eng.NewNode("client")
+	serverNIC := reg.NewNIC(serverNode, simnet.DefaultLink(), 0)
+	clientNIC := reg.NewNIC(clientNode, simnet.DefaultLink(), 0)
+	l, _ := serverNIC.ListenCM(1)
+	eng.Spawn(serverNode, func() {
+		// Wait for the request to arrive, then close without accepting.
+		for !l.Pending() {
+			if !serverNode.Park(sim.Infinity) {
+				return
+			}
+		}
+		l.Close()
+	})
+	var connErr error
+	eng.Spawn(clientNode, func() {
+		_, connErr = clientNIC.ConnectCM(serverNIC.MAC(), 1)
+	})
+	eng.Run()
+	if connErr == nil {
+		t.Fatal("connect to closed listener succeeded")
+	}
+	if _, err := serverNIC.ListenCM(1); err != nil {
+		t.Errorf("re-listen after close: %v", err)
+	}
+}
+
+func TestDoubleListenSamePortFails(t *testing.T) {
+	eng := sim.NewEngine(13)
+	sw := simnet.NewSwitch(eng, simnet.DefaultSwitch())
+	reg := NewRegistry(sw)
+	nic := reg.NewNIC(eng.NewNode("n"), simnet.DefaultLink(), 0)
+	if _, err := nic.ListenCM(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nic.ListenCM(5); err == nil {
+		t.Fatal("double listen succeeded")
+	}
+}

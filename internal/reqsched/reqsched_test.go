@@ -1,0 +1,77 @@
+package reqsched
+
+import (
+	"sort"
+	"testing"
+	"time"
+)
+
+func p999(lats []time.Duration) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lats...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)*999/1000]
+}
+
+func TestAllRequestsComplete(t *testing.T) {
+	w := HighDispersion(5000, 0.5, 8)
+	res := Run(1, 8, FCFS{}, w, 1<<20)
+	if got := len(res.ShortLats) + len(res.LongLats) + res.Dropped; got != w.Count {
+		t.Fatalf("accounted %d of %d requests", got, w.Count)
+	}
+	if len(res.LongLats) == 0 {
+		t.Fatal("workload generated no long requests")
+	}
+	// Low load: latencies near the service time + handoff.
+	if p := p999(res.ShortLats); p > 100*time.Microsecond {
+		t.Errorf("short p999 = %v at 50%% load under FCFS", p)
+	}
+}
+
+func TestDARCProtectsShortTail(t *testing.T) {
+	// High dispersion at high load: FCFS lets rare 100 µs requests occupy
+	// every core, destroying the short-request tail; DARC reserves cores.
+	const workers = 8
+	w := HighDispersion(60000, 0.85, workers)
+	fcfs := Run(7, workers, FCFS{}, w, 1<<20)
+	darc := Run(7, workers, DARC{Reserved: 2}, w, 1<<20)
+	fp, dp := p999(fcfs.ShortLats), p999(darc.ShortLats)
+	t.Logf("short p999: FCFS=%v DARC=%v (%.1fx)", fp, dp, float64(fp)/float64(dp))
+	if dp >= fp {
+		t.Errorf("DARC did not improve the short-request tail: FCFS=%v DARC=%v", fp, dp)
+	}
+	if float64(fp)/float64(dp) < 2 {
+		t.Errorf("DARC improvement only %.1fx; expected substantial protection", float64(fp)/float64(dp))
+	}
+}
+
+func TestDARCCostsLongRequests(t *testing.T) {
+	// The reservation is a trade-off: long requests queue more under DARC.
+	const workers = 8
+	w := HighDispersion(40000, 0.85, workers)
+	fcfs := Run(9, workers, FCFS{}, w, 1<<20)
+	darc := Run(9, workers, DARC{Reserved: 2}, w, 1<<20)
+	if p999(darc.LongLats) < p999(fcfs.LongLats) {
+		t.Errorf("long requests should not improve under DARC: FCFS=%v DARC=%v",
+			p999(fcfs.LongLats), p999(darc.LongLats))
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	w := HighDispersion(3000, 0.7, 4)
+	a := Run(5, 4, DARC{Reserved: 1}, w, 1<<20)
+	b := Run(5, 4, DARC{Reserved: 1}, w, 1<<20)
+	if len(a.ShortLats) != len(b.ShortLats) || p999(a.ShortLats) != p999(b.ShortLats) {
+		t.Fatal("same seed produced different results")
+	}
+}
+
+func TestQueueCapDrops(t *testing.T) {
+	w := HighDispersion(5000, 3.0, 2) // heavy overload
+	res := Run(11, 2, FCFS{}, w, 64)
+	if res.Dropped == 0 {
+		t.Error("overload with a tiny queue cap dropped nothing")
+	}
+}

@@ -1,0 +1,255 @@
+// Package sched implements Demikernel's nanosecond-scale coroutine
+// scheduler (paper §5.4). Coroutines are poll-based state machines — the Go
+// analogue of the Rust futures the paper compiles — and are cooperative and
+// blockable: a coroutine that cannot progress stashes its Waker with the
+// event source and returns Pending; whoever triggers the event calls Wake,
+// flipping a readiness bit that moves the coroutine back to the runnable
+// set.
+//
+// Readiness bits live in waker blocks of 64 coroutines each, and the
+// scheduler finds runnable coroutines by iterating set bits with
+// count-trailing-zeros (Lemire's loop; x86 tzcnt), so a poll over thousands
+// of mostly-blocked coroutines touches only a handful of words.
+//
+// Scheduling policy (paper §5.4): runnable application coroutines first,
+// then background coroutines, then the always-runnable fast-path coroutine,
+// FIFO within a class.
+package sched
+
+import "math/bits"
+
+// Poll is a coroutine step result.
+type Poll int
+
+const (
+	// Pending means the coroutine is blocked; it will not be polled again
+	// until its Waker fires.
+	Pending Poll = iota
+	// Yield means the coroutine made progress and can run again
+	// immediately; it stays in the runnable set.
+	Yield
+	// Done means the coroutine finished and is removed from the scheduler.
+	Done
+)
+
+// A Coroutine is a pollable task: one application request, one background
+// protocol duty (retransmission, acking), or a device fast path.
+type Coroutine interface {
+	// Poll advances the coroutine. A coroutine returning Pending must have
+	// arranged for ctx.Waker() to be woken, or it will sleep forever.
+	Poll(ctx *Context) Poll
+}
+
+// Func adapts a plain function to the Coroutine interface.
+type Func func(ctx *Context) Poll
+
+// Poll implements Coroutine.
+func (f Func) Poll(ctx *Context) Poll { return f(ctx) }
+
+// Class is a scheduling priority class.
+type Class int
+
+const (
+	// App coroutines run application request handlers (one per blocked
+	// qtoken); highest priority.
+	App Class = iota
+	// Background coroutines do protocol housekeeping (TCP retransmit,
+	// pure acks, flow-control refills).
+	Background
+	// FastPath coroutines poll device queues; always runnable, lowest
+	// priority so they fill otherwise-idle cycles.
+	FastPath
+	numClasses
+)
+
+// Context is passed to every Poll and carries the coroutine's own Waker so
+// it can register with event sources before blocking.
+type Context struct {
+	waker Waker
+}
+
+// Waker returns the running coroutine's waker, which event sources may
+// copy and keep for the coroutine's lifetime.
+func (c *Context) Waker() Waker { return c.waker }
+
+// A Waker marks one coroutine runnable. It is a small value safe to copy
+// and store with event sources. Wake is idempotent, and a waker left over
+// from a completed coroutine is a no-op even if its slot was reused: each
+// waker carries the slot generation it was minted for.
+type Waker struct {
+	block *wakerBlock
+	slot  uint
+	gen   uint32
+}
+
+// Wake sets the coroutine's readiness bit.
+func (w Waker) Wake() {
+	b := w.block
+	if b != nil && b.occupied&(1<<w.slot) != 0 && b.gens[w.slot] == w.gen {
+		b.ready |= 1 << w.slot
+	}
+}
+
+// wakerBlock holds readiness for up to 64 coroutines of one class, plus
+// their contexts. ready and occupied are the bitsets the scheduler scans.
+type wakerBlock struct {
+	ready    uint64
+	occupied uint64
+	gens     [64]uint32
+	cos      [64]Coroutine
+	ctxs     [64]Context
+}
+
+// Handle identifies a spawned coroutine.
+type Handle struct {
+	waker Waker
+}
+
+// Wake marks the coroutine runnable (e.g. its qtoken's data arrived).
+func (h Handle) Wake() { h.waker.Wake() }
+
+// Stats counts scheduler activity.
+type Stats struct {
+	Spawned, Completed uint64
+	Polls              uint64
+	EmptyScans         uint64 // RunOne calls that found nothing runnable
+}
+
+// Scheduler runs one core's coroutines. It is single-threaded by design.
+type Scheduler struct {
+	classes [numClasses][]*wakerBlock
+	cursor  [numClasses]int // round-robin start block per class
+	count   [numClasses]int
+	stats   Stats
+}
+
+// New returns an empty scheduler.
+func New() *Scheduler { return &Scheduler{} }
+
+// Stats returns a snapshot of scheduler counters.
+func (s *Scheduler) Stats() Stats { return s.stats }
+
+// Runnable reports whether any coroutine is ready to run.
+func (s *Scheduler) Runnable() bool {
+	for c := Class(0); c < numClasses; c++ {
+		for _, b := range s.classes[c] {
+			if b.ready&b.occupied != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Len returns the number of live coroutines in the class.
+func (s *Scheduler) Len(c Class) int { return s.count[c] }
+
+// Spawn adds a coroutine in the given class, initially runnable, and
+// returns its handle.
+func (s *Scheduler) Spawn(c Class, co Coroutine) Handle {
+	blocks := s.classes[c]
+	var blk *wakerBlock
+	var slot uint
+	for _, b := range blocks {
+		if b.occupied != ^uint64(0) {
+			blk = b
+			slot = uint(bits.TrailingZeros64(^b.occupied))
+			break
+		}
+	}
+	if blk == nil {
+		blk = &wakerBlock{}
+		s.classes[c] = append(s.classes[c], blk)
+		slot = 0
+	}
+	blk.occupied |= 1 << slot
+	blk.ready |= 1 << slot
+	blk.gens[slot]++
+	blk.cos[slot] = co
+	w := Waker{block: blk, slot: slot, gen: blk.gens[slot]}
+	blk.ctxs[slot] = Context{waker: w}
+	s.count[c]++
+	s.stats.Spawned++
+	return Handle{waker: w}
+}
+
+// RunOne polls the highest-priority runnable coroutine, if any, and reports
+// whether one ran. FastPath coroutines are polled even when their readiness
+// bit is clear only if they were spawned ready — by convention fast paths
+// always return Yield, so they stay ready.
+func (s *Scheduler) RunOne() bool {
+	for c := Class(0); c < numClasses; c++ {
+		if s.runClass(c) {
+			return true
+		}
+	}
+	s.stats.EmptyScans++
+	return false
+}
+
+// runClass finds and polls one ready coroutine in class c, scanning
+// round-robin from the slot after the last one run so same-class
+// coroutines cannot starve each other.
+func (s *Scheduler) runClass(c Class) bool {
+	blocks := s.classes[c]
+	n := len(blocks)
+	if n == 0 {
+		return false
+	}
+	start := s.cursor[c] % (n * 64)
+	startBlock, startSlot := start/64, uint(start%64)
+	// The starting block is visited twice: its tail first, its head after
+	// the wrap, so iteration covers every slot exactly once.
+	for off := 0; off <= n; off++ {
+		bi := (startBlock + off) % n
+		blk := blocks[bi]
+		ready := blk.ready & blk.occupied
+		if off == 0 {
+			ready &^= (uint64(1) << startSlot) - 1
+		} else if off == n {
+			ready &= (uint64(1) << startSlot) - 1
+		}
+		if ready == 0 {
+			continue
+		}
+		slot := uint(bits.TrailingZeros64(ready)) // Lemire's loop: tzcnt
+		s.cursor[c] = bi*64 + int(slot) + 1
+		s.poll(c, blk, slot)
+		return true
+	}
+	return false
+}
+
+// poll runs one coroutine slot and applies its result.
+func (s *Scheduler) poll(c Class, blk *wakerBlock, slot uint) {
+	bit := uint64(1) << slot
+	blk.ready &^= bit // clear before polling: wakes during poll are kept
+	s.stats.Polls++
+	switch blk.cos[slot].Poll(&blk.ctxs[slot]) {
+	case Yield:
+		blk.ready |= bit
+	case Done:
+		blk.occupied &^= bit
+		blk.ready &^= bit
+		blk.cos[slot] = nil
+		s.count[c]--
+		s.stats.Completed++
+	case Pending:
+		// Readiness bit stays as the coroutine's waker left it: if an
+		// event fired mid-poll the coroutine runs again; otherwise it
+		// sleeps until Wake.
+	}
+}
+
+// RunUntilIdle polls until no coroutine is runnable, with a safety budget
+// to bound livelock from always-Yield coroutines. It returns the number of
+// polls performed. Fast-path coroutines count against the budget like any
+// other, so callers typically use RunOne in their own loop instead; this
+// helper serves tests and simple drivers.
+func (s *Scheduler) RunUntilIdle(budget int) int {
+	polls := 0
+	for polls < budget && s.RunOne() {
+		polls++
+	}
+	return polls
+}

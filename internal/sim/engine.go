@@ -1,0 +1,176 @@
+package sim
+
+import "fmt"
+
+// Engine is the discrete-event simulator. It owns the global event heap and
+// coordinates node execution with a baton: the engine loop either processes
+// the earliest pending event or hands control to the runnable node with the
+// smallest local clock, and waits for it to park. Because exactly one
+// goroutine (the engine or a single node) executes at any time, the engine
+// state needs no locks; the channels provide the happens-before edges.
+//
+// Causality invariant: every runnable node's clock is >= the engine's
+// current time, and events are executed in nondecreasing (time, seq) order,
+// so a node can never observe an effect from its future.
+type Engine struct {
+	now   Time
+	heap  eventHeap
+	seq   uint64
+	nodes []*Node
+	rng   *Rand
+
+	back          chan struct{} // baton: node -> engine
+	stopRequested bool
+	stopped       bool
+
+	eventsRun uint64
+	mains     map[*Node]func() // app entry points not yet started
+}
+
+// NewEngine returns an engine with the given RNG seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{
+		rng:   NewRand(seed),
+		back:  make(chan struct{}),
+		mains: make(map[*Node]func()),
+	}
+}
+
+// Now returns the engine's global virtual time: the timestamp of the last
+// processed event. Running nodes may be ahead of it.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's root random stream. Subsystems should Fork it.
+func (e *Engine) Rand() *Rand { return e.rng }
+
+// EventsRun returns the number of events processed so far.
+func (e *Engine) EventsRun() uint64 { return e.eventsRun }
+
+// NewNode creates a simulated host with the given diagnostic name. Nodes
+// with no Spawned main still work as passive event targets (their devices
+// can be driven by events), but most nodes get a main via Spawn.
+func (e *Engine) NewNode(name string) *Node {
+	n := &Node{
+		eng:    e,
+		id:     len(e.nodes),
+		name:   name,
+		resume: make(chan struct{}),
+	}
+	e.nodes = append(e.nodes, n)
+	return n
+}
+
+// Spawn registers fn as the node's application main. The node becomes
+// runnable at the engine's current time. Spawn must be called before Run or
+// from inside the simulation (an event or another node).
+func (e *Engine) Spawn(n *Node, fn func()) {
+	if n.state != stateNew {
+		panic(fmt.Sprintf("sim: node %q spawned twice", n.name))
+	}
+	n.state = stateRunnable
+	n.clock = e.now
+	e.mains[n] = fn
+	go func() {
+		<-n.resume
+		// The deferred handoff also covers runtime.Goexit (e.g. t.Fatal
+		// inside a node's main), which would otherwise deadlock the
+		// engine loop waiting for the baton.
+		defer func() {
+			n.state = stateFinished
+			e.back <- struct{}{}
+		}()
+		fn()
+	}()
+}
+
+// At schedules fn to run at virtual time t. After fn runs, target (if
+// non-nil and parked) is woken with its clock advanced to at least t.
+// fn may be nil (pure wakeup). At may be called from the engine loop, an
+// event, or the currently running node; t is clamped to the caller's
+// present to preserve causality.
+func (e *Engine) At(t Time, target *Node, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.heap.push(event{at: t, seq: e.seq, target: target, fn: fn})
+}
+
+// Stop requests a graceful shutdown: once the current node parks, the
+// engine stops processing events and unparks every node with a false Park
+// result so application code can unwind.
+func (e *Engine) Stop() { e.stopRequested = true }
+
+// minRunnable returns the runnable node with the smallest (clock, id), or
+// nil if none is runnable.
+func (e *Engine) minRunnable() *Node {
+	var best *Node
+	for _, n := range e.nodes {
+		if n.state != stateRunnable {
+			continue
+		}
+		if best == nil || n.clock < best.clock {
+			best = n
+		}
+	}
+	return best
+}
+
+// Run executes the simulation until it quiesces (no pending events and no
+// runnable node) or Stop is requested. It then releases every parked node.
+func (e *Engine) Run() {
+	for !e.stopRequested {
+		next := e.minRunnable()
+		// Process every event at or before the next node's clock. With no
+		// runnable node, drain events until one wakes somebody.
+		for e.heap.len() > 0 && (next == nil || e.heap.peek().at <= next.clock) {
+			ev := e.heap.pop()
+			e.now = ev.at
+			e.eventsRun++
+			if ev.fn != nil {
+				ev.fn()
+			}
+			if t := ev.target; t != nil && t.state == stateParked {
+				t.state = stateRunnable
+				if ev.at > t.clock {
+					t.clock = ev.at
+				}
+			}
+			if e.stopRequested {
+				break
+			}
+			next = e.minRunnable()
+		}
+		if next == nil || e.stopRequested {
+			break // quiescent or stopping
+		}
+		e.step(next)
+	}
+	e.shutdown()
+}
+
+// step hands the baton to n and waits until it parks or finishes.
+func (e *Engine) step(n *Node) {
+	n.state = stateRunning
+	n.resume <- struct{}{}
+	<-e.back
+}
+
+// shutdown marks the engine stopped and unblocks every parked node so its
+// goroutine can observe the stop and return.
+func (e *Engine) shutdown() {
+	e.stopped = true
+	for {
+		var parked *Node
+		for _, n := range e.nodes {
+			if n.state == stateParked || n.state == stateRunnable {
+				parked = n
+				break
+			}
+		}
+		if parked == nil {
+			return
+		}
+		e.step(parked)
+	}
+}

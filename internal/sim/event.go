@@ -1,0 +1,73 @@
+package sim
+
+// An event is a closure scheduled at a virtual instant, optionally waking a
+// target node after it runs. Events are totally ordered by (time, sequence),
+// so ties break in scheduling order and runs are deterministic.
+type event struct {
+	at     Time
+	seq    uint64
+	target *Node // node to make runnable after fn runs; may be nil
+	fn     func()
+}
+
+// eventHeap is a binary min-heap of events keyed by (at, seq). We implement
+// it directly rather than through container/heap to avoid the interface
+// boxing on the hot path: experiments schedule millions of events.
+type eventHeap struct {
+	ev []event
+}
+
+func (h *eventHeap) len() int { return len(h.ev) }
+
+func (h *eventHeap) less(i, j int) bool {
+	if h.ev[i].at != h.ev[j].at {
+		return h.ev[i].at < h.ev[j].at
+	}
+	return h.ev[i].seq < h.ev[j].seq
+}
+
+func (h *eventHeap) push(e event) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		i = parent
+	}
+}
+
+// peek returns the earliest event without removing it. It panics on an
+// empty heap; callers check len first.
+func (h *eventHeap) peek() *event { return &h.ev[0] }
+
+func (h *eventHeap) pop() event {
+	top := h.ev[0]
+	last := len(h.ev) - 1
+	h.ev[0] = h.ev[last]
+	h.ev[last] = event{} // release closure for GC
+	h.ev = h.ev[:last]
+	h.siftDown(0)
+	return top
+}
+
+func (h *eventHeap) siftDown(i int) {
+	n := len(h.ev)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && h.less(left, smallest) {
+			smallest = left
+		}
+		if right < n && h.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		h.ev[i], h.ev[smallest] = h.ev[smallest], h.ev[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,312 @@
+// Package simnet simulates the datacenter network fabric that Demikernel-Go
+// devices attach to: NIC ports joined by full-duplex links to a
+// store-and-forward switch. Links model propagation latency, serialization
+// (bandwidth), loss, duplication and reordering, so protocol stacks above
+// (Catnip's TCP, Catmint's flow control) exercise their full recovery paths.
+//
+// The fabric stands in for the paper's Arista 7060CX switch and Mellanox
+// NICs; its default parameters follow the paper's testbed (§7.1): 100 Gbps
+// links and a 450 ns minimum switching latency.
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"demikernel/internal/sim"
+)
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+// Broadcast is the all-ones Ethernet broadcast address.
+var Broadcast = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// String formats the address in the usual colon-separated hex form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IsBroadcast reports whether m is the broadcast address.
+func (m MAC) IsBroadcast() bool { return m == Broadcast }
+
+// A Frame is a raw Ethernet frame on the wire. The fabric treats it as
+// opaque bytes apart from the destination and source addresses in the first
+// 12 bytes.
+type Frame struct {
+	Data []byte
+}
+
+// Dst returns the destination MAC (frame bytes 0..5).
+func (f Frame) Dst() MAC {
+	var m MAC
+	copy(m[:], f.Data[0:6])
+	return m
+}
+
+// Src returns the source MAC (frame bytes 6..11).
+func (f Frame) Src() MAC {
+	var m MAC
+	copy(m[:], f.Data[6:12])
+	return m
+}
+
+// LinkParams configures one attachment link (both directions share the
+// parameters but have independent serialization state).
+type LinkParams struct {
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// BandwidthBps is the line rate in bits per second; zero means
+	// infinite (no serialization delay).
+	BandwidthBps float64
+	// LossProb is the probability a frame is dropped in transit.
+	LossProb float64
+	// DupProb is the probability a frame is delivered twice.
+	DupProb float64
+	// ReorderProb is the probability a frame is delayed by an extra
+	// ReorderJitter, letting later frames overtake it.
+	ReorderProb   float64
+	ReorderJitter time.Duration
+}
+
+// DefaultLink returns parameters modelling the paper's testbed NIC link:
+// 100 Gbps, 300 ns one-way (NIC + cable), lossless.
+func DefaultLink() LinkParams {
+	return LinkParams{Latency: 300 * time.Nanosecond, BandwidthBps: 100e9}
+}
+
+// direction tracks serialization state for one direction of a link.
+type direction struct {
+	params    LinkParams
+	busyUntil sim.Time
+	rng       *sim.Rand
+
+	// Stats
+	sent, dropped, duplicated uint64
+}
+
+// transmitDelay computes when a frame of n bytes finishes serializing if
+// transmission starts at t, updating the busy horizon.
+func (d *direction) transmitDelay(t sim.Time, n int) sim.Time {
+	start := t
+	if d.busyUntil > start {
+		start = d.busyUntil
+	}
+	end := start
+	if d.params.BandwidthBps > 0 {
+		bits := float64(n * 8)
+		end = start.Add(time.Duration(bits / d.params.BandwidthBps * 1e9))
+	}
+	d.busyUntil = end
+	return end
+}
+
+// arrival computes the delivery time for a frame finishing serialization at
+// txEnd, applying reorder jitter. It reports ok=false if the frame is lost.
+func (d *direction) arrival(txEnd sim.Time, n int) (at sim.Time, dup bool, ok bool) {
+	d.sent++
+	if d.params.LossProb > 0 && d.rng.Bool(d.params.LossProb) {
+		d.dropped++
+		return 0, false, false
+	}
+	at = txEnd.Add(d.params.Latency)
+	if d.params.ReorderProb > 0 && d.rng.Bool(d.params.ReorderProb) {
+		at = at.Add(time.Duration(d.rng.Int63n(int64(d.params.ReorderJitter) + 1)))
+	}
+	dup = d.params.DupProb > 0 && d.rng.Bool(d.params.DupProb)
+	if dup {
+		d.duplicated++
+	}
+	return at, dup, true
+}
+
+// PortStats counts frames seen by a port.
+type PortStats struct {
+	TxFrames, RxFrames uint64
+	TxBytes, RxBytes   uint64
+	RxDropped          uint64 // dropped because the rx ring was full
+}
+
+// A Port is a NIC attachment point on the fabric. Device models (dpdkdev,
+// rdmadev) wrap a Port; received frames accumulate in a bounded rx ring the
+// device polls.
+type Port struct {
+	sw   *Switch
+	node *sim.Node
+	mac  MAC
+	up   direction // port -> switch
+	down direction // switch -> port
+
+	rx      []Frame
+	rxLimit int
+	promisc bool
+	stats   PortStats
+}
+
+// MAC returns the port's Ethernet address.
+func (p *Port) MAC() MAC { return p.mac }
+
+// Node returns the simulated host the port belongs to.
+func (p *Port) Node() *sim.Node { return p.node }
+
+// Stats returns a snapshot of the port counters.
+func (p *Port) Stats() PortStats { return p.stats }
+
+// SetPromiscuous controls whether the port accepts frames for other MACs.
+func (p *Port) SetPromiscuous(on bool) { p.promisc = on }
+
+// Send puts a frame on the wire at the owning node's current virtual time.
+// The frame's source must be the port's MAC (enforced to catch stack bugs).
+func (p *Port) Send(f Frame) {
+	if len(f.Data) < 14 {
+		panic("simnet: runt frame")
+	}
+	if f.Src() != p.mac {
+		panic(fmt.Sprintf("simnet: port %v sending frame with src %v", p.mac, f.Src()))
+	}
+	// Serialization copies the frame onto the wire: receivers own their
+	// copy and may mutate it without aliasing the sender's buffers.
+	f = Frame{Data: append([]byte(nil), f.Data...)}
+	p.stats.TxFrames++
+	p.stats.TxBytes += uint64(len(f.Data))
+	txEnd := p.up.transmitDelay(p.node.Now(), len(f.Data))
+	at, dup, ok := p.up.arrival(txEnd, len(f.Data))
+	if !ok {
+		return
+	}
+	eng := p.node.Engine()
+	deliver := func(t sim.Time) {
+		eng.At(t, nil, func() { p.sw.forward(f, p) })
+	}
+	deliver(at)
+	if dup {
+		deliver(at.Add(p.up.params.Latency))
+	}
+}
+
+// enqueue places a frame in the rx ring, dropping if full.
+func (p *Port) enqueue(f Frame) {
+	if p.rxLimit > 0 && len(p.rx) >= p.rxLimit {
+		p.stats.RxDropped++
+		return
+	}
+	p.stats.RxFrames++
+	p.stats.RxBytes += uint64(len(f.Data))
+	p.rx = append(p.rx, f)
+}
+
+// InjectRx places a frame directly in the receive ring, bypassing the
+// fabric — the trace-replay and test hook. Call it from an engine event
+// targeting the owning node, so the node wakes to process it exactly as it
+// would a fabric delivery.
+func (p *Port) InjectRx(f Frame) { p.enqueue(f) }
+
+// Recv pops the oldest received frame, reporting ok=false when the ring is
+// empty. Devices poll this from their fast path.
+func (p *Port) Recv() (Frame, bool) {
+	if len(p.rx) == 0 {
+		return Frame{}, false
+	}
+	f := p.rx[0]
+	p.rx[0] = Frame{}
+	p.rx = p.rx[1:]
+	return f, true
+}
+
+// RxPending returns the number of frames waiting in the rx ring.
+func (p *Port) RxPending() int { return len(p.rx) }
+
+// SwitchParams configures the fabric switch.
+type SwitchParams struct {
+	// Latency is the minimum switching (store-and-forward) delay.
+	Latency time.Duration
+}
+
+// DefaultSwitch models the paper's Arista 7060CX: 450 ns minimum latency.
+func DefaultSwitch() SwitchParams {
+	return SwitchParams{Latency: 450 * time.Nanosecond}
+}
+
+// A Switch joins ports and forwards frames by destination MAC, flooding
+// broadcasts. Forwarding uses the static table built at Attach time (every
+// port's MAC is known), which matches a learned steady state.
+type Switch struct {
+	eng    *sim.Engine
+	params SwitchParams
+	ports  []*Port
+	byMAC  map[MAC]*Port
+	macSeq uint64
+}
+
+// NewSwitch creates a switch on the engine's fabric.
+func NewSwitch(eng *sim.Engine, params SwitchParams) *Switch {
+	return &Switch{eng: eng, params: params, byMAC: make(map[MAC]*Port)}
+}
+
+// NextMAC allocates a locally administered unicast MAC unique on this
+// switch.
+func (s *Switch) NextMAC() MAC {
+	s.macSeq++
+	v := s.macSeq
+	return MAC{0x02, 0x44, 0x4d, byte(v >> 16), byte(v >> 8), byte(v)}
+}
+
+// Attach connects a new port for node to the switch over a link with the
+// given parameters and returns it. rxRing bounds the receive ring (0 means
+// unbounded).
+func (s *Switch) Attach(node *sim.Node, params LinkParams, rxRing int) *Port {
+	rng := s.eng.Rand().Fork()
+	p := &Port{
+		sw:      s,
+		node:    node,
+		mac:     s.NextMAC(),
+		rxLimit: rxRing,
+	}
+	p.up = direction{params: params, rng: rng}
+	p.down = direction{params: params, rng: rng.Fork()}
+	s.ports = append(s.ports, p)
+	s.byMAC[p.mac] = p
+	return p
+}
+
+// forward runs at the instant a frame arrives at the switch ingress and
+// schedules egress deliveries.
+func (s *Switch) forward(f Frame, from *Port) {
+	dst := f.Dst()
+	if dst.IsBroadcast() {
+		for _, p := range s.ports {
+			if p != from {
+				s.egress(f, p)
+			}
+		}
+		return
+	}
+	if p, ok := s.byMAC[dst]; ok {
+		s.egress(f, p)
+		return
+	}
+	// Unknown unicast: flood, and promiscuous ports may claim it.
+	for _, p := range s.ports {
+		if p != from && p.promisc {
+			s.egress(f, p)
+		}
+	}
+}
+
+// egress sends a frame out one port, applying switch latency and the down
+// link's serialization/loss models, then waking the destination node.
+func (s *Switch) egress(f Frame, to *Port) {
+	t := s.eng.Now().Add(s.params.Latency)
+	txEnd := to.down.transmitDelay(t, len(f.Data))
+	at, dup, ok := to.down.arrival(txEnd, len(f.Data))
+	if !ok {
+		return
+	}
+	deliver := func(when sim.Time) {
+		s.eng.At(when, to.node, func() { to.enqueue(f) })
+	}
+	deliver(at)
+	if dup {
+		deliver(at.Add(to.down.params.Latency))
+	}
+}

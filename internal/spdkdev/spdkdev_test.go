@@ -1,0 +1,169 @@
+package spdkdev
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"demikernel/internal/sim"
+)
+
+// runDev drives fn on a node with a fresh device and runs the simulation.
+func runDev(t *testing.T, fn func(*sim.Engine, *Device)) {
+	t.Helper()
+	eng := sim.NewEngine(5)
+	node := eng.NewNode("host")
+	dev := New(node, OptaneParams(), 1<<20)
+	eng.Spawn(node, func() { fn(eng, dev) })
+	eng.Run()
+}
+
+// await polls until a completion arrives.
+func await(dev *Device) (Completion, bool) {
+	for {
+		if cs := dev.PollCompletions(1); len(cs) > 0 {
+			return cs[0], true
+		}
+		if !dev.Node().Park(sim.Infinity) {
+			return Completion{}, false
+		}
+	}
+}
+
+func TestWriteThenReadBack(t *testing.T) {
+	runDev(t, func(eng *sim.Engine, dev *Device) {
+		data := make([]byte, 2*BlockSize)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		if err := dev.SubmitWrite(10, data, "w"); err != nil {
+			t.Fatal(err)
+		}
+		if c, ok := await(dev); !ok || c.Op != OpWrite || c.Cookie != "w" {
+			t.Fatalf("write completion = %+v", c)
+		}
+		if err := dev.SubmitRead(10, 2, "r"); err != nil {
+			t.Fatal(err)
+		}
+		c, ok := await(dev)
+		if !ok || c.Op != OpRead {
+			t.Fatalf("read completion = %+v", c)
+		}
+		if !bytes.Equal(c.Data, data) {
+			t.Error("read data differs from written data")
+		}
+	})
+}
+
+func TestUnwrittenBlocksReadZero(t *testing.T) {
+	runDev(t, func(eng *sim.Engine, dev *Device) {
+		dev.SubmitRead(500, 1, nil)
+		c, _ := await(dev)
+		for _, b := range c.Data {
+			if b != 0 {
+				t.Fatal("unwritten block not zero")
+			}
+		}
+	})
+}
+
+func TestWriteLatencyModel(t *testing.T) {
+	runDev(t, func(eng *sim.Engine, dev *Device) {
+		start := dev.Node().Now()
+		dev.SubmitWrite(0, make([]byte, BlockSize), nil)
+		await(dev)
+		elapsed := dev.Node().Now().Sub(start)
+		want := OptaneParams().WriteLatency + OptaneParams().transferCost(BlockSize)
+		if elapsed < want || elapsed > want+time.Microsecond {
+			t.Errorf("write took %v, want ≈%v", elapsed, want)
+		}
+	})
+}
+
+func TestSerialPipelineQueueing(t *testing.T) {
+	runDev(t, func(eng *sim.Engine, dev *Device) {
+		start := dev.Node().Now()
+		for i := 0; i < 4; i++ {
+			dev.SubmitWrite(int64(i), make([]byte, BlockSize), i)
+		}
+		for i := 0; i < 4; i++ {
+			await(dev)
+		}
+		elapsed := dev.Node().Now().Sub(start)
+		per := OptaneParams().WriteLatency + OptaneParams().transferCost(BlockSize)
+		if elapsed < 4*per {
+			t.Errorf("4 writes took %v, want >= %v (serial pipeline)", elapsed, 4*per)
+		}
+	})
+}
+
+func TestFlushOrdersAfterWrites(t *testing.T) {
+	runDev(t, func(eng *sim.Engine, dev *Device) {
+		dev.SubmitWrite(0, make([]byte, BlockSize), "w1")
+		dev.SubmitWrite(1, make([]byte, BlockSize), "w2")
+		dev.SubmitFlush("f")
+		var order []any
+		for len(order) < 3 {
+			c, ok := await(dev)
+			if !ok {
+				return
+			}
+			order = append(order, c.Cookie)
+		}
+		if order[2] != "f" {
+			t.Errorf("flush completed before writes: %v", order)
+		}
+	})
+}
+
+func TestRangeValidation(t *testing.T) {
+	runDev(t, func(eng *sim.Engine, dev *Device) {
+		if err := dev.SubmitWrite(-1, make([]byte, BlockSize), nil); err == nil {
+			t.Error("negative LBA accepted")
+		}
+		if err := dev.SubmitWrite(dev.NumBlocks(), make([]byte, BlockSize), nil); err == nil {
+			t.Error("out-of-range write accepted")
+		}
+		if err := dev.SubmitWrite(0, make([]byte, 100), nil); err == nil {
+			t.Error("unaligned write accepted")
+		}
+		if err := dev.SubmitRead(0, 0, nil); err == nil {
+			t.Error("zero-block read accepted")
+		}
+	})
+}
+
+func TestCrashLosesInflightKeepsDurable(t *testing.T) {
+	runDev(t, func(eng *sim.Engine, dev *Device) {
+		durable := bytes.Repeat([]byte{1}, BlockSize)
+		dev.SubmitWrite(0, durable, "durable")
+		await(dev) // completed: durable
+		dev.SubmitWrite(1, bytes.Repeat([]byte{2}, BlockSize), "lost")
+		dev.Crash() // before completion: lost
+		dev.SubmitRead(0, 2, nil)
+		c, _ := await(dev)
+		if !bytes.Equal(c.Data[:BlockSize], durable) {
+			t.Error("durable block lost by crash")
+		}
+		for _, b := range c.Data[BlockSize:] {
+			if b != 0 {
+				t.Fatal("in-flight write survived crash")
+			}
+		}
+		if dev.Inflight() != 0 {
+			t.Error("inflight not reset by crash")
+		}
+	})
+}
+
+func TestPollNeverReturnsStaleCompletionsAfterCrash(t *testing.T) {
+	runDev(t, func(eng *sim.Engine, dev *Device) {
+		dev.SubmitWrite(0, make([]byte, BlockSize), "pre-crash")
+		dev.Crash()
+		dev.SubmitWrite(1, make([]byte, BlockSize), "post-crash")
+		c, _ := await(dev)
+		if c.Cookie != "post-crash" {
+			t.Errorf("got completion %v, want post-crash only", c.Cookie)
+		}
+	})
+}

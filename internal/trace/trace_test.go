@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"demikernel/internal/sim"
+)
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	l := &Log{}
+	l.RecordFrame('R', 100, []byte("frame-one"))
+	l.RecordFrame('T', 250, []byte{})
+	l.RecordFrame('T', 300, []byte{0, 1, 2, 255})
+	got, err := Decode(l.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Equal(l.Events, got.Events); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	l := &Log{}
+	l.RecordFrame('R', 1, []byte("abcdef"))
+	enc := l.Encode()
+	for cut := 1; cut < len(enc); cut++ {
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestEqualDetectsDifferences(t *testing.T) {
+	a := []Event{{At: 1, Dir: RX, Data: []byte("x")}}
+	for _, b := range [][]Event{
+		{},
+		{{At: 2, Dir: RX, Data: []byte("x")}},
+		{{At: 1, Dir: TX, Data: []byte("x")}},
+		{{At: 1, Dir: RX, Data: []byte("y")}},
+	} {
+		if Equal(a, b) == nil {
+			t.Errorf("Equal missed difference vs %+v", b)
+		}
+	}
+	if err := Equal(a, a); err != nil {
+		t.Errorf("Equal rejected identical traces: %v", err)
+	}
+}
+
+func TestRecordCopiesData(t *testing.T) {
+	l := &Log{}
+	buf := []byte("mutable")
+	l.RecordFrame('R', 1, buf)
+	buf[0] = 'X'
+	if string(l.Events[0].Data) != "mutable" {
+		t.Fatal("trace aliased the caller's buffer")
+	}
+}
+
+func TestRoundtripProperty(t *testing.T) {
+	f := func(times []int64, payloads [][]byte) bool {
+		l := &Log{}
+		n := len(times)
+		if len(payloads) < n {
+			n = len(payloads)
+		}
+		for i := 0; i < n; i++ {
+			dir := byte('R')
+			if times[i]%2 == 0 {
+				dir = 'T'
+			}
+			at := times[i]
+			if at < 0 {
+				at = -at
+			}
+			l.RecordFrame(dir, sim.Time(at), payloads[i])
+		}
+		got, err := Decode(l.Encode())
+		return err == nil && Equal(l.Events, got.Events) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,59 @@
+package wire
+
+// Checksum computes the RFC 1071 internet checksum over b: the one's
+// complement of the one's-complement sum of 16-bit words. A buffer with a
+// valid embedded checksum sums to zero.
+func Checksum(b []byte) uint16 {
+	return finish(sum16(b, 0))
+}
+
+// sum16 accumulates the one's-complement sum of b into acc. Odd trailing
+// bytes are padded with zero, per the RFC.
+func sum16(b []byte, acc uint32) uint32 {
+	for len(b) >= 2 {
+		acc += uint32(be.Uint16(b))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		acc += uint32(b[0]) << 8
+	}
+	return acc
+}
+
+// finish folds carries and complements the accumulator.
+func finish(acc uint32) uint16 {
+	for acc > 0xffff {
+		acc = (acc >> 16) + (acc & 0xffff)
+	}
+	return ^uint16(acc)
+}
+
+// pseudoHeaderSum computes the partial sum of the TCP/UDP pseudo-header.
+func pseudoHeaderSum(src, dst IPAddr, proto uint8, length int) uint32 {
+	var acc uint32
+	acc = sum16(src[:], acc)
+	acc = sum16(dst[:], acc)
+	acc += uint32(proto)
+	acc += uint32(length)
+	return acc
+}
+
+// TransportChecksum computes the UDP/TCP checksum over the pseudo-header,
+// transport header and payload. The checksum field inside hdr must be zero.
+func TransportChecksum(src, dst IPAddr, proto uint8, hdr, payload []byte) uint16 {
+	acc := pseudoHeaderSum(src, dst, proto, len(hdr)+len(payload))
+	acc = sum16(hdr, acc)
+	// An odd-length header would misalign the payload sum; transport
+	// headers are always even-length so this cannot happen.
+	acc = sum16(payload, acc)
+	return finish(acc)
+}
+
+// VerifyTransportChecksum reports whether the checksum embedded in hdr is
+// consistent with the pseudo-header and payload.
+func VerifyTransportChecksum(src, dst IPAddr, proto uint8, hdr, payload []byte) bool {
+	acc := pseudoHeaderSum(src, dst, proto, len(hdr)+len(payload))
+	acc = sum16(hdr, acc)
+	acc = sum16(payload, acc)
+	return finish(acc) == 0
+}

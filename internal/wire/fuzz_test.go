@@ -1,0 +1,83 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Parsers face attacker-controlled bytes from the wire: none may panic,
+// whatever the input. quick.Check drives them with arbitrary buffers.
+
+func TestParsersNeverPanicOnRandomBytes(t *testing.T) {
+	src, dst := IPAddr{1, 2, 3, 4}, IPAddr{5, 6, 7, 8}
+	f := func(b []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		ParseEth(b)
+		ParseIPv4(b)
+		ParseARP(b)
+		ParseUDP(b, src, dst)
+		ParseTCP(b, src, dst)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Truncating a valid packet at every length must return an error or a
+// consistent result — never a panic or an out-of-range slice.
+func TestTCPTruncationSweep(t *testing.T) {
+	src, dst := IPAddr{1, 1, 1, 1}, IPAddr{2, 2, 2, 2}
+	h := TCPHeader{
+		SrcPort: 1, DstPort: 2, Seq: 3, Ack: 4, Flags: TCPAck | TCPPsh, Window: 5,
+		Opt: TCPOptions{MSS: 1460, WScale: 7, HasWScale: true, TSVal: 9, TSEcr: 10, HasTimestamp: true},
+	}
+	payload := []byte("0123456789abcdef")
+	buf := make([]byte, h.MarshalLen()+len(payload))
+	n := h.Marshal(buf, src, dst, payload)
+	copy(buf[n:], payload)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := ParseTCP(buf[:cut], src, dst); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestIPv4TruncationSweep(t *testing.T) {
+	h := IPv4Header{TotalLen: IPv4HeaderLen + 8, TTL: 4, Proto: ProtoUDP,
+		Src: IPAddr{9, 9, 9, 9}, Dst: IPAddr{8, 8, 8, 8}}
+	buf := make([]byte, int(h.TotalLen))
+	h.Marshal(buf)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := ParseIPv4(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// Malformed TCP option lengths (zero or overlong) must not loop or panic.
+func TestTCPOptionMalformedLengths(t *testing.T) {
+	src, dst := IPAddr{1, 1, 1, 1}, IPAddr{2, 2, 2, 2}
+	base := TCPHeader{SrcPort: 1, DstPort: 2, Flags: TCPAck}
+	buf := make([]byte, TCPHeaderLen+8)
+	base.Marshal(buf, src, dst, nil)
+	buf[12] = byte((TCPHeaderLen + 8) / 4 << 4) // claim options present
+	for _, optBytes := range [][]byte{
+		{2, 0, 0, 0, 0, 0, 0, 0},   // MSS with length 0
+		{3, 255, 0, 0, 0, 0, 0, 0}, // WScale overlong
+		{8, 1, 0, 0, 0, 0, 0, 0},   // timestamp too short
+		{99, 3, 1, 99, 3, 1, 0, 0}, // unknown kinds
+	} {
+		copy(buf[TCPHeaderLen:], optBytes)
+		// Recompute the checksum so only the options are at fault.
+		buf[16], buf[17] = 0, 0
+		ck := TransportChecksum(src, dst, ProtoTCP, buf, nil)
+		buf[16], buf[17] = byte(ck>>8), byte(ck)
+		_, _, err := ParseTCP(buf, src, dst)
+		_ = err // error or success both fine; no panic, no hang
+	}
+}

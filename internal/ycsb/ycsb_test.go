@@ -1,0 +1,86 @@
+package ycsb
+
+import (
+	"testing"
+
+	"demikernel/internal/sim"
+)
+
+func TestUniformCoversRange(t *testing.T) {
+	u := NewUniform(10, sim.NewRand(1))
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		k := u.Next()
+		if k < 0 || k >= 10 {
+			t.Fatalf("key %d out of range", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("uniform covered %d of 10 keys", len(seen))
+	}
+}
+
+func TestZipfSkewAndRange(t *testing.T) {
+	const n = 1000
+	z := NewZipf(n, 0.99, sim.NewRand(2))
+	counts := make([]int, n)
+	for i := 0; i < 100000; i++ {
+		k := z.Next()
+		if k < 0 || k >= n {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	// The hottest key must dominate: zipf(0.99) gives key 0 ~ 1/zetan of
+	// mass, far more than uniform's 0.1%.
+	if counts[0] < 5000 {
+		t.Errorf("key 0 hit %d of 100000; zipf not skewed", counts[0])
+	}
+	// Tail keys must still be reachable.
+	tail := 0
+	for _, c := range counts[n/2:] {
+		tail += c
+	}
+	if tail == 0 {
+		t.Error("zipf never touched the tail half")
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	a, b := NewZipf(100, 0.99, sim.NewRand(7)), NewZipf(100, 0.99, sim.NewRand(7))
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("zipf not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestWorkloadFMix(t *testing.T) {
+	rng := sim.NewRand(3)
+	w := WorkloadF(NewUniform(100, rng.Fork()), rng)
+	reads, rmws := 0, 0
+	for i := 0; i < 10000; i++ {
+		switch w.Next().Kind {
+		case OpRead:
+			reads++
+		case OpRMW:
+			rmws++
+		default:
+			t.Fatal("workload F generated a plain update")
+		}
+	}
+	if reads < 4000 || rmws < 4000 {
+		t.Errorf("mix reads=%d rmws=%d, want ~50/50", reads, rmws)
+	}
+}
+
+func TestKeyFormat(t *testing.T) {
+	k := Key(42)
+	if string(k) != "user00000000000000000042" {
+		t.Errorf("Key(42) = %q", k)
+	}
+	if len(Key(0)) != len(Key(999999)) {
+		t.Error("keys not fixed width")
+	}
+}
