@@ -243,6 +243,30 @@ func BenchmarkTable2LoC(b *testing.B) {
 	b.ReportMetric(float64(loc), "catnip-loc")
 }
 
+// BenchmarkScaleOut measures multi-core scale-out: aggregate echo
+// throughput over 1/2/4/8 shared-nothing cores behind one RSS multi-queue
+// port (demi-bench scaleout prints the full sweep with KV and per-core
+// utilization).
+func BenchmarkScaleOut(b *testing.B) {
+	opts := bench.DefaultScaleOutOpts()
+	opts.Rounds, opts.Warmup = 400, 40
+	for _, cores := range opts.CoreCounts {
+		cores := cores
+		b.Run(itoa(cores)+"cores", func(b *testing.B) {
+			var row bench.ScaleOutRow
+			for i := 0; i < b.N; i++ {
+				var err error
+				row, err = bench.RunScaleOutEcho(cores, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(row.Aggregate/1e3, "virt-kops")
+			b.ReportMetric(float64(row.P99)/float64(time.Microsecond), "virt-us/p99")
+		})
+	}
+}
+
 // BenchmarkAblationZeroCopy regenerates the zero-copy ablation at 16 KiB.
 func BenchmarkAblationZeroCopy(b *testing.B) {
 	opts := quickEchoOpts()

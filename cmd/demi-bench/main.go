@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	demi-bench table2|table3|fig5|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|fig12|ablation|all
+//	demi-bench table2|table3|fig5|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|fig12|ablation|scaleout|all
 package main
 
 import (
@@ -43,6 +43,7 @@ func main() {
 		{"fig11", one(bench.Fig11)},
 		{"fig12", one(bench.Fig12)},
 		{"ablation", bench.Ablations},
+		{"scaleout", bench.ScaleOut},
 	}
 	if len(os.Args) != 2 {
 		usage(runners)

@@ -33,6 +33,7 @@ import (
 	"demikernel/internal/core"
 	"demikernel/internal/demi"
 	"demikernel/internal/memory"
+	"demikernel/internal/sched"
 )
 
 // PDPIX types, re-exported.
@@ -57,6 +58,14 @@ type (
 	LibOS = demi.LibOS
 	// StorageOS extends LibOS with log cursor control.
 	StorageOS = demi.StorageOS
+	// SchedStats is a libOS coroutine scheduler's activity counters
+	// (coroutine spawns/completions, polls = context switches, empty
+	// scans). Scale-out harnesses read one per core.
+	SchedStats = sched.Stats
+	// SchedStatser is implemented by library OSes that expose their
+	// scheduler counters (Catnip, Catmint, Cattree, demi.Combined) —
+	// the per-core utilization hook used by `demi-bench scaleout`.
+	SchedStatser = demi.SchedStatser
 )
 
 // Socket types.

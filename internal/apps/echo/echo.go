@@ -176,16 +176,29 @@ func Server(l demi.LibOS, cfg ServerConfig) error {
 // ClientResult holds a closed-loop client's measurements.
 type ClientResult struct {
 	RTTs      []time.Duration
-	BytesPerS float64 // goodput over the measured rounds
+	Elapsed   time.Duration // measured window (rounds after warmup)
+	BytesPerS float64       // goodput over the measured rounds
 }
 
 // Client runs a closed-loop echo client: connect, then rounds of
 // push-and-wait-for-reply of msgSize bytes. warmup rounds are excluded
 // from the result.
 func Client(l demi.LibOS, server core.Addr, msgSize, rounds, warmup int, clock sim.Clock) (ClientResult, error) {
+	return ClientFrom(l, core.Addr{}, server, msgSize, rounds, warmup, clock)
+}
+
+// ClientFrom is Client with an explicit local endpoint, bound before
+// connecting. Scale-out harnesses pick the source port so the flow's RSS
+// hash steers it at a chosen server core; the zero Addr means "any".
+func ClientFrom(l demi.LibOS, local, server core.Addr, msgSize, rounds, warmup int, clock sim.Clock) (ClientResult, error) {
 	qd, err := l.Socket(core.SockStream)
 	if err != nil {
 		return ClientResult{}, err
+	}
+	if local != (core.Addr{}) {
+		if err := l.Bind(qd, local); err != nil {
+			return ClientResult{}, err
+		}
 	}
 	cqt, err := l.Connect(qd, server)
 	if err != nil {
@@ -232,9 +245,9 @@ func Client(l demi.LibOS, server core.Addr, msgSize, rounds, warmup int, clock s
 			res.RTTs = append(res.RTTs, clock.Now().Sub(start))
 		}
 	}
-	elapsed := clock.Now().Sub(measuredStart)
-	if elapsed > 0 {
-		res.BytesPerS = float64(2*msgSize*rounds) / elapsed.Seconds()
+	res.Elapsed = clock.Now().Sub(measuredStart)
+	if res.Elapsed > 0 {
+		res.BytesPerS = float64(2*msgSize*rounds) / res.Elapsed.Seconds()
 	}
 	l.Close(qd)
 	return res, nil

@@ -20,9 +20,21 @@ type Client struct {
 
 // Dial connects to the server.
 func Dial(l demi.LibOS, server core.Addr) (*Client, error) {
+	return DialFrom(l, core.Addr{}, server)
+}
+
+// DialFrom is Dial with an explicit local endpoint, bound before
+// connecting. Scale-out harnesses pick the source port so the flow's RSS
+// hash steers it at a chosen server core; the zero Addr means "any".
+func DialFrom(l demi.LibOS, local, server core.Addr) (*Client, error) {
 	qd, err := l.Socket(core.SockStream)
 	if err != nil {
 		return nil, err
+	}
+	if local != (core.Addr{}) {
+		if err := l.Bind(qd, local); err != nil {
+			return nil, err
+		}
 	}
 	cqt, err := l.Connect(qd, server)
 	if err != nil {

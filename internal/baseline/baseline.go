@@ -222,6 +222,9 @@ type Kernelized struct {
 	// storageWriteCost is the kernel block-layer + filesystem journalling
 	// cost per synchronous write, charged when pushing to a storage queue.
 	storageWriteCost time.Duration
+	// rr rotates the wait scan start (same fairness rule as core.Waiter;
+	// epoll likewise reports ready fds without favoring the lowest).
+	rr int
 }
 
 // Wrap builds a Kernelized stack.
@@ -343,12 +346,16 @@ func (k *Kernelized) wait(qts []core.QToken, timeout time.Duration) (int, core.Q
 	}
 	k.node.Charge(k.prof.WaitCost)
 	for {
-		for i, qt := range qts {
-			ev, done, err := k.inner.TryTake(qt)
+		for j := range qts {
+			i := (k.rr + j) % len(qts)
+			ev, done, err := k.inner.TryTake(qts[i])
 			if err != nil {
 				return -1, core.QEvent{}, err
 			}
 			if done {
+				if len(qts) > 1 {
+					k.rr = i + 1
+				}
 				return i, k.finish(ev), nil
 			}
 		}

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestScaleOutDeterminism replays a 4-core echo experiment twice with the
+// same seed: multi-core scheduling (round-robin baton across equal-clock
+// cores) plus RSS steering must reproduce byte-identical results.
+func TestScaleOutDeterminism(t *testing.T) {
+	opts := DefaultScaleOutOpts()
+	opts.Rounds, opts.Warmup = 200, 20
+	a, err := RunScaleOutEcho(4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScaleOutEcho(4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestScaleOutMonotonic checks the tentpole acceptance: aggregate echo
+// throughput increases monotonically 1 -> 2 -> 4 cores and reaches at
+// least 2.5x at 4 cores.
+func TestScaleOutMonotonic(t *testing.T) {
+	opts := DefaultScaleOutOpts()
+	opts.Rounds, opts.Warmup = 400, 40
+	var prev float64
+	var base float64
+	for _, n := range []int{1, 2, 4} {
+		row, err := RunScaleOutEcho(n, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%d cores: %.0f ops/s (per-core %v)", n, row.Aggregate, row.PerCore)
+		if row.Aggregate <= prev {
+			t.Fatalf("throughput not monotonic: %d cores %.0f <= %.0f", n, row.Aggregate, prev)
+		}
+		for c, tp := range row.PerCore {
+			if tp == 0 {
+				t.Fatalf("%d cores: core %d served no traffic (RSS steering broken)", n, c)
+			}
+		}
+		prev = row.Aggregate
+		if n == 1 {
+			base = row.Aggregate
+		}
+	}
+	if prev < 2.5*base {
+		t.Fatalf("4-core speedup %.2fx < 2.5x", prev/base)
+	}
+}
+
+// TestScaleOutKV exercises the KV path at 2 cores: both shards serve, and
+// GETs hit the values their own flows wrote.
+func TestScaleOutKV(t *testing.T) {
+	opts := DefaultScaleOutOpts()
+	opts.KVOps = 100
+	row, err := RunScaleOutKV(2, false, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, tp := range row.PerCore {
+		if tp == 0 {
+			t.Fatalf("core %d served no KV traffic", c)
+		}
+	}
+}

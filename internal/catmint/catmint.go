@@ -134,6 +134,10 @@ func (l *LibOS) Heap() *memory.Heap { return l.heap }
 // Stats returns a snapshot.
 func (l *LibOS) Stats() Stats { return l.stats }
 
+// SchedStats returns the per-core coroutine scheduler's counters
+// (demikernel.SchedStatser) for utilization breakdowns.
+func (l *LibOS) SchedStats() sched.Stats { return l.sched.Stats() }
+
 // peerLink is the multiplexed transport to one remote device: one QP, a
 // credit table each way, and the per-link flow-control coroutine.
 type peerLink struct {

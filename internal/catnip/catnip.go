@@ -63,6 +63,17 @@ type Tracer interface {
 	RecordFrame(dir byte, at sim.Time, data []byte)
 }
 
+// Device is the raw NIC interface the stack drives: one rx/tx queue pair
+// plus the port identity. A whole single-queue dpdkdev.Port and one
+// dpdkdev.Queue of a multi-queue RSS port both satisfy it — the latter is
+// how internal/multicore runs one Catnip instance per core over its own
+// queue pair.
+type Device interface {
+	MAC() simnet.MAC
+	RxBurst(max int) []*dpdkdev.Mbuf
+	TxBurst(frames [][]byte) int
+}
+
 // DefaultConfig returns datacenter-tuned defaults.
 func DefaultConfig(ip wire.IPAddr) Config {
 	return Config{
@@ -102,10 +113,10 @@ type Stats struct {
 	PureAcks, WindowProbes uint64
 }
 
-// LibOS is the Catnip library OS instance for one node + port.
+// LibOS is the Catnip library OS instance for one node + device queue.
 type LibOS struct {
 	node   *sim.Node
-	port   *dpdkdev.Port
+	port   Device
 	heap   *memory.Heap
 	sched  *sched.Scheduler
 	tokens *core.TokenTable
@@ -127,9 +138,16 @@ type LibOS struct {
 // New builds a Catnip libOS on a DPDK port. The heap becomes DMA-capable
 // for the port (the DPDK mempool model: registration is a no-op cookie).
 func New(node *sim.Node, port *dpdkdev.Port, cfg Config) *LibOS {
+	return NewOnDevice(node, port, cfg)
+}
+
+// NewOnDevice builds a Catnip libOS over any raw queue-pair device — in
+// particular one dpdkdev.Queue of an RSS multi-queue port, giving a
+// shared-nothing per-core stack (internal/multicore).
+func NewOnDevice(node *sim.Node, dev Device, cfg Config) *LibOS {
 	l := &LibOS{
 		node:          node,
-		port:          port,
+		port:          dev,
 		heap:          memory.NewHeap(nil),
 		sched:         sched.New(),
 		tokens:        core.NewTokenTable(),
@@ -157,6 +175,10 @@ func (l *LibOS) Heap() *memory.Heap { return l.heap }
 
 // Stats returns a snapshot of stack counters.
 func (l *LibOS) Stats() Stats { return l.stats }
+
+// SchedStats returns the per-core coroutine scheduler's counters
+// (demikernel.SchedStatser) for utilization breakdowns.
+func (l *LibOS) SchedStats() sched.Stats { return l.sched.Stats() }
 
 // Addr returns the interface address with the given port.
 func (l *LibOS) Addr(port uint16) core.Addr { return core.Addr{IP: l.cfg.IP, Port: port} }

@@ -155,6 +155,10 @@ func (l *LibOS) Heap() *memory.Heap { return l.heap }
 // Stats returns a snapshot.
 func (l *LibOS) Stats() Stats { return l.stats }
 
+// SchedStats returns the per-core coroutine scheduler's counters
+// (demikernel.SchedStatser) for utilization breakdowns.
+func (l *LibOS) SchedStats() sched.Stats { return l.sched.Stats() }
+
 // TailBlock returns the first free block of the named log (its end), or
 // zero for an unknown name.
 func (l *LibOS) TailBlock(name string) int64 {

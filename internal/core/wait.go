@@ -14,6 +14,13 @@ import (
 type Waiter struct {
 	Table  *TokenTable
 	Runner Runner
+	// rr rotates WaitAny's scan start across calls so a busy low-index
+	// token cannot starve the rest. A server holding one pop per
+	// connection in a single wait set would otherwise serve only the
+	// first connection whenever its next request arrives before the
+	// rescan — which is every time, for a closed-loop peer whose request
+	// piggybacks the ack that completes the server's reply push.
+	rr int
 }
 
 // Wait blocks until qt completes and returns its event.
@@ -32,12 +39,18 @@ func (w *Waiter) WaitAny(qts []QToken, timeout time.Duration) (int, QEvent, erro
 		deadline = w.Runner.Now().Add(timeout)
 	}
 	for {
-		for i, qt := range qts {
-			ev, done, err := w.Table.TryTake(qt)
+		for k := range qts {
+			i := (w.rr + k) % len(qts)
+			ev, done, err := w.Table.TryTake(qts[i])
 			if err != nil {
 				return -1, QEvent{}, err
 			}
 			if done {
+				if len(qts) > 1 {
+					// Single-token Waits (e.g. a nested wait on a
+					// reply push) must not perturb the rotation.
+					w.rr = i + 1 // next scan starts past this token
+				}
 				return i, ev, nil
 			}
 		}

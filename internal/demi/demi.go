@@ -13,6 +13,7 @@ import (
 
 	"demikernel/internal/core"
 	"demikernel/internal/memory"
+	"demikernel/internal/sched"
 	"demikernel/internal/sim"
 )
 
@@ -50,6 +51,13 @@ type StorOS interface {
 	Mount() error
 }
 
+// SchedStatser is implemented by libOSes that expose their coroutine
+// scheduler's counters (Catnip, Catmint, Cattree, Combined). Scale-out
+// harnesses read it per core for utilization breakdowns.
+type SchedStatser interface {
+	SchedStats() sched.Stats
+}
+
 // Drivable is a libOS whose wait loop can be driven externally (the
 // baseline wrappers re-implement the wait loop to charge kernel-path
 // costs). Combined and the network libOSes satisfy it.
@@ -70,6 +78,9 @@ type Combined struct {
 	Stor StorOS
 	// pollNetNext alternates the fast path between devices.
 	pollNetNext bool
+	// rr rotates WaitAny's scan start so one hot token cannot starve the
+	// rest (same fairness rule as core.Waiter).
+	rr int
 }
 
 // NewCombined integrates a network and a storage libOS running on the same
@@ -225,6 +236,22 @@ func (c *Combined) Now() sim.Time { return c.Net.Now() }
 // IsStorageQD reports whether qd belongs to the storage side.
 func (c *Combined) IsStorageQD(qd core.QDesc) bool { return isStorQD(qd) }
 
+// SchedStats sums the scheduler counters of both stacks (each side runs
+// its own scheduler; one core drives both).
+func (c *Combined) SchedStats() sched.Stats {
+	var total sched.Stats
+	for _, side := range []any{c.Net, c.Stor} {
+		if s, ok := side.(SchedStatser); ok {
+			st := s.SchedStats()
+			total.Spawned += st.Spawned
+			total.Completed += st.Completed
+			total.Polls += st.Polls
+			total.EmptyScans += st.EmptyScans
+		}
+	}
+	return total
+}
+
 // Wait blocks until qt completes.
 func (c *Combined) Wait(qt core.QToken) (core.QEvent, error) {
 	_, ev, err := c.WaitAny([]core.QToken{qt}, -1)
@@ -238,12 +265,16 @@ func (c *Combined) WaitAny(qts []core.QToken, timeout time.Duration) (int, core.
 		deadline = c.Net.Now().Add(timeout)
 	}
 	for {
-		for i, qt := range qts {
-			ev, done, err := c.TryTake(qt)
+		for k := range qts {
+			i := (c.rr + k) % len(qts)
+			ev, done, err := c.TryTake(qts[i])
 			if err != nil {
 				return -1, core.QEvent{}, err
 			}
 			if done {
+				if len(qts) > 1 {
+					c.rr = i + 1
+				}
 				return i, ev, nil
 			}
 		}

@@ -4,6 +4,13 @@
 // offers no protocol processing at all — Catnip implements ARP, IPv4, UDP
 // and TCP entirely in software above this interface (paper §2.1: DPDK is
 // the "low-level raw NIC interface" end of the offload spectrum).
+//
+// A port carries one or more rx/tx queue pairs. With more than one queue,
+// receive-side scaling (RSS, rss.go) steers each arriving frame by a
+// deterministic Toeplitz hash of its IPv4 5-tuple through a 128-entry
+// indirection table, so one flow always lands on one queue — the hardware
+// substrate for shared-nothing multi-core stacks (internal/multicore),
+// where every core polls its own queue pair.
 package dpdkdev
 
 import (
@@ -29,7 +36,8 @@ func (m *Mbuf) Free() {
 	}
 }
 
-// MbufPool tracks rx buffer credit, modelling a finite DPDK mempool.
+// MbufPool tracks rx buffer credit, modelling a finite DPDK mempool. All
+// queues of a port draw from the one pool.
 type MbufPool struct {
 	size int
 	free int
@@ -41,75 +49,203 @@ func NewMbufPool(size int) *MbufPool { return &MbufPool{size: size, free: size} 
 // Available returns the number of free mbufs.
 func (p *MbufPool) Available() int { return p.free }
 
-// Stats counts device activity.
+// QueueStats counts one rx/tx queue pair's activity.
+type QueueStats struct {
+	RxPackets, TxPackets uint64
+	RxBytes, TxBytes     uint64
+	// RxRingFull counts frames the NIC dropped because the queue's rx
+	// descriptor ring was full — the overload signal for scale-out runs
+	// (previously these drops were silent).
+	RxRingFull uint64
+	// RxNoMbuf counts frames dropped because the mempool was empty.
+	RxNoMbuf uint64
+}
+
+// Stats is the port-level aggregate across all queues.
 type Stats struct {
 	RxPackets, TxPackets uint64
+	RxBytes, TxBytes     uint64
 	RxNoMbuf             uint64 // frames dropped because the pool was empty
+	RxRingFull           uint64 // frames dropped because an rx ring was full
+}
+
+// Config sizes a port at attach time.
+type Config struct {
+	// PoolSize bounds the shared rx mbuf pool.
+	PoolSize int
+	// RxRing bounds each queue's rx descriptor ring (0 = unbounded).
+	RxRing int
+	// Queues is the number of rx/tx queue pairs (0 means 1). With several
+	// queues, RSS steers arriving frames by 5-tuple hash.
+	Queues int
 }
 
 // Port is a simulated DPDK ethdev port.
 type Port struct {
-	net   *simnet.Port
-	pool  *MbufPool
-	stats Stats
+	net    *simnet.Port
+	pool   *MbufPool
+	queues []*Queue
+	reta   [retaSize]int // RSS indirection table: hash bits -> queue
 }
 
-// Attach creates a port for node on the switch. poolSize bounds the rx mbuf
-// pool; rxRing bounds the hardware descriptor ring.
+// Attach creates a single-queue port for node on the switch. poolSize
+// bounds the rx mbuf pool; rxRing bounds the hardware descriptor ring.
 func Attach(sw *simnet.Switch, node *sim.Node, link simnet.LinkParams, poolSize, rxRing int) *Port {
-	return &Port{
-		net:  sw.Attach(node, link, rxRing),
-		pool: NewMbufPool(poolSize),
+	return AttachQueues(sw, node, link, Config{PoolSize: poolSize, RxRing: rxRing, Queues: 1})
+}
+
+// AttachQueues creates a port with cfg.Queues rx/tx queue pairs. Every
+// queue initially wakes node on arrival; multi-core owners re-bind queues
+// to their polling cores with Queue.SetOwner.
+func AttachQueues(sw *simnet.Switch, node *sim.Node, link simnet.LinkParams, cfg Config) *Port {
+	nq := cfg.Queues
+	if nq < 1 {
+		nq = 1
 	}
+	p := &Port{
+		net:  sw.Attach(node, link, 0),
+		pool: NewMbufPool(cfg.PoolSize),
+	}
+	for i := 0; i < nq; i++ {
+		p.queues = append(p.queues, &Queue{port: p, id: i, owner: node, rxLimit: cfg.RxRing})
+	}
+	for i := range p.reta {
+		p.reta[i] = i % nq
+	}
+	p.net.SetRxSink(p)
+	return p
 }
 
 // MAC returns the port's Ethernet address.
 func (p *Port) MAC() simnet.MAC { return p.net.MAC() }
 
-// Node returns the owning simulated host.
+// Node returns the simulated host the port is attached to.
 func (p *Port) Node() *sim.Node { return p.net.Node() }
 
-// Pool returns the port's mbuf pool.
+// Pool returns the port's shared mbuf pool.
 func (p *Port) Pool() *MbufPool { return p.pool }
 
-// Stats returns a snapshot of port counters.
-func (p *Port) Stats() Stats { return p.stats }
+// NumQueues returns the number of rx/tx queue pairs.
+func (p *Port) NumQueues() int { return len(p.queues) }
 
-// RxBurst polls up to max frames from the rx ring into fresh mbufs,
-// DPDK's rte_rx_burst. It returns nil immediately when the ring is empty.
-func (p *Port) RxBurst(max int) []*Mbuf {
-	if p.net.RxPending() == 0 {
-		return nil
+// Queue returns the i-th rx/tx queue pair.
+func (p *Port) Queue(i int) *Queue { return p.queues[i] }
+
+// Stats returns port counters aggregated across every queue.
+func (p *Port) Stats() Stats {
+	var s Stats
+	for _, q := range p.queues {
+		s.RxPackets += q.stats.RxPackets
+		s.TxPackets += q.stats.TxPackets
+		s.RxBytes += q.stats.RxBytes
+		s.TxBytes += q.stats.TxBytes
+		s.RxNoMbuf += q.stats.RxNoMbuf
+		s.RxRingFull += q.stats.RxRingFull
 	}
+	return s
+}
+
+// RxBurst polls queue 0 — the single-queue fast path (rte_rx_burst).
+func (p *Port) RxBurst(max int) []*Mbuf { return p.queues[0].RxBurst(max) }
+
+// TxBurst submits frames on queue 0 — the single-queue fast path
+// (rte_tx_burst).
+func (p *Port) TxBurst(frames [][]byte) int { return p.queues[0].TxBurst(frames) }
+
+// InjectRx delivers a frame straight into the port's receive path — the
+// trace-replay hook (call from an engine event targeting the owning node).
+// The frame passes through RSS classification like any fabric delivery.
+func (p *Port) InjectRx(data []byte) { p.net.InjectRx(simnet.Frame{Data: data}) }
+
+// DeliverRx implements simnet.RxSink: classify the arriving frame to a
+// queue (RSS) and ring that queue's doorbell.
+func (p *Port) DeliverRx(f simnet.Frame) {
+	p.queues[p.rxQueue(f.Data)].deliver(f.Data)
+}
+
+// A Queue is one rx/tx queue pair of a port. Each queue is polled by
+// exactly one virtual CPU (its owner); RSS guarantees a flow's frames all
+// arrive on one queue, so queues never share connection state.
+type Queue struct {
+	port    *Port
+	id      int
+	owner   *sim.Node
+	ring    [][]byte
+	rxLimit int
+	stats   QueueStats
+}
+
+// ID returns the queue index.
+func (q *Queue) ID() int { return q.id }
+
+// Port returns the owning port.
+func (q *Queue) Port() *Port { return q.port }
+
+// MAC returns the port's Ethernet address (shared by all queues).
+func (q *Queue) MAC() simnet.MAC { return q.port.MAC() }
+
+// Stats returns a snapshot of this queue's counters.
+func (q *Queue) Stats() QueueStats { return q.stats }
+
+// SetOwner binds the queue to the virtual CPU that polls it: arriving
+// frames wake owner, and transmissions are timestamped with its clock.
+func (q *Queue) SetOwner(n *sim.Node) { q.owner = n }
+
+// deliver places an arriving frame in the rx ring and wakes the polling
+// core, as the NIC's per-queue interrupt would. Runs inside the delivery
+// event.
+func (q *Queue) deliver(data []byte) {
+	if q.rxLimit > 0 && len(q.ring) >= q.rxLimit {
+		q.stats.RxRingFull++
+		return
+	}
+	q.ring = append(q.ring, data)
+	if q.owner != nil && q.owner != q.port.net.Node() {
+		// The fabric's delivery event targets the attach node; queues
+		// polled by other cores need their own wakeup.
+		eng := q.port.net.Node().Engine()
+		eng.At(eng.Now(), q.owner, nil)
+	}
+}
+
+// RxBurst polls up to max frames from this queue's rx ring into fresh
+// mbufs, DPDK's rte_rx_burst. It returns nil immediately when the ring is
+// empty.
+func (q *Queue) RxBurst(max int) []*Mbuf {
 	var out []*Mbuf
-	for len(out) < max {
-		f, ok := p.net.Recv()
-		if !ok {
-			break
-		}
-		if p.pool.free == 0 {
-			p.stats.RxNoMbuf++
+	for len(out) < max && len(q.ring) > 0 {
+		data := q.ring[0]
+		q.ring[0] = nil
+		q.ring = q.ring[1:]
+		if q.port.pool.free == 0 {
+			q.stats.RxNoMbuf++
 			continue
 		}
-		p.pool.free--
-		out = append(out, &Mbuf{Data: f.Data, pool: p.pool})
-		p.stats.RxPackets++
+		q.port.pool.free--
+		out = append(out, &Mbuf{Data: data, pool: q.port.pool})
+		q.stats.RxPackets++
+		q.stats.RxBytes += uint64(len(data))
 	}
 	return out
 }
 
-// TxBurst submits frames to the wire, DPDK's rte_tx_burst. Frames must be
-// complete Ethernet frames sourced from this port's MAC. It returns the
-// number accepted (always all, the fabric applies backpressure as
-// serialization delay).
-func (p *Port) TxBurst(frames [][]byte) int {
+// RxPending returns the number of frames waiting in this queue's rx ring.
+func (q *Queue) RxPending() int { return len(q.ring) }
+
+// TxBurst submits frames to the wire on this queue, DPDK's rte_tx_burst.
+// Frames must be complete Ethernet frames sourced from the port's MAC.
+// Serialization starts at the owning core's clock. It returns the number
+// accepted (always all, the fabric applies backpressure as serialization
+// delay).
+func (q *Queue) TxBurst(frames [][]byte) int {
+	now := q.port.net.Node().Now()
+	if q.owner != nil {
+		now = q.owner.Now()
+	}
 	for _, f := range frames {
-		p.net.Send(simnet.Frame{Data: f})
-		p.stats.TxPackets++
+		q.port.net.SendAt(simnet.Frame{Data: f}, now)
+		q.stats.TxPackets++
+		q.stats.TxBytes += uint64(len(f))
 	}
 	return len(frames)
 }
-
-// InjectRx delivers a frame straight into the port's receive ring — the
-// trace-replay hook (call from an engine event targeting the owning node).
-func (p *Port) InjectRx(data []byte) { p.net.InjectRx(simnet.Frame{Data: data}) }

@@ -1,0 +1,105 @@
+package dpdkdev
+
+import "encoding/binary"
+
+// Receive-side scaling: the NIC hashes each arriving frame's IPv4 5-tuple
+// with the Toeplitz function and steers it through a 128-entry indirection
+// table to an rx queue. The hash is a pure function of the flow, so every
+// frame of one flow lands on one queue — per-flow ordering and per-core
+// connection affinity fall out of the hardware, not software locking.
+// Frames the parser cannot classify (ARP, non-initial fragments, runts) go
+// to queue 0, as real NICs default.
+
+// retaSize is the indirection-table size (Intel/Mellanox default).
+const retaSize = 128
+
+// rssKey is the canonical Microsoft RSS key, the default programmed by
+// every major NIC driver. Using the well-known constant keeps the mapping
+// reproducible across runs and implementations.
+var rssKey = [40]byte{
+	0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2,
+	0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+	0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4,
+	0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+	0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+}
+
+// keyWindow returns the 32 key bits starting at bit offset off, wrapping
+// at the key's end (inputs are short enough that wrap never matters for
+// the standard 12-byte IPv4 tuple, but the hash stays total).
+func keyWindow(off int) uint32 {
+	byteOff := off / 8
+	shift := off % 8
+	var v uint64
+	for k := 0; k < 5; k++ {
+		v = v<<8 | uint64(rssKey[(byteOff+k)%len(rssKey)])
+	}
+	return uint32(v >> (8 - shift))
+}
+
+// Toeplitz computes the RSS hash of input: for every set bit i, XOR in the
+// 32-bit key window starting at bit i.
+func Toeplitz(input []byte) uint32 {
+	var hash uint32
+	for i, b := range input {
+		for bit := 0; bit < 8; bit++ {
+			if b&(0x80>>bit) != 0 {
+				hash ^= keyWindow(i*8 + bit)
+			}
+		}
+	}
+	return hash
+}
+
+// FlowHash returns the RSS hash of an IPv4 TCP/UDP flow as seen by the
+// receiver: source address first, as on the wire.
+func FlowHash(srcIP, dstIP [4]byte, srcPort, dstPort uint16) uint32 {
+	var in [12]byte
+	copy(in[0:4], srcIP[:])
+	copy(in[4:8], dstIP[:])
+	binary.BigEndian.PutUint16(in[8:10], srcPort)
+	binary.BigEndian.PutUint16(in[10:12], dstPort)
+	return Toeplitz(in[:])
+}
+
+// QueueForFlow returns the queue a flow maps to on a port with nQueues
+// queues and the default indirection table. Load generators use it to
+// steer a connection at a chosen server core by picking its source port.
+func QueueForFlow(nQueues int, srcIP, dstIP [4]byte, srcPort, dstPort uint16) int {
+	if nQueues <= 1 {
+		return 0
+	}
+	return int(FlowHash(srcIP, dstIP, srcPort, dstPort)&(retaSize-1)) % nQueues
+}
+
+// rxQueue classifies one arriving frame — the NIC's RSS parser. Offsets
+// are hand-decoded because hardware sees raw bytes, not parsed headers.
+func (p *Port) rxQueue(frame []byte) int {
+	if len(p.queues) == 1 {
+		return 0
+	}
+	// Ethernet header (14) + minimal IPv4 header (20).
+	if len(frame) < 34 {
+		return 0
+	}
+	if frame[12] != 0x08 || frame[13] != 0x00 { // not IPv4 (ARP etc.)
+		return 0
+	}
+	ihl := int(frame[14]&0x0f) * 4
+	if ihl < 20 || len(frame) < 14+ihl+4 {
+		return 0
+	}
+	proto := frame[23]
+	if proto != 6 && proto != 17 { // not TCP/UDP
+		return 0
+	}
+	if binary.BigEndian.Uint16(frame[20:22])&0x1fff != 0 {
+		return 0 // non-initial fragment: no ports to hash
+	}
+	var src, dst [4]byte
+	copy(src[:], frame[26:30])
+	copy(dst[:], frame[30:34])
+	sport := binary.BigEndian.Uint16(frame[14+ihl:])
+	dport := binary.BigEndian.Uint16(frame[14+ihl+2:])
+	return p.reta[FlowHash(src, dst, sport, dport)&(retaSize-1)]
+}

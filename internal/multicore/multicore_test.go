@@ -1,0 +1,117 @@
+package multicore
+
+import (
+	"testing"
+	"time"
+
+	"demikernel/internal/apps/echo"
+	"demikernel/internal/catnip"
+	"demikernel/internal/core"
+	"demikernel/internal/dpdkdev"
+	"demikernel/internal/sim"
+	"demikernel/internal/simnet"
+	"demikernel/internal/wire"
+)
+
+// TestTwoCoreEcho runs an SO_REUSEPORT-style sharded echo server on two
+// cores and one RSS-steered client per core: both cores must serve their
+// own flow, and port-level stats must equal the sum of the queues.
+func TestTwoCoreEcho(t *testing.T) {
+	eng := sim.NewEngine(5)
+	sw := simnet.NewSwitch(eng, simnet.DefaultSwitch())
+	serverIP := wire.IPAddr{10, 0, 0, 1}
+	link := simnet.LinkParams{Latency: time.Microsecond, BandwidthBps: 100e9}
+	grp := New(eng, sw, "server", serverIP, Config{Cores: 2, Link: link})
+	if grp.NumCores() != 2 || grp.Port.NumQueues() != 2 {
+		t.Fatalf("group has %d cores, port %d queues", grp.NumCores(), grp.Port.NumQueues())
+	}
+
+	svc := core.Addr{IP: serverIP, Port: 7000}
+	grp.Spawn(func(c *Core) {
+		echo.Server(c.OS, echo.ServerConfig{Addr: svc, MaxConns: 4})
+	})
+
+	const rounds = 50
+	var done int
+	results := make([]echo.ClientResult, 2)
+	for target := 0; target < 2; target++ {
+		target := target
+		ip := wire.IPAddr{10, 0, 0, byte(2 + target)}
+		node := eng.NewNode("client")
+		port := dpdkdev.Attach(sw, node, link, 1<<12, 0)
+		l := catnip.New(node, port, catnip.DefaultConfig(ip))
+		grp.SeedARP(ip, port.MAC())
+		l.SeedARP(serverIP, grp.MAC())
+		sport := grp.SourcePortFor(ip, svc.Port, target, 40000)
+		if got := grp.CoreFor(ip, sport, svc.Port); got != target {
+			t.Fatalf("SourcePortFor picked port %d mapping to core %d, want %d", sport, got, target)
+		}
+		local := core.Addr{IP: ip, Port: sport}
+		eng.Spawn(node, func() {
+			res, err := echo.ClientFrom(l, local, svc, 64, rounds, 5, node)
+			if err != nil {
+				t.Errorf("client %d: %v", target, err)
+			}
+			results[target] = res
+			if done++; done == 2 {
+				eng.Stop()
+			}
+		})
+	}
+	eng.Run()
+
+	for i, res := range results {
+		if len(res.RTTs) != rounds {
+			t.Fatalf("client %d completed %d/%d rounds", i, len(res.RTTs), rounds)
+		}
+	}
+	stats := grp.Stats()
+	var rxSum, txSum uint64
+	for _, cs := range stats {
+		if cs.Queue.RxPackets == 0 || cs.Queue.TxPackets == 0 {
+			t.Errorf("core %d idle: %+v (RSS steering should hit both)", cs.Core, cs.Queue)
+		}
+		if cs.Busy == 0 {
+			t.Errorf("core %d charged no CPU time", cs.Core)
+		}
+		if cs.Sched.Polls == 0 {
+			t.Errorf("core %d scheduler never polled", cs.Core)
+		}
+		rxSum += cs.Queue.RxPackets
+		txSum += cs.Queue.TxPackets
+	}
+	agg := grp.Port.Stats()
+	if agg.RxPackets != rxSum || agg.TxPackets != txSum {
+		t.Errorf("port aggregate %+v != queue sums rx=%d tx=%d", agg, rxSum, txSum)
+	}
+}
+
+// TestHostRoundRobin checks equal-clock cores take the engine baton in
+// round-robin order, the property that makes multi-core runs replayable.
+func TestHostRoundRobin(t *testing.T) {
+	eng := sim.NewEngine(1)
+	host := eng.NewHost("h", 3)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		eng.Spawn(host.Core(i), func() {
+			for step := 0; step < 3; step++ {
+				order = append(order, i)
+				host.Core(i).Charge(time.Microsecond) // all cores stay in lockstep
+				if !host.Core(i).Yield() {
+					return
+				}
+			}
+		})
+	}
+	eng.Run()
+	want := []int{0, 1, 2, 0, 1, 2, 0, 1, 2}
+	if len(order) != len(want) {
+		t.Fatalf("ran %d steps, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("baton order %v, want %v", order, want)
+		}
+	}
+}

@@ -22,6 +22,7 @@ type Engine struct {
 	back          chan struct{} // baton: node -> engine
 	stopRequested bool
 	stopped       bool
+	runSeq        uint64 // ticks once per baton handoff (round-robin ties)
 
 	eventsRun uint64
 	mains     map[*Node]func() // app entry points not yet started
@@ -101,15 +102,19 @@ func (e *Engine) At(t Time, target *Node, fn func()) {
 // result so application code can unwind.
 func (e *Engine) Stop() { e.stopRequested = true }
 
-// minRunnable returns the runnable node with the smallest (clock, id), or
-// nil if none is runnable.
+// minRunnable returns the runnable node with the smallest clock, breaking
+// clock ties by least-recently-run (then id). The tie-break makes
+// equal-clock nodes — the virtual CPUs of one multi-core host — take the
+// baton round-robin instead of lowest-id-first, while staying fully
+// deterministic.
 func (e *Engine) minRunnable() *Node {
 	var best *Node
 	for _, n := range e.nodes {
 		if n.state != stateRunnable {
 			continue
 		}
-		if best == nil || n.clock < best.clock {
+		if best == nil || n.clock < best.clock ||
+			(n.clock == best.clock && n.ranSeq < best.ranSeq) {
 			best = n
 		}
 	}
@@ -151,6 +156,8 @@ func (e *Engine) Run() {
 
 // step hands the baton to n and waits until it parks or finishes.
 func (e *Engine) step(n *Node) {
+	e.runSeq++
+	n.ranSeq = e.runSeq
 	n.state = stateRunning
 	n.resume <- struct{}{}
 	<-e.back

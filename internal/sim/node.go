@@ -29,6 +29,7 @@ type Node struct {
 	clock  Time          // local virtual time; >= engine.now whenever runnable
 	busy   time.Duration // total charged CPU time
 	parks  uint64        // number of Park calls (idle transitions)
+	ranSeq uint64        // engine.runSeq at last baton grant (round-robin ties)
 	resume chan struct{} // baton: engine -> node
 }
 

@@ -127,6 +127,16 @@ type PortStats struct {
 	RxDropped          uint64 // dropped because the rx ring was full
 }
 
+// An RxSink takes over receive-side delivery from the port's default rx
+// ring. Multi-queue device models (dpdkdev with RSS) install one to
+// classify each frame into their own per-queue rings at the instant it
+// arrives, exactly as NIC receive-side-scaling hardware does. The sink
+// runs inside the delivery event and owns all ring-bound/drop accounting
+// for the frames it takes.
+type RxSink interface {
+	DeliverRx(f Frame)
+}
+
 // A Port is a NIC attachment point on the fabric. Device models (dpdkdev,
 // rdmadev) wrap a Port; received frames accumulate in a bounded rx ring the
 // device polls.
@@ -140,6 +150,7 @@ type Port struct {
 	rx      []Frame
 	rxLimit int
 	promisc bool
+	sink    RxSink
 	stats   PortStats
 }
 
@@ -155,9 +166,18 @@ func (p *Port) Stats() PortStats { return p.stats }
 // SetPromiscuous controls whether the port accepts frames for other MACs.
 func (p *Port) SetPromiscuous(on bool) { p.promisc = on }
 
+// SetRxSink installs a receive sink, bypassing the default rx ring.
+func (p *Port) SetRxSink(s RxSink) { p.sink = s }
+
 // Send puts a frame on the wire at the owning node's current virtual time.
 // The frame's source must be the port's MAC (enforced to catch stack bugs).
-func (p *Port) Send(f Frame) {
+func (p *Port) Send(f Frame) { p.SendAt(f, p.node.Now()) }
+
+// SendAt is Send with an explicit submission time — the clock of whichever
+// virtual CPU issued the doorbell. Multi-queue devices use it so a core
+// other than the port's attach node transmits at its own local time rather
+// than the attach node's possibly-stale clock.
+func (p *Port) SendAt(f Frame, now sim.Time) {
 	if len(f.Data) < 14 {
 		panic("simnet: runt frame")
 	}
@@ -169,7 +189,7 @@ func (p *Port) Send(f Frame) {
 	f = Frame{Data: append([]byte(nil), f.Data...)}
 	p.stats.TxFrames++
 	p.stats.TxBytes += uint64(len(f.Data))
-	txEnd := p.up.transmitDelay(p.node.Now(), len(f.Data))
+	txEnd := p.up.transmitDelay(now, len(f.Data))
 	at, dup, ok := p.up.arrival(txEnd, len(f.Data))
 	if !ok {
 		return
@@ -184,8 +204,15 @@ func (p *Port) Send(f Frame) {
 	}
 }
 
-// enqueue places a frame in the rx ring, dropping if full.
+// enqueue places a frame in the rx ring (or hands it to the sink),
+// dropping if the ring is full.
 func (p *Port) enqueue(f Frame) {
+	if p.sink != nil {
+		p.stats.RxFrames++
+		p.stats.RxBytes += uint64(len(f.Data))
+		p.sink.DeliverRx(f)
+		return
+	}
 	if p.rxLimit > 0 && len(p.rx) >= p.rxLimit {
 		p.stats.RxDropped++
 		return
