@@ -3,7 +3,13 @@
 //
 // Usage:
 //
-//	demi-bench table2|table3|fig5|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|fig12|ablation|scaleout|all
+//	demi-bench [-json] [-telemetry] table2|table3|fig5|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|fig12|ablation|scaleout|all
+//
+// Flags may appear before or after the experiment name:
+//
+//	-json       also write every table to BENCH_results.json
+//	-telemetry  dump each experiment's telemetry (registry snapshots +
+//	            qtoken flight-recorder spans) to stdout after its tables
 package main
 
 import (
@@ -45,10 +51,24 @@ func main() {
 		{"ablation", bench.Ablations},
 		{"scaleout", bench.ScaleOut},
 	}
-	if len(os.Args) != 2 {
+	var jsonOut, telemetryOut bool
+	var want string
+	for _, arg := range os.Args[1:] {
+		switch arg {
+		case "-json", "--json":
+			jsonOut = true
+		case "-telemetry", "--telemetry":
+			telemetryOut = true
+		default:
+			if want != "" {
+				usage(runners)
+			}
+			want = arg
+		}
+	}
+	if want == "" {
 		usage(runners)
 	}
-	want := os.Args[1]
 	var selected []runner
 	if want == "all" {
 		selected = runners
@@ -62,6 +82,10 @@ func main() {
 	if len(selected) == 0 {
 		usage(runners)
 	}
+	if telemetryOut {
+		bench.SetTelemetrySink(os.Stdout)
+	}
+	var all []*bench.Table
 	for _, r := range selected {
 		tables, err := r.run()
 		if err != nil {
@@ -71,11 +95,25 @@ func main() {
 		for _, t := range tables {
 			t.Print(os.Stdout)
 		}
+		all = append(all, tables...)
+	}
+	if jsonOut {
+		f, err := os.Create("BENCH_results.json")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "demi-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteTablesJSON(f, all); err != nil {
+			fmt.Fprintf(os.Stderr, "demi-bench: write BENCH_results.json: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "wrote BENCH_results.json (%d tables)\n", len(all))
 	}
 }
 
 func usage(runners []runner) {
-	fmt.Fprint(os.Stderr, "usage: demi-bench <experiment>\nexperiments: all")
+	fmt.Fprint(os.Stderr, "usage: demi-bench [-json] [-telemetry] <experiment>\nexperiments: all")
 	for _, r := range runners {
 		fmt.Fprintf(os.Stderr, " %s", r.name)
 	}

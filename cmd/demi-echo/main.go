@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	demi-echo -port 7000 [-log dir]          # server
-//	demi-echo -port 7000 -client -n 10000    # client
+//	demi-echo -port 7000 [-log dir] [-metrics :9090]   # server
+//	demi-echo -port 7000 -client -n 10000              # client
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 	demikernel "demikernel"
 	"demikernel/internal/apps/echo"
 	"demikernel/internal/sim"
+	"demikernel/internal/telemetry"
 )
 
 func main() {
@@ -26,9 +27,21 @@ func main() {
 	n := flag.Int("n", 10000, "client rounds")
 	size := flag.Int("size", 64, "message size (bytes)")
 	logDir := flag.String("log", "", "directory for the echo log (server; empty = no logging)")
+	metrics := flag.String("metrics", "", "serve /metrics, /metrics.json and /flight on this address (empty = off)")
 	flag.Parse()
 
 	los := demikernel.NewCatnap(*logDir)
+	if *metrics != "" {
+		fr := telemetry.NewFlightRecorder(4096, 8)
+		los.Tokens().SetRecorder(fr)
+		go func() {
+			snap := func() []*telemetry.Snapshot {
+				return []*telemetry.Snapshot{los.Telemetry().Snapshot()}
+			}
+			log.Printf("metrics: %v", telemetry.ListenAndServe(*metrics, snap, fr))
+		}()
+		fmt.Printf("metrics on %s (/metrics, /metrics.json, /flight)\n", *metrics)
+	}
 	addr := demikernel.Addr{Port: uint16(*port)}
 	if *client {
 		res, err := echo.Client(los, addr, *size, *n, *n/10, sim.NewWallClock())

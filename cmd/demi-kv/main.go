@@ -3,24 +3,41 @@
 //
 // Usage:
 //
-//	demi-kv -port 6380 [-aof dir]
+//	demi-kv -port 6380 [-aof dir] [-metrics :9090]
+//
+// With -metrics, GET /metrics (Prometheus), /metrics.json and /flight on
+// that address expose the libOS counters and the qtoken flight recorder.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 
 	demikernel "demikernel"
 	"demikernel/internal/apps/kv"
+	"demikernel/internal/telemetry"
 )
 
 func main() {
 	port := flag.Int("port", 6380, "TCP port")
 	aofDir := flag.String("aof", "", "directory for the append-only file (empty = in-memory only)")
+	metrics := flag.String("metrics", "", "serve /metrics, /metrics.json and /flight on this address (empty = off)")
 	flag.Parse()
 
 	los := demikernel.NewCatnap(*aofDir)
+	if *metrics != "" {
+		fr := telemetry.NewFlightRecorder(4096, 8)
+		los.Tokens().SetRecorder(fr)
+		go func() {
+			snap := func() []*telemetry.Snapshot {
+				return []*telemetry.Snapshot{los.Telemetry().Snapshot()}
+			}
+			log.Printf("metrics: %v", telemetry.ListenAndServe(*metrics, snap, fr))
+		}()
+		fmt.Printf("metrics on %s (/metrics, /metrics.json, /flight)\n", *metrics)
+	}
 	cfg := kv.ServerConfig{Addr: demikernel.Addr{Port: uint16(*port)}}
 	if *aofDir != "" {
 		cfg.AOFName = "appendonly.aof"

@@ -3,23 +3,37 @@
 //
 // Usage:
 //
-//	demi-relay -port 3478
+//	demi-relay -port 3478 [-metrics :9090]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 
 	demikernel "demikernel"
 	"demikernel/internal/apps/relay"
+	"demikernel/internal/telemetry"
 )
 
 func main() {
 	port := flag.Int("port", 3478, "UDP port")
+	metrics := flag.String("metrics", "", "serve /metrics, /metrics.json and /flight on this address (empty = off)")
 	flag.Parse()
 
 	los := demikernel.NewCatnap("")
+	if *metrics != "" {
+		fr := telemetry.NewFlightRecorder(4096, 8)
+		los.Tokens().SetRecorder(fr)
+		go func() {
+			snap := func() []*telemetry.Snapshot {
+				return []*telemetry.Snapshot{los.Telemetry().Snapshot()}
+			}
+			log.Printf("metrics: %v", telemetry.ListenAndServe(*metrics, snap, fr))
+		}()
+		fmt.Printf("metrics on %s (/metrics, /metrics.json, /flight)\n", *metrics)
+	}
 	var stats relay.Stats
 	fmt.Printf("UDP relay on 127.0.0.1:%d\n", *port)
 	if err := relay.Server(los, demikernel.Addr{Port: uint16(*port)}, &stats); err != nil {

@@ -10,6 +10,7 @@ import (
 	"demikernel/internal/memory"
 	"demikernel/internal/rdmadev"
 	"demikernel/internal/simnet"
+	"demikernel/internal/telemetry"
 	"demikernel/internal/wire"
 )
 
@@ -56,6 +57,11 @@ func RunEcho(sys System, opts EchoOpts) (EchoRow, error) {
 	tb := NewTestbed(opts.Seed, opts.Switch)
 	server := tb.NewStack(sys, "server", benchServerIP)
 	client := tb.NewStack(sys, "client", benchClientIP)
+	var serverFR, clientFR *telemetry.FlightRecorder
+	if telemetrySink != nil {
+		serverFR = instrumentStack(server, 0)
+		clientFR = instrumentStack(client, 1)
+	}
 	tb.SeedARP()
 	addr := core.Addr{IP: benchServerIP, Port: benchPort}
 	scfg := echo.ServerConfig{Addr: addr, MessageSize: opts.MsgFraming}
@@ -80,6 +86,10 @@ func RunEcho(sys System, opts EchoOpts) (EchoRow, error) {
 	tb.Eng.Run()
 	if cerr != nil {
 		return EchoRow{}, fmt.Errorf("%s: %w", sys.Name, cerr)
+	}
+	if telemetrySink != nil {
+		dumpStack(sys.Name+"/server", server, serverFR)
+		dumpStack(sys.Name+"/client", client, clientFR)
 	}
 	h := &Hist{}
 	h.AddAll(res.RTTs)

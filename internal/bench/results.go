@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -51,4 +52,58 @@ func (t *Table) Print(w io.Writer) {
 	for _, row := range t.Rows {
 		line(row)
 	}
+}
+
+// Series is one row of a table in machine-readable form: the first column
+// names the series, the remaining columns become header->value pairs (the
+// experiment's value/p50/p99 readings).
+type Series struct {
+	Name   string            `json:"name"`
+	Values map[string]string `json:"values"`
+}
+
+// TableJSON is a table's machine-readable form (demi-bench -json writes an
+// array of these to BENCH_results.json so the bench trajectory can be
+// tracked across PRs).
+type TableJSON struct {
+	Title  string     `json:"title"`
+	Note   string     `json:"note,omitempty"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Series []Series   `json:"series"`
+}
+
+// ToJSON converts the table to its machine-readable form.
+func (t *Table) ToJSON() TableJSON {
+	tj := TableJSON{Title: t.Title, Note: t.Note, Header: t.Header, Rows: t.Rows}
+	for _, row := range t.Rows {
+		if len(row) == 0 {
+			continue
+		}
+		s := Series{Name: row[0], Values: make(map[string]string)}
+		for i := 1; i < len(row) && i < len(t.Header); i++ {
+			s.Values[t.Header[i]] = row[i]
+		}
+		tj.Series = append(tj.Series, s)
+	}
+	return tj
+}
+
+// JSON renders the table as indented JSON.
+func (t *Table) JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.ToJSON())
+}
+
+// WriteTablesJSON renders several tables as one JSON array (the
+// BENCH_results.json document).
+func WriteTablesJSON(w io.Writer, tables []*Table) error {
+	arr := make([]TableJSON, 0, len(tables))
+	for _, t := range tables {
+		arr = append(arr, t.ToJSON())
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(arr)
 }

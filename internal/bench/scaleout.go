@@ -55,8 +55,8 @@ func DefaultScaleOutOpts() ScaleOutOpts {
 
 // ScaleOutRow is one core count's measurement.
 type ScaleOutRow struct {
-	Cores   int
-	Flows   int
+	Cores int
+	Flows int
 	// Aggregate is total ops/s summed over flows; PerCore splits it by the
 	// serving core (RSS-steered, so attribution is exact).
 	Aggregate float64
@@ -150,6 +150,14 @@ func (c *scaleOutCluster) finish(cores int, tput []float64, rtts [][]time.Durati
 		h.AddAll(rtts[j])
 	}
 	row.Avg, row.P99 = h.Mean(), h.P99()
+	if telemetrySink != nil {
+		fmt.Fprintf(telemetrySink, "\n-- telemetry: scale-out %d cores --\n", cores)
+		for _, snap := range c.grp.CoreTelemetry() {
+			snap.WriteText(telemetrySink)
+		}
+		c.grp.MergedTelemetry().WriteText(telemetrySink)
+		c.grp.Port.Telemetry().Snapshot().WriteText(telemetrySink)
+	}
 	return row
 }
 

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"demikernel/internal/core"
+	"demikernel/internal/demi"
+	"demikernel/internal/telemetry"
+)
+
+// telemetrySink, when set, makes every experiment dump its stacks'
+// telemetry (registry snapshots + flight-recorder spans) after the run —
+// the demi-bench --telemetry flag. All dumped values are virtual-time, so
+// two same-seed runs write byte-identical dumps.
+var telemetrySink io.Writer
+
+// SetTelemetrySink directs post-run telemetry dumps to w (nil disables).
+func SetTelemetrySink(w io.Writer) { telemetrySink = w }
+
+// telemetrer is any libOS (or device) exposing a metric registry.
+type telemetrer interface {
+	Telemetry() *telemetry.Registry
+}
+
+// tokener is any libOS exposing its qtoken table for instrumentation.
+type tokener interface {
+	Tokens() *core.TokenTable
+}
+
+// innerer matches the baseline wrappers (baseline.Kernelized).
+type innerer interface {
+	Inner() demi.Drivable
+}
+
+// components unwraps a stack's libOS into its constituent instrumented
+// parts: baseline wrappers are peeled, Combined splits into net + storage.
+func components(os any) []any {
+	switch v := os.(type) {
+	case innerer:
+		return components(v.Inner())
+	case *demi.Combined:
+		return append(components(v.Net), components(v.Stor)...)
+	default:
+		return []any{os}
+	}
+}
+
+// instrumentStack attaches a flight recorder to every qtoken table in the
+// stack and labels its spans with coreID. Returns nil if nothing in the
+// stack is instrumentable.
+func instrumentStack(st *Stack, coreID int) *telemetry.FlightRecorder {
+	fr := telemetry.NewFlightRecorder(4096, 8)
+	attached := false
+	for _, c := range components(st.OS) {
+		if t, ok := c.(tokener); ok {
+			t.Tokens().Instrument(st.Node, coreID)
+			t.Tokens().SetRecorder(fr)
+			attached = true
+		}
+	}
+	if !attached {
+		return nil
+	}
+	return fr
+}
+
+// dumpStack writes the stack's registry snapshots and flight-recorder dump
+// to the telemetry sink.
+func dumpStack(title string, st *Stack, fr *telemetry.FlightRecorder) {
+	w := telemetrySink
+	if w == nil {
+		return
+	}
+	fmt.Fprintf(w, "\n-- telemetry: %s --\n", title)
+	for _, c := range components(st.OS) {
+		if t, ok := c.(telemetrer); ok && t.Telemetry() != nil {
+			t.Telemetry().Snapshot().WriteText(w)
+		}
+	}
+	if fr != nil {
+		fr.WriteDump(w)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"demikernel/internal/sched"
 	"demikernel/internal/sim"
 	"demikernel/internal/simnet"
+	"demikernel/internal/telemetry"
 )
 
 // Config tunes the libOS.
@@ -64,7 +65,9 @@ const (
 // msgHeaderLen is type(1) + connID(4) + aux(4).
 const msgHeaderLen = 9
 
-// Stats counts libOS activity.
+// Stats counts libOS activity. It is a snapshot view: the live counters are
+// registry-backed (Telemetry()), and Stats() rebuilds this struct from them
+// so pre-registry callers keep working.
 type Stats struct {
 	Sends, Recvs     uint64
 	CreditStalls     uint64
@@ -74,6 +77,32 @@ type Stats struct {
 	ConnectsAccepted uint64
 	MessagesTooLarge uint64
 	RecvBufsReposted uint64
+}
+
+// counters are the live registry-backed equivalents of Stats.
+type counters struct {
+	sends, recvs     *telemetry.Counter
+	creditStalls     *telemetry.Counter
+	windowWrites     *telemetry.Counter
+	zeroCopyTx       *telemetry.Counter
+	copiedTx         *telemetry.Counter
+	connectsAccepted *telemetry.Counter
+	messagesTooLarge *telemetry.Counter
+	recvBufsReposted *telemetry.Counter
+}
+
+func newCounters(reg *telemetry.Registry) counters {
+	return counters{
+		sends:            reg.Counter("catmint.sends"),
+		recvs:            reg.Counter("catmint.recvs"),
+		creditStalls:     reg.Counter("catmint.credit_stalls"),
+		windowWrites:     reg.Counter("catmint.window_writes"),
+		zeroCopyTx:       reg.Counter("catmint.tx_zero_copy"),
+		copiedTx:         reg.Counter("catmint.tx_copied"),
+		connectsAccepted: reg.Counter("catmint.connects_accepted"),
+		messagesTooLarge: reg.Counter("catmint.messages_too_large"),
+		recvBufsReposted: reg.Counter("catmint.recv_bufs_reposted"),
+	}
 }
 
 // LibOS is a Catmint instance for one node + RDMA NIC.
@@ -92,7 +121,8 @@ type LibOS struct {
 	links      map[simnet.MAC]*peerLink
 	listeners  map[uint16]*listener
 	nextConnID uint32
-	stats      Stats
+	reg        *telemetry.Registry
+	stats      counters
 }
 
 // New builds a Catmint libOS on an RDMA NIC. The application heap registers
@@ -112,7 +142,15 @@ func New(node *sim.Node, nic *rdmadev.NIC, cfg Config) *LibOS {
 		links:     make(map[simnet.MAC]*peerLink),
 		listeners: make(map[uint16]*listener),
 	}
+	l.reg = telemetry.NewRegistry(node.Name() + "/catmint")
+	l.stats = newCounters(l.reg)
 	l.heap = memory.NewHeap(nic.RegisterMemory)
+	l.heap.PublishTelemetry(l.reg, "mem")
+	l.tokens.Instrument(node, 0)
+	l.tokens.SetLatencyHist(l.reg.Histogram("core.qtoken_latency_ns"))
+	sc := l.sched
+	l.reg.Sample("sched.polls", func() int64 { return int64(sc.Stats().Polls) })
+	l.reg.Sample("sched.empty_scans", func() int64 { return int64(sc.Stats().EmptyScans) })
 	l.waiter = core.Waiter{Table: l.tokens, Runner: l}
 	var err error
 	l.cmListener, err = nic.ListenCM(cfg.CMPort)
@@ -131,8 +169,23 @@ func (l *LibOS) MAC() simnet.MAC { return l.nic.MAC() }
 // Heap returns the DMA-capable application heap.
 func (l *LibOS) Heap() *memory.Heap { return l.heap }
 
-// Stats returns a snapshot.
-func (l *LibOS) Stats() Stats { return l.stats }
+// Stats returns a snapshot rebuilt from the registry-backed counters.
+func (l *LibOS) Stats() Stats {
+	return Stats{
+		Sends:            l.stats.sends.Value(),
+		Recvs:            l.stats.recvs.Value(),
+		CreditStalls:     l.stats.creditStalls.Value(),
+		WindowWrites:     l.stats.windowWrites.Value(),
+		ZeroCopyTx:       l.stats.zeroCopyTx.Value(),
+		CopiedTx:         l.stats.copiedTx.Value(),
+		ConnectsAccepted: l.stats.connectsAccepted.Value(),
+		MessagesTooLarge: l.stats.messagesTooLarge.Value(),
+		RecvBufsReposted: l.stats.recvBufsReposted.Value(),
+	}
+}
+
+// Telemetry returns the libOS's metric registry.
+func (l *LibOS) Telemetry() *telemetry.Registry { return l.reg }
 
 // SchedStats returns the per-core coroutine scheduler's counters
 // (demikernel.SchedStatser) for utilization breakdowns.
@@ -300,7 +353,7 @@ func (l *LibOS) postRecv(pl *peerLink) {
 	buf.IORef() // owned by the device until a CQE hands it back
 	pl.qp.PostRecv(buf, pl)
 	pl.posted++
-	l.stats.RecvBufsReposted++
+	l.stats.recvBufsReposted.Inc()
 }
 
 // pollFlow is the per-link flow-control coroutine (paper §6.2): it reposts
@@ -320,7 +373,7 @@ func (pl *peerLink) pollFlow(ctx *sched.Context) sched.Poll {
 		binary.LittleEndian.PutUint64(g[:], pl.granted)
 		l.node.Charge(l.cfg.PostSendCost)
 		pl.qp.PostWrite(pl.peerRkey, 0, g[:])
-		l.stats.WindowWrites++
+		l.stats.windowWrites.Inc()
 	}
 	return sched.Pending
 }
@@ -336,7 +389,7 @@ func (pl *peerLink) drainPending() {
 	l := pl.lib
 	for len(pl.pendingSends) > 0 {
 		if pl.credits() <= 0 {
-			l.stats.CreditStalls++
+			l.stats.creditStalls.Inc()
 			return
 		}
 		ps := pl.pendingSends[0]
@@ -347,16 +400,16 @@ func (pl *peerLink) drainPending() {
 		for _, b := range ps.sga.Segs {
 			if b.ZeroCopyEligible() {
 				b.Rkey() // get_rkey: lazy registration on first I/O
-				l.stats.ZeroCopyTx++
+				l.stats.zeroCopyTx.Inc()
 			} else {
 				l.node.Charge(costmodel.Memcpy(b.Len()))
-				l.stats.CopiedTx++
+				l.stats.copiedTx.Inc()
 			}
 			segs = append(segs, b.Bytes())
 		}
 		l.node.Charge(l.cfg.PostSendCost)
 		pl.qp.PostSend(ps, segs...)
-		l.stats.Sends++
+		l.stats.sends.Inc()
 	}
 }
 
@@ -378,7 +431,7 @@ func (l *LibOS) handleCQE(cqe rdmadev.CQE) {
 		if pl.posted < l.cfg.RefillThreshold {
 			pl.flowH.Wake()
 		}
-		l.stats.Recvs++
+		l.stats.recvs.Inc()
 		l.handleMessage(pl, cqe.Buf, cqe.Len)
 	}
 }
@@ -420,7 +473,7 @@ func (l *LibOS) handleMessage(pl *peerLink, buf *memory.Buf, length int) {
 		c := &conn{lib: l, link: pl, localID: l.nextConnID, peerID: connID, open: true}
 		pl.conns[c.localID] = c
 		pl.send(buildHeader(msgAccept, connID, c.localID), core.SGArray{}, nil, core.InvalidQD)
-		l.stats.ConnectsAccepted++
+		l.stats.connectsAccepted.Inc()
 		ln.established(c)
 		buf.IOUnref()
 		buf.Free()

@@ -62,7 +62,7 @@ func (c *conn) push(op *core.Op, sga core.SGArray) {
 		return
 	}
 	if sga.TotalLen() > l.cfg.MaxMsgSize {
-		l.stats.MessagesTooLarge++
+		l.stats.messagesTooLarge.Inc()
 		op.Fail(c.qd, core.OpPush, core.ErrNotSupported)
 		return
 	}

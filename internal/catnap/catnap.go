@@ -24,6 +24,7 @@ import (
 	"demikernel/internal/core"
 	"demikernel/internal/memory"
 	"demikernel/internal/sim"
+	"demikernel/internal/telemetry"
 )
 
 // Stats counts libOS activity.
@@ -49,6 +50,7 @@ type LibOS struct {
 
 	dir   string // directory for storage log files
 	stats Stats
+	reg   *telemetry.Registry
 }
 
 // New builds a Catnap libOS. dir is where storage logs live ("" disables
@@ -64,8 +66,27 @@ func New(dir string) *LibOS {
 		dir:      dir,
 	}
 	l.waiter = core.Waiter{Table: l.tokens, Runner: l}
+	l.reg = telemetry.NewRegistry("catnap")
+	s := &l.stats
+	l.reg.Sample("catnap.tcp_accepts", func() int64 { return int64(s.TCPAccepts) })
+	l.reg.Sample("catnap.tcp_connects", func() int64 { return int64(s.TCPConnects) })
+	l.reg.Sample("catnap.bytes_in", func() int64 { return int64(s.BytesIn) })
+	l.reg.Sample("catnap.bytes_out", func() int64 { return int64(s.BytesOut) })
+	l.reg.Sample("catnap.file_appends", func() int64 { return int64(s.FileAppends) })
+	l.reg.Sample("catnap.file_reads", func() int64 { return int64(s.FileReads) })
+	l.heap.PublishTelemetry(l.reg, "mem")
+	l.tokens.Instrument(l.clock, 0)
+	l.tokens.SetLatencyHist(l.reg.Histogram("core.qtoken_latency_ns"))
 	return l
 }
+
+// Tokens returns the qtoken table (for flight-recorder attachment).
+func (l *LibOS) Tokens() *core.TokenTable { return l.tokens }
+
+// Telemetry returns the libOS's metric registry. Timestamps here are
+// wall-clock (Catnap runs on the real OS), so dumps are not deterministic —
+// unlike the simulated stacks.
+func (l *LibOS) Telemetry() *telemetry.Registry { return l.reg }
 
 // Heap returns the application heap (plain memory: the kernel path copies
 // anyway, as the paper notes — POSIX is not zero-copy).

@@ -24,6 +24,7 @@ import (
 	"demikernel/internal/sched"
 	"demikernel/internal/sim"
 	"demikernel/internal/simnet"
+	"demikernel/internal/telemetry"
 	"demikernel/internal/wire"
 )
 
@@ -133,6 +134,10 @@ type LibOS struct {
 	nextEphemeral uint16
 	ipID          uint16
 	stats         Stats
+
+	reg     *telemetry.Registry
+	telCwnd *telemetry.Histogram // cwnd sampled at every ack arrival
+	telOOO  *telemetry.Histogram // OOO-queue depth sampled at every insert
 }
 
 // New builds a Catnip libOS on a DPDK port. The heap becomes DMA-capable
@@ -161,8 +166,60 @@ func NewOnDevice(node *sim.Node, dev Device, cfg Config) *LibOS {
 	}
 	l.arp = newARPCache(l)
 	l.waiter = core.Waiter{Table: l.tokens, Runner: l}
+	l.initTelemetry()
 	return l
 }
+
+// initTelemetry creates the stack's metric registry and self-instruments:
+// qtoken issue→complete latency, TCP cwnd/OOO-depth distributions, and the
+// stack, scheduler and allocator counters as sampled gauges (pull model —
+// zero hot-path cost). The flight recorder and core id are attached later
+// by whoever owns the run (bench harness, multicore group).
+func (l *LibOS) initTelemetry() {
+	l.reg = telemetry.NewRegistry(l.node.Name() + "/catnip")
+	l.telCwnd = l.reg.Histogram("catnip.tcp.cwnd_bytes")
+	l.telOOO = l.reg.Histogram("catnip.tcp.ooo_depth")
+	l.tokens.Instrument(l.node, 0)
+	l.tokens.SetLatencyHist(l.reg.Histogram("core.qtoken_latency_ns"))
+
+	s := &l.stats
+	l.reg.Sample("catnip.rx_frames", func() int64 { return int64(s.RxFrames) })
+	l.reg.Sample("catnip.tx_frames", func() int64 { return int64(s.TxFrames) })
+	l.reg.Sample("catnip.rx_tcp", func() int64 { return int64(s.RxTCP) })
+	l.reg.Sample("catnip.rx_udp", func() int64 { return int64(s.RxUDP) })
+	l.reg.Sample("catnip.rx_arp", func() int64 { return int64(s.RxARP) })
+	l.reg.Sample("catnip.tcp.retransmits", func() int64 { return int64(s.TCPRetransmits) })
+	l.reg.Sample("catnip.tcp.fast_retransmits", func() int64 { return int64(s.TCPFastRetransmits) })
+	l.reg.Sample("catnip.tcp.out_of_order", func() int64 { return int64(s.TCPOutOfOrder) })
+	l.reg.Sample("catnip.tcp.dup_acks_sent", func() int64 { return int64(s.TCPDupAcksSent) })
+	l.reg.Sample("catnip.tcp.pure_acks", func() int64 { return int64(s.PureAcks) })
+	l.reg.Sample("catnip.tcp.window_probes", func() int64 { return int64(s.WindowProbes) })
+	l.reg.Sample("catnip.rx_dropped_no_port", func() int64 { return int64(s.RxDroppedNoPort) })
+	l.reg.Sample("catnip.rx_bad_checksum", func() int64 { return int64(s.RxBadChecksum) })
+	l.reg.Sample("catnip.tx_zero_copy", func() int64 { return int64(s.ZeroCopyTx) })
+	l.reg.Sample("catnip.tx_copied", func() int64 { return int64(s.CopiedTx) })
+
+	sc := l.sched
+	l.reg.Sample("sched.polls", func() int64 { return int64(sc.Stats().Polls) })
+	l.reg.Sample("sched.empty_scans", func() int64 { return int64(sc.Stats().EmptyScans) })
+	l.reg.Sample("sched.spawned", func() int64 { return int64(sc.Stats().Spawned) })
+	l.reg.Sample("sched.completed", func() int64 { return int64(sc.Stats().Completed) })
+	for c := sched.Class(0); int(c) < sched.NumClasses; c++ {
+		c := c
+		name := sched.ClassName(c)
+		l.reg.Sample("sched.polls."+name, func() int64 { return int64(sc.Stats().PollsByClass[c]) })
+		l.reg.Sample("sched.runnable."+name, func() int64 { return int64(sc.Ready(c)) })
+		// Time-in-state: every poll charges one SchedQuantum of virtual CPU.
+		l.reg.Sample("sched.class_time_ns."+name, func() int64 {
+			return int64(sc.Stats().PollsByClass[c]) * int64(costmodel.SchedQuantum)
+		})
+	}
+
+	l.heap.PublishTelemetry(l.reg, "mem")
+}
+
+// Telemetry returns the stack's metric registry.
+func (l *LibOS) Telemetry() *telemetry.Registry { return l.reg }
 
 // Node returns the owning simulated host.
 func (l *LibOS) Node() *sim.Node { return l.node }

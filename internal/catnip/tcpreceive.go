@@ -202,6 +202,7 @@ func (c *tcpConn) processAck(h wire.TCPHeader, payloadLen int) {
 		} else {
 			c.cc.onAck(int(acked), c.lib.node.Now())
 		}
+		c.lib.telCwnd.Observe(int64(c.cc.window()))
 		c.armRTO()
 		c.advanceCloseStates()
 	case h.Ack == c.sndUna && len(c.retransQ) > 0 && payloadLen == 0 &&
@@ -298,6 +299,7 @@ func (c *tcpConn) insertOOO(seq uint32, payload []byte) {
 	copy(c.oooQ[i+1:], c.oooQ[i:])
 	c.oooQ[i] = oooSegment{seq: seq, data: data}
 	c.oooBytes += len(data)
+	c.lib.telOOO.Observe(int64(len(c.oooQ)))
 }
 
 // drainOOO merges contiguous reassembly segments into the stream.

@@ -27,6 +27,7 @@ import (
 	"demikernel/internal/sched"
 	"demikernel/internal/sim"
 	"demikernel/internal/spdkdev"
+	"demikernel/internal/telemetry"
 )
 
 // recordMagic marks a valid log record header.
@@ -38,12 +39,32 @@ const recordMagic uint32 = 0xCA77EE00
 // is intact.
 const recordHeaderLen = 12
 
-// Stats counts libOS activity.
+// Stats counts libOS activity. It is a snapshot view: the live counters are
+// registry-backed (Telemetry()), and Stats() rebuilds this struct from them
+// so pre-registry callers keep working.
 type Stats struct {
 	Appends, Reads uint64
 	BytesAppended  uint64
 	Truncates      uint64
 	RecoveredRecs  uint64
+}
+
+// counters are the live registry-backed equivalents of Stats.
+type counters struct {
+	appends, reads *telemetry.Counter
+	bytesAppended  *telemetry.Counter
+	truncates      *telemetry.Counter
+	recoveredRecs  *telemetry.Counter
+}
+
+func newCounters(reg *telemetry.Registry) counters {
+	return counters{
+		appends:       reg.Counter("cattree.appends"),
+		reads:         reg.Counter("cattree.reads"),
+		bytesAppended: reg.Counter("cattree.bytes_appended"),
+		truncates:     reg.Counter("cattree.truncates"),
+		recoveredRecs: reg.Counter("cattree.recovered_recs"),
+	}
 }
 
 // Partitioning constants: partition 0 holds the directory; the rest of
@@ -75,7 +96,8 @@ type LibOS struct {
 	parts   map[string]*partition
 	nParts  int
 	dirTail int64
-	stats   Stats
+	reg     *telemetry.Registry
+	stats   counters
 }
 
 // New builds a Cattree libOS on a device. The logs are assumed empty; call
@@ -90,9 +112,20 @@ func New(node *sim.Node, dev *spdkdev.Device) *LibOS {
 		qds:    core.NewQDescTable(),
 		parts:  make(map[string]*partition),
 	}
+	l.reg = telemetry.NewRegistry(node.Name() + "/cattree")
+	l.stats = newCounters(l.reg)
+	l.heap.PublishTelemetry(l.reg, "mem")
+	l.tokens.Instrument(node, 0)
+	l.tokens.SetLatencyHist(l.reg.Histogram("core.qtoken_latency_ns"))
+	sc := l.sched
+	l.reg.Sample("sched.polls", func() int64 { return int64(sc.Stats().Polls) })
+	l.reg.Sample("sched.empty_scans", func() int64 { return int64(sc.Stats().EmptyScans) })
 	l.waiter = core.Waiter{Table: l.tokens, Runner: l}
 	return l
 }
+
+// Telemetry returns the libOS's metric registry.
+func (l *LibOS) Telemetry() *telemetry.Registry { return l.reg }
 
 // partitionSize returns each data partition's size in blocks.
 func (l *LibOS) partitionSize() int64 {
@@ -153,7 +186,15 @@ func (l *LibOS) Node() *sim.Node { return l.node }
 func (l *LibOS) Heap() *memory.Heap { return l.heap }
 
 // Stats returns a snapshot.
-func (l *LibOS) Stats() Stats { return l.stats }
+func (l *LibOS) Stats() Stats {
+	return Stats{
+		Appends:       l.stats.appends.Value(),
+		Reads:         l.stats.reads.Value(),
+		BytesAppended: l.stats.bytesAppended.Value(),
+		Truncates:     l.stats.truncates.Value(),
+		RecoveredRecs: l.stats.recoveredRecs.Value(),
+	}
+}
 
 // SchedStats returns the per-core coroutine scheduler's counters
 // (demikernel.SchedStatser) for utilization breakdowns.
@@ -279,8 +320,8 @@ func (l *LibOS) Push(qd core.QDesc, sga core.SGArray) (core.QToken, error) {
 		for _, b := range sga.Segs {
 			b.IOUnref()
 		}
-		l.stats.Appends++
-		l.stats.BytesAppended += uint64(len(payload))
+		l.stats.appends.Inc()
+		l.stats.bytesAppended.Add(uint64(len(payload)))
 		op.Complete(core.QEvent{QD: qd, Op: core.OpPush})
 	})
 	if err != nil {
@@ -342,7 +383,7 @@ func (l *LibOS) Pop(qd core.QDesc) (core.QToken, error) {
 
 // finishRead completes a pop with the record payload.
 func (l *LibOS) finishRead(op *core.Op, qd core.QDesc, payload []byte) {
-	l.stats.Reads++
+	l.stats.reads.Inc()
 	buf := memory.CopyFrom(l.heap, payload)
 	op.Complete(core.QEvent{QD: qd, Op: core.OpPop, SGA: core.SGA(buf)})
 }
@@ -381,7 +422,7 @@ func (l *LibOS) Truncate(qd core.QDesc) error {
 	// Persist the new generation so recovery ignores pre-truncate records.
 	idx := int((lq.part.base - dirBlocks) / l.partitionSize())
 	l.appendDirRecord(idx, lq.part.gen, lq.part.name)
-	l.stats.Truncates++
+	l.stats.truncates.Inc()
 	return nil
 }
 
@@ -460,7 +501,7 @@ func (l *LibOS) Mount() error {
 		if idx+1 > l.nParts {
 			l.nParts = idx + 1
 		}
-		l.stats.RecoveredRecs++
+		l.stats.recoveredRecs.Inc()
 	}
 	// Scan each named log for its tail.
 	for _, p := range l.parts {
@@ -474,7 +515,7 @@ func (l *LibOS) Mount() error {
 				break
 			}
 			p.tail += blocks
-			l.stats.RecoveredRecs++
+			l.stats.recoveredRecs.Inc()
 		}
 	}
 	return nil

@@ -1,12 +1,20 @@
 package core
 
+import (
+	"demikernel/internal/sim"
+	"demikernel/internal/telemetry"
+)
+
 // Op is one outstanding operation's state in the token table. Library OSes
 // create an Op when a libcall is issued and complete it from their I/O
 // stacks; the wait machinery redeems it.
 type Op struct {
-	qt   QToken
-	done bool
-	ev   QEvent
+	qt          QToken
+	done        bool
+	ev          QEvent
+	tbl         *TokenTable // owning table, for lifecycle timestamps
+	issuedAt    sim.Time
+	completedAt sim.Time
 }
 
 // Token returns the operation's qtoken.
@@ -23,6 +31,12 @@ func (o *Op) Complete(ev QEvent) {
 	}
 	o.done = true
 	o.ev = ev
+	if t := o.tbl; t != nil && t.clock != nil {
+		o.completedAt = t.clock.Now()
+		if t.lat != nil {
+			t.lat.Observe(int64(o.completedAt - o.issuedAt))
+		}
+	}
 }
 
 // Fail finishes the operation with an error event.
@@ -32,9 +46,18 @@ func (o *Op) Fail(qd QDesc, opc OpCode, err error) {
 
 // TokenTable issues qtokens and tracks outstanding operations. Demikernel
 // datapaths are single-threaded, so the table needs no locking.
+//
+// A table can be instrumented (Instrument, SetLatencyHist, SetRecorder) to
+// stamp every operation's lifecycle against a virtual clock: issue at New,
+// complete inside Complete, redeem at TryTake. Uninstrumented tables pay
+// one nil check per stage.
 type TokenTable struct {
-	next QToken
-	ops  map[QToken]*Op
+	next   QToken
+	ops    map[QToken]*Op
+	clock  sim.Clock
+	coreID int32
+	lat    *telemetry.Histogram
+	rec    *telemetry.FlightRecorder
 }
 
 // NewTokenTable returns an empty table.
@@ -42,10 +65,27 @@ func NewTokenTable() *TokenTable {
 	return &TokenTable{ops: make(map[QToken]*Op)}
 }
 
+// Instrument attaches a virtual clock (and the issuing core's id, for span
+// labels) so operations are lifecycle-stamped. Calling it again updates the
+// labels — multicore groups re-instrument each core's table with its index.
+func (t *TokenTable) Instrument(clock sim.Clock, core int) {
+	t.clock = clock
+	t.coreID = int32(core)
+}
+
+// SetLatencyHist records every operation's issue→complete latency into h.
+func (t *TokenTable) SetLatencyHist(h *telemetry.Histogram) { t.lat = h }
+
+// SetRecorder emits a flight-recorder span for every redeemed operation.
+func (t *TokenTable) SetRecorder(r *telemetry.FlightRecorder) { t.rec = r }
+
 // New allocates a fresh operation and its qtoken.
 func (t *TokenTable) New() *Op {
 	t.next++
-	op := &Op{qt: t.next}
+	op := &Op{qt: t.next, tbl: t}
+	if t.clock != nil {
+		op.issuedAt = t.clock.Now()
+	}
 	t.ops[op.qt] = op
 	return op
 }
@@ -68,6 +108,17 @@ func (t *TokenTable) TryTake(qt QToken) (QEvent, bool, error) {
 		return QEvent{}, false, nil
 	}
 	delete(t.ops, qt)
+	if t.rec != nil && t.clock != nil {
+		t.rec.Record(telemetry.Span{
+			Token:     uint64(qt),
+			Core:      t.coreID,
+			Op:        uint8(op.ev.Op),
+			QD:        int32(op.ev.QD),
+			Issued:    int64(op.issuedAt),
+			Completed: int64(op.completedAt),
+			Redeemed:  int64(t.clock.Now()),
+		})
+	}
 	return op.ev, true, nil
 }
 

@@ -14,8 +14,11 @@
 package dpdkdev
 
 import (
+	"fmt"
+
 	"demikernel/internal/sim"
 	"demikernel/internal/simnet"
+	"demikernel/internal/telemetry"
 )
 
 // Mbuf is a packet buffer handed between the device and the stack. Rx mbufs
@@ -49,7 +52,10 @@ func NewMbufPool(size int) *MbufPool { return &MbufPool{size: size, free: size} 
 // Available returns the number of free mbufs.
 func (p *MbufPool) Available() int { return p.free }
 
-// QueueStats counts one rx/tx queue pair's activity.
+// QueueStats counts one rx/tx queue pair's activity. It is a snapshot view:
+// the live counters are registry-backed (Port.Telemetry()), and Stats
+// accessors rebuild this struct from them so pre-registry callers keep
+// working.
 type QueueStats struct {
 	RxPackets, TxPackets uint64
 	RxBytes, TxBytes     uint64
@@ -59,6 +65,25 @@ type QueueStats struct {
 	RxRingFull uint64
 	// RxNoMbuf counts frames dropped because the mempool was empty.
 	RxNoMbuf uint64
+}
+
+// queueCounters are one queue's live registry-backed counters.
+type queueCounters struct {
+	rxPackets, txPackets *telemetry.Counter
+	rxBytes, txBytes     *telemetry.Counter
+	rxRingFull, rxNoMbuf *telemetry.Counter
+}
+
+func newQueueCounters(reg *telemetry.Registry, id int) queueCounters {
+	p := fmt.Sprintf("dpdk.q%d.", id)
+	return queueCounters{
+		rxPackets:  reg.Counter(p + "rx_packets"),
+		txPackets:  reg.Counter(p + "tx_packets"),
+		rxBytes:    reg.Counter(p + "rx_bytes"),
+		txBytes:    reg.Counter(p + "tx_bytes"),
+		rxRingFull: reg.Counter(p + "rx_ring_full"),
+		rxNoMbuf:   reg.Counter(p + "rx_no_mbuf"),
+	}
 }
 
 // Stats is the port-level aggregate across all queues.
@@ -86,6 +111,7 @@ type Port struct {
 	pool   *MbufPool
 	queues []*Queue
 	reta   [retaSize]int // RSS indirection table: hash bits -> queue
+	reg    *telemetry.Registry
 }
 
 // Attach creates a single-queue port for node on the switch. poolSize
@@ -105,9 +131,14 @@ func AttachQueues(sw *simnet.Switch, node *sim.Node, link simnet.LinkParams, cfg
 	p := &Port{
 		net:  sw.Attach(node, link, 0),
 		pool: NewMbufPool(cfg.PoolSize),
+		reg:  telemetry.NewRegistry(node.Name() + "/dpdk"),
 	}
+	p.reg.Sample("dpdk.pool_free", func() int64 { return int64(p.pool.free) })
 	for i := 0; i < nq; i++ {
-		p.queues = append(p.queues, &Queue{port: p, id: i, owner: node, rxLimit: cfg.RxRing})
+		p.queues = append(p.queues, &Queue{
+			port: p, id: i, owner: node, rxLimit: cfg.RxRing,
+			tel: newQueueCounters(p.reg, i),
+		})
 	}
 	for i := range p.reta {
 		p.reta[i] = i % nq
@@ -135,15 +166,20 @@ func (p *Port) Queue(i int) *Queue { return p.queues[i] }
 func (p *Port) Stats() Stats {
 	var s Stats
 	for _, q := range p.queues {
-		s.RxPackets += q.stats.RxPackets
-		s.TxPackets += q.stats.TxPackets
-		s.RxBytes += q.stats.RxBytes
-		s.TxBytes += q.stats.TxBytes
-		s.RxNoMbuf += q.stats.RxNoMbuf
-		s.RxRingFull += q.stats.RxRingFull
+		qs := q.Stats()
+		s.RxPackets += qs.RxPackets
+		s.TxPackets += qs.TxPackets
+		s.RxBytes += qs.RxBytes
+		s.TxBytes += qs.TxBytes
+		s.RxNoMbuf += qs.RxNoMbuf
+		s.RxRingFull += qs.RxRingFull
 	}
 	return s
 }
+
+// Telemetry returns the port's metric registry (per-queue counters plus the
+// sampled mempool level).
+func (p *Port) Telemetry() *telemetry.Registry { return p.reg }
 
 // RxBurst polls queue 0 — the single-queue fast path (rte_rx_burst).
 func (p *Port) RxBurst(max int) []*Mbuf { return p.queues[0].RxBurst(max) }
@@ -172,7 +208,7 @@ type Queue struct {
 	owner   *sim.Node
 	ring    [][]byte
 	rxLimit int
-	stats   QueueStats
+	tel     queueCounters
 }
 
 // ID returns the queue index.
@@ -185,7 +221,16 @@ func (q *Queue) Port() *Port { return q.port }
 func (q *Queue) MAC() simnet.MAC { return q.port.MAC() }
 
 // Stats returns a snapshot of this queue's counters.
-func (q *Queue) Stats() QueueStats { return q.stats }
+func (q *Queue) Stats() QueueStats {
+	return QueueStats{
+		RxPackets:  q.tel.rxPackets.Value(),
+		TxPackets:  q.tel.txPackets.Value(),
+		RxBytes:    q.tel.rxBytes.Value(),
+		TxBytes:    q.tel.txBytes.Value(),
+		RxRingFull: q.tel.rxRingFull.Value(),
+		RxNoMbuf:   q.tel.rxNoMbuf.Value(),
+	}
+}
 
 // SetOwner binds the queue to the virtual CPU that polls it: arriving
 // frames wake owner, and transmissions are timestamped with its clock.
@@ -196,7 +241,7 @@ func (q *Queue) SetOwner(n *sim.Node) { q.owner = n }
 // event.
 func (q *Queue) deliver(data []byte) {
 	if q.rxLimit > 0 && len(q.ring) >= q.rxLimit {
-		q.stats.RxRingFull++
+		q.tel.rxRingFull.Inc()
 		return
 	}
 	q.ring = append(q.ring, data)
@@ -218,13 +263,13 @@ func (q *Queue) RxBurst(max int) []*Mbuf {
 		q.ring[0] = nil
 		q.ring = q.ring[1:]
 		if q.port.pool.free == 0 {
-			q.stats.RxNoMbuf++
+			q.tel.rxNoMbuf.Inc()
 			continue
 		}
 		q.port.pool.free--
 		out = append(out, &Mbuf{Data: data, pool: q.port.pool})
-		q.stats.RxPackets++
-		q.stats.RxBytes += uint64(len(data))
+		q.tel.rxPackets.Inc()
+		q.tel.rxBytes.Add(uint64(len(data)))
 	}
 	return out
 }
@@ -244,8 +289,8 @@ func (q *Queue) TxBurst(frames [][]byte) int {
 	}
 	for _, f := range frames {
 		q.port.net.SendAt(simnet.Frame{Data: f}, now)
-		q.stats.TxPackets++
-		q.stats.TxBytes += uint64(len(f))
+		q.tel.txPackets.Inc()
+		q.tel.txBytes.Add(uint64(len(f)))
 	}
 	return len(frames)
 }

@@ -15,6 +15,8 @@ package memory
 import (
 	"fmt"
 	"math/bits"
+
+	"demikernel/internal/telemetry"
 )
 
 // ZeroCopyThreshold is the smallest buffer size worth transmitting
@@ -104,6 +106,29 @@ func (h *Heap) SetRegisterFunc(f RegisterFunc) { h.register = f }
 
 // Stats returns a snapshot of allocator counters.
 func (h *Heap) Stats() Stats { return h.stats }
+
+// PublishTelemetry registers the heap's counters with reg as sampled gauges
+// under prefix (e.g. "mem"). Sampling is pull-model: the stats struct stays
+// the hot-path truth and the registry reads it only at snapshot time, so
+// the allocator's fast path is untouched.
+func (h *Heap) PublishTelemetry(reg *telemetry.Registry, prefix string) {
+	reg.Sample(prefix+".allocs", func() int64 { return int64(h.stats.Allocs) })
+	reg.Sample(prefix+".frees", func() int64 { return int64(h.stats.Frees) })
+	reg.Sample(prefix+".refcount_releases", func() int64 { return int64(h.stats.Frees + h.stats.UAFDeferred) })
+	reg.Sample(prefix+".live", func() int64 { return int64(h.stats.Live) })
+	reg.Sample(prefix+".superblocks", func() int64 { return int64(h.stats.Superblocks) })
+	reg.Sample(prefix+".registrations", func() int64 { return int64(h.stats.Registrations) })
+	reg.Sample(prefix+".uaf_deferred", func() int64 { return int64(h.stats.UAFDeferred) })
+	reg.Sample(prefix+".huge_allocs", func() int64 { return int64(h.stats.HugeAllocs) })
+	reg.Sample(prefix+".bytes_requested", func() int64 { return int64(h.stats.BytesRequested) })
+	reg.Sample(prefix+".superblock_occupancy_pct", func() int64 {
+		slots := int64(h.stats.Superblocks) * objectsPerSuperblock
+		if slots == 0 {
+			return 0
+		}
+		return int64(h.stats.Live) * 100 / slots
+	})
+}
 
 // Alloc returns a buffer of exactly size bytes from the DMA-capable heap,
 // with the application holding its reference. The backing slot is from a

@@ -29,6 +29,7 @@ import (
 	"demikernel/internal/sched"
 	"demikernel/internal/sim"
 	"demikernel/internal/simnet"
+	"demikernel/internal/telemetry"
 	"demikernel/internal/wire"
 )
 
@@ -104,14 +105,35 @@ func New(eng *sim.Engine, sw *simnet.Switch, name string, ip wire.IPAddr, cfg Co
 		node := host.Core(i)
 		q := port.Queue(i)
 		q.SetOwner(node)
+		os := catnip.NewOnDevice(node, q, mkcfg(ip))
+		// Re-label the core's qtoken spans with its index (the stack
+		// self-instruments as core 0).
+		os.Tokens().Instrument(node, i)
 		g.Cores = append(g.Cores, &Core{
 			ID:    i,
 			Node:  node,
 			Queue: q,
-			OS:    catnip.NewOnDevice(node, q, mkcfg(ip)),
+			OS:    os,
 		})
 	}
 	return g
+}
+
+// CoreTelemetry snapshots every core's stack registry, in core order — the
+// per-core shards of the group's metrics.
+func (g *Group) CoreTelemetry() []*telemetry.Snapshot {
+	out := make([]*telemetry.Snapshot, 0, len(g.Cores))
+	for _, c := range g.Cores {
+		out = append(out, c.OS.Telemetry().Snapshot())
+	}
+	return out
+}
+
+// MergedTelemetry merges the per-core shards into one group-wide view:
+// counters and gauges sum, histograms merge bucket-wise (so group
+// quantiles are exact with respect to the shard histograms).
+func (g *Group) MergedTelemetry() *telemetry.Snapshot {
+	return telemetry.Merge(g.Name+"/merged", g.CoreTelemetry()...)
 }
 
 // MAC returns the node's (single, shared) Ethernet address.

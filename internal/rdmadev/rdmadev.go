@@ -20,6 +20,7 @@ import (
 	"demikernel/internal/memory"
 	"demikernel/internal/sim"
 	"demikernel/internal/simnet"
+	"demikernel/internal/telemetry"
 	"demikernel/internal/wire"
 )
 
@@ -128,6 +129,7 @@ type NIC struct {
 	nextQPN   uint32
 	nextRkey  uint32
 	stats     Stats
+	tel       *telemetry.Registry
 }
 
 // NewNIC attaches a NIC for node to the fabric.
@@ -141,8 +143,22 @@ func (r *Registry) NewNIC(node *sim.Node, link simnet.LinkParams, rxRing int) *N
 		listeners: make(map[uint16]*Listener),
 	}
 	r.byMAC[n.port.MAC()] = n
+	n.tel = telemetry.NewRegistry(node.Name() + "/rdma")
+	s := &n.stats
+	n.tel.Sample("rdma.send_msgs", func() int64 { return int64(s.SendMsgs) })
+	n.tel.Sample("rdma.recv_msgs", func() int64 { return int64(s.RecvMsgs) })
+	n.tel.Sample("rdma.write_msgs", func() int64 { return int64(s.WriteMsgs) })
+	n.tel.Sample("rdma.tx_frames", func() int64 { return int64(s.TxFrames) })
+	n.tel.Sample("rdma.rx_frames", func() int64 { return int64(s.RxFrames) })
+	n.tel.Sample("rdma.rnr_drops", func() int64 { return int64(s.RNRDrops) })
+	n.tel.Sample("rdma.recv_too_small", func() int64 { return int64(s.RecvTooSmall) })
+	n.tel.Sample("rdma.bad_frames", func() int64 { return int64(s.BadFrames) })
+	n.tel.Sample("rdma.unknown_qp", func() int64 { return int64(s.UnknownQP) })
 	return n
 }
+
+// Telemetry returns the NIC's metric registry (sampled views of Stats).
+func (n *NIC) Telemetry() *telemetry.Registry { return n.tel }
 
 // MAC returns the NIC's address.
 func (n *NIC) MAC() simnet.MAC { return n.port.MAC() }

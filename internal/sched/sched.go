@@ -108,11 +108,28 @@ type Handle struct {
 // Wake marks the coroutine runnable (e.g. its qtoken's data arrived).
 func (h Handle) Wake() { h.waker.Wake() }
 
+// NumClasses is the number of scheduling classes, for per-class stat arrays.
+const NumClasses = int(numClasses)
+
+// ClassName returns a class's mnemonic for metric names.
+func ClassName(c Class) string {
+	switch c {
+	case App:
+		return "app"
+	case Background:
+		return "background"
+	case FastPath:
+		return "fastpath"
+	}
+	return "class?"
+}
+
 // Stats counts scheduler activity.
 type Stats struct {
 	Spawned, Completed uint64
 	Polls              uint64
-	EmptyScans         uint64 // RunOne calls that found nothing runnable
+	EmptyScans         uint64             // RunOne calls that found nothing runnable
+	PollsByClass       [NumClasses]uint64 // per-class share of Polls
 }
 
 // Scheduler runs one core's coroutines. It is single-threaded by design.
@@ -143,6 +160,16 @@ func (s *Scheduler) Runnable() bool {
 
 // Len returns the number of live coroutines in the class.
 func (s *Scheduler) Len(c Class) int { return s.count[c] }
+
+// Ready returns the class's runnable-queue depth: live coroutines whose
+// readiness bit is set.
+func (s *Scheduler) Ready(c Class) int {
+	n := 0
+	for _, b := range s.classes[c] {
+		n += bits.OnesCount64(b.ready & b.occupied)
+	}
+	return n
+}
 
 // Spawn adds a coroutine in the given class, initially runnable, and
 // returns its handle.
@@ -225,6 +252,7 @@ func (s *Scheduler) poll(c Class, blk *wakerBlock, slot uint) {
 	bit := uint64(1) << slot
 	blk.ready &^= bit // clear before polling: wakes during poll are kept
 	s.stats.Polls++
+	s.stats.PollsByClass[c]++
 	switch blk.cos[slot].Poll(&blk.ctxs[slot]) {
 	case Yield:
 		blk.ready |= bit

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"demikernel/internal/sim"
+	"demikernel/internal/telemetry"
 )
 
 // BlockSize is the device's logical block size in bytes.
@@ -86,17 +87,31 @@ type Device struct {
 	inflight  int
 	epoch     uint64 // bumped by Crash to invalidate in-flight completions
 	stats     Stats
+	tel       *telemetry.Registry
 }
 
 // New creates a device with the given capacity in blocks.
 func New(node *sim.Node, params Params, numBlocks int64) *Device {
-	return &Device{
+	d := &Device{
 		node:      node,
 		params:    params,
 		numBlocks: numBlocks,
 		blocks:    make(map[int64][]byte),
 	}
+	d.tel = telemetry.NewRegistry(node.Name() + "/spdk")
+	s := &d.stats
+	d.tel.Sample("spdk.reads", func() int64 { return int64(s.Reads) })
+	d.tel.Sample("spdk.writes", func() int64 { return int64(s.Writes) })
+	d.tel.Sample("spdk.flushes", func() int64 { return int64(s.Flushes) })
+	d.tel.Sample("spdk.bytes_read", func() int64 { return int64(s.BytesRead) })
+	d.tel.Sample("spdk.bytes_written", func() int64 { return int64(s.BytesWrit) })
+	d.tel.Sample("spdk.crashes", func() int64 { return int64(s.Crashes) })
+	d.tel.Sample("spdk.inflight", func() int64 { return int64(d.inflight) })
+	return d
 }
+
+// Telemetry returns the device's metric registry (sampled views of Stats).
+func (d *Device) Telemetry() *telemetry.Registry { return d.tel }
 
 // Node returns the owning node.
 func (d *Device) Node() *sim.Node { return d.node }

@@ -1,0 +1,223 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// CounterVal is one counter's value in a snapshot.
+type CounterVal struct {
+	Name  string
+	Value uint64
+}
+
+// GaugeVal is one gauge's (or sampled gauge's) value in a snapshot.
+type GaugeVal struct {
+	Name  string
+	Value int64
+}
+
+// A Snapshot is a registry frozen at export time: every metric's value with
+// names sorted, so rendering it in any format is deterministic.
+type Snapshot struct {
+	Name     string
+	Counters []CounterVal
+	Gauges   []GaugeVal
+	Hists    []HistVal
+}
+
+// Merge combines per-core snapshots into one named view: counters and
+// gauges are summed by name, histograms are merged bucket-wise (which
+// preserves quantile fidelity — a merged histogram quantiles exactly like
+// one that observed every core's values directly).
+func Merge(name string, snaps ...*Snapshot) *Snapshot {
+	out := &Snapshot{Name: name}
+	counters := make(map[string]uint64)
+	gauges := make(map[string]int64)
+	hists := make(map[string]*HistVal)
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		for _, c := range s.Counters {
+			counters[c.Name] += c.Value
+		}
+		for _, g := range s.Gauges {
+			gauges[g.Name] += g.Value
+		}
+		for _, h := range s.Hists {
+			m, ok := hists[h.Name]
+			if !ok {
+				cp := h
+				cp.Buckets = append([]uint64(nil), h.Buckets...)
+				hists[h.Name] = &cp
+				continue
+			}
+			if h.Count > 0 {
+				if m.Count == 0 || h.Min < m.Min {
+					m.Min = h.Min
+				}
+				if h.Max > m.Max {
+					m.Max = h.Max
+				}
+			}
+			m.Count += h.Count
+			m.Sum += h.Sum
+			for i, n := range h.Buckets {
+				if i < len(m.Buckets) {
+					m.Buckets[i] += n
+				}
+			}
+		}
+	}
+	for n, v := range counters {
+		out.Counters = append(out.Counters, CounterVal{Name: n, Value: v})
+	}
+	sort.Slice(out.Counters, func(i, j int) bool { return out.Counters[i].Name < out.Counters[j].Name })
+	for n, v := range gauges {
+		out.Gauges = append(out.Gauges, GaugeVal{Name: n, Value: v})
+	}
+	sort.Slice(out.Gauges, func(i, j int) bool { return out.Gauges[i].Name < out.Gauges[j].Name })
+	for _, h := range hists {
+		out.Hists = append(out.Hists, *h)
+	}
+	sort.Slice(out.Hists, func(i, j int) bool { return out.Hists[i].Name < out.Hists[j].Name })
+	return out
+}
+
+// WriteText renders the snapshot as aligned plain text.
+func (s *Snapshot) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "== telemetry: %s ==\n", s.Name)
+	width := 0
+	for _, c := range s.Counters {
+		if len(c.Name) > width {
+			width = len(c.Name)
+		}
+	}
+	for _, g := range s.Gauges {
+		if len(g.Name) > width {
+			width = len(g.Name)
+		}
+	}
+	for _, h := range s.Hists {
+		if len(h.Name) > width {
+			width = len(h.Name)
+		}
+	}
+	for _, c := range s.Counters {
+		fmt.Fprintf(w, "  %-*s %12d\n", width, c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(w, "  %-*s %12d\n", width, g.Name, g.Value)
+	}
+	for _, h := range s.Hists {
+		fmt.Fprintf(w, "  %-*s count=%d mean=%dns p50=%dns p99=%dns max=%dns\n",
+			width, h.Name, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.Max)
+	}
+}
+
+// jsonHist is the JSON shape for a histogram: summary quantiles, not raw
+// buckets (those are an internal representation).
+type jsonHist struct {
+	Name  string `json:"name"`
+	Count uint64 `json:"count"`
+	Mean  int64  `json:"mean_ns"`
+	P50   int64  `json:"p50_ns"`
+	P99   int64  `json:"p99_ns"`
+	Min   int64  `json:"min_ns"`
+	Max   int64  `json:"max_ns"`
+}
+
+type jsonMetric struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+type jsonSnapshot struct {
+	Name     string       `json:"name"`
+	Counters []jsonMetric `json:"counters"`
+	Gauges   []jsonMetric `json:"gauges"`
+	Hists    []jsonHist   `json:"histograms"`
+}
+
+func (s *Snapshot) toJSON() jsonSnapshot {
+	js := jsonSnapshot{Name: s.Name, Counters: []jsonMetric{}, Gauges: []jsonMetric{}, Hists: []jsonHist{}}
+	for _, c := range s.Counters {
+		js.Counters = append(js.Counters, jsonMetric{Name: c.Name, Value: int64(c.Value)})
+	}
+	for _, g := range s.Gauges {
+		js.Gauges = append(js.Gauges, jsonMetric{Name: g.Name, Value: g.Value})
+	}
+	for _, h := range s.Hists {
+		js.Hists = append(js.Hists, jsonHist{Name: h.Name, Count: h.Count, Mean: h.Mean(),
+			P50: h.Quantile(0.50), P99: h.Quantile(0.99), Min: h.Min, Max: h.Max})
+	}
+	return js
+}
+
+// WriteJSON renders the snapshot as indented JSON (fields in fixed order,
+// so output is deterministic).
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.toJSON())
+}
+
+// WriteSnapshotsJSON renders several snapshots as one JSON array.
+func WriteSnapshotsJSON(w io.Writer, snaps []*Snapshot) error {
+	arr := make([]jsonSnapshot, 0, len(snaps))
+	for _, s := range snaps {
+		arr = append(arr, s.toJSON())
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(arr)
+}
+
+// promName sanitizes a metric name into Prometheus form.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("demikernel_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format. The registry name becomes a "registry" label; histograms emit
+// cumulative le buckets (non-empty edges only, plus +Inf), _sum and _count.
+func (s *Snapshot) WritePrometheus(w io.Writer) {
+	label := fmt.Sprintf("{registry=%q}", s.Name)
+	for _, c := range s.Counters {
+		n := promName(c.Name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s%s %d\n", n, n, label, c.Value)
+	}
+	for _, g := range s.Gauges {
+		n := promName(g.Name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %d\n", n, n, label, g.Value)
+	}
+	for _, h := range s.Hists {
+		n := promName(h.Name)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", n)
+		var cum uint64
+		for i, cnt := range h.Buckets {
+			if cnt == 0 {
+				continue
+			}
+			cum += cnt
+			fmt.Fprintf(w, "%s_bucket{registry=%q,le=\"%d\"} %d\n", n, s.Name, bucketHigh(i), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{registry=%q,le=\"+Inf\"} %d\n", n, s.Name, h.Count)
+		fmt.Fprintf(w, "%s_sum%s %d\n", n, label, h.Sum)
+		fmt.Fprintf(w, "%s_count%s %d\n", n, label, h.Count)
+	}
+}

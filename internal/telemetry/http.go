@@ -1,0 +1,44 @@
+package telemetry
+
+import "net/http"
+
+// NewHandler serves the observability endpoints for a real-OS (Catnap)
+// server:
+//
+//	/metrics       Prometheus text format
+//	/metrics.json  JSON snapshots
+//	/flight        flight-recorder dump (text)
+//
+// snap is called per request to collect fresh snapshots; fr may be nil.
+// This is explicitly opt-in for real-OS servers: the handler reads metrics
+// while the datapath thread writes them, which is benign for monotonic
+// counters but means scrapes are advisory, not transactional. Simulated
+// stacks never use this path — they export deterministically at end of run.
+func NewHandler(snap func() []*Snapshot, fr *FlightRecorder) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		for _, s := range snap() {
+			s.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteSnapshotsJSON(w, snap())
+	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		if fr == nil {
+			http.Error(w, "no flight recorder attached", http.StatusNotFound)
+			return
+		}
+		fr.WriteDump(w)
+	})
+	return mux
+}
+
+// ListenAndServe serves NewHandler on addr. It blocks; run it in its own
+// goroutine.
+func ListenAndServe(addr string, snap func() []*Snapshot, fr *FlightRecorder) error {
+	return http.ListenAndServe(addr, NewHandler(snap, fr))
+}
