@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	demi-bench [-json] [-telemetry] table2|table3|fig5|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|fig12|ablation|scaleout|all
+//	demi-bench [-json] [-telemetry] table2|table3|fig5|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|fig12|ablation|scaleout|chaos|all
 //
 // Flags may appear before or after the experiment name:
 //
@@ -50,6 +50,7 @@ func main() {
 		{"fig12", one(bench.Fig12)},
 		{"ablation", bench.Ablations},
 		{"scaleout", bench.ScaleOut},
+		{"chaos", bench.Chaos},
 	}
 	var jsonOut, telemetryOut bool
 	var want string

@@ -58,12 +58,19 @@ func (c *Client) Do(args ...[]byte) (Reply, error) {
 	out := memory.CopyFrom(c.lib.Heap(), EncodeCommand(args...))
 	qt, err := c.lib.Push(c.qd, core.SGA(out))
 	if err != nil {
+		out.Free()
 		return Reply{}, err
 	}
-	if _, err := c.lib.Wait(qt); err != nil {
+	ev, err := c.lib.Wait(qt)
+	if err != nil {
 		return Reply{}, err
 	}
 	out.Free()
+	if ev.Err != nil {
+		// Failed push (connection died): surface it now rather than
+		// blocking on a reply that will never come.
+		return Reply{}, ev.Err
+	}
 	for {
 		if reply, n, ok, err := ParseReply(c.buf); ok {
 			c.buf = c.buf[n:]

@@ -23,6 +23,7 @@ type ServerConfig struct {
 type ServerStats struct {
 	Commands, Writes uint64
 	AOFRecords       uint64
+	AOFErrors        uint64
 	ReplayedRecords  uint64
 	Connections      uint64
 }
@@ -165,14 +166,24 @@ func serveBuffered(l demi.LibOS, store *Store, logQD core.QDesc, c *connState, s
 			rec := memory.CopyFrom(l.Heap(), EncodeCommand(cmd...))
 			lqt, lerr := l.Push(logQD, core.SGA(rec))
 			if lerr != nil {
-				return nil, lerr
+				// Degrade, don't die: the write is refused (it was never
+				// durable) and the client told why; reads and the server
+				// itself keep going.
+				rec.Free()
+				stats.AOFErrors++
+				replies = append(replies, ErrorReply("ERR aof write failed: "+lerr.Error())...)
+				continue
 			}
-			if lev, lerr := l.Wait(lqt); lerr != nil {
-				return nil, lerr
-			} else if lev.Err != nil {
-				return nil, lev.Err
+			lev, lerr := l.Wait(lqt)
+			if lerr != nil {
+				return nil, lerr // waiter shutdown is fatal, not an I/O error
 			}
 			rec.Free()
+			if lev.Err != nil {
+				stats.AOFErrors++
+				replies = append(replies, ErrorReply("ERR aof write failed: "+lev.Err.Error())...)
+				continue
+			}
 			stats.AOFRecords++
 		}
 		replies = append(replies, store.Execute(cmd)...)

@@ -50,6 +50,12 @@ type Testbed struct {
 	Reg  *rdmadev.Registry
 	Book *catmint.AddrBook
 
+	// Ports and NICs collect every attached device in creation order so
+	// experiments (chaos in particular) can reach under the stacks to
+	// inject faults.
+	Ports []*dpdkdev.Port
+	NICs  []*rdmadev.NIC
+
 	endpoints []endpoint
 	catnips   []*catnip.LibOS
 }
@@ -71,11 +77,16 @@ func NewTestbed(seed uint64, sw simnet.SwitchParams) *Testbed {
 	}
 }
 
-// Stack is one host's libOS under test.
+// Stack is one host's libOS under test. Port, NIC and Disk expose the
+// stack's devices when it has them (nil otherwise) — fault-injection
+// handles for the chaos experiments.
 type Stack struct {
 	OS   demi.LibOS
 	Node *sim.Node
 	IP   wire.IPAddr
+	Port *dpdkdev.Port
+	NIC  *rdmadev.NIC
+	Disk *spdkdev.Device
 }
 
 // System describes one comparand: how to build its stack on a node.
@@ -91,11 +102,21 @@ type System struct {
 func (tb *Testbed) NewStack(sys System, name string, ip wire.IPAddr) *Stack {
 	node := tb.Eng.NewNode(name)
 	var stor demi.StorOS
+	var disk *spdkdev.Device
 	if sys.Storage {
-		stor = cattree.New(node, spdkdev.New(node, spdkdev.OptaneParams(), 1<<20))
+		disk = spdkdev.New(node, spdkdev.OptaneParams(), 1<<20)
+		stor = cattree.New(node, disk)
 	}
+	nPorts, nNICs := len(tb.Ports), len(tb.NICs)
 	os := sys.Build(tb, node, ip, stor)
-	return &Stack{OS: os, Node: node, IP: ip}
+	st := &Stack{OS: os, Node: node, IP: ip, Disk: disk}
+	if len(tb.Ports) > nPorts {
+		st.Port = tb.Ports[len(tb.Ports)-1]
+	}
+	if len(tb.NICs) > nNICs {
+		st.NIC = tb.NICs[len(tb.NICs)-1]
+	}
+	return st
 }
 
 // trackCatnip registers a Catnip instance (possibly nested) for ARP
@@ -117,12 +138,16 @@ func (tb *Testbed) SeedARP() {
 
 // newDPDK attaches a DPDK port.
 func (tb *Testbed) newDPDK(node *sim.Node, link simnet.LinkParams) *dpdkdev.Port {
-	return dpdkdev.Attach(tb.Sw, node, link, 1<<16, 0)
+	p := dpdkdev.Attach(tb.Sw, node, link, 1<<16, 0)
+	tb.Ports = append(tb.Ports, p)
+	return p
 }
 
 // newRDMA attaches an RDMA NIC.
 func (tb *Testbed) newRDMA(node *sim.Node, link simnet.LinkParams) *rdmadev.NIC {
-	return tb.Reg.NewNIC(node, link, 0)
+	n := tb.Reg.NewNIC(node, link, 0)
+	tb.NICs = append(tb.NICs, n)
+	return n
 }
 
 // combine wraps net (+ optional storage) into one LibOS.

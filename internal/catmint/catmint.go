@@ -89,6 +89,7 @@ type counters struct {
 	connectsAccepted *telemetry.Counter
 	messagesTooLarge *telemetry.Counter
 	recvBufsReposted *telemetry.Counter
+	linkFailures     *telemetry.Counter
 }
 
 func newCounters(reg *telemetry.Registry) counters {
@@ -102,6 +103,7 @@ func newCounters(reg *telemetry.Registry) counters {
 		connectsAccepted: reg.Counter("catmint.connects_accepted"),
 		messagesTooLarge: reg.Counter("catmint.messages_too_large"),
 		recvBufsReposted: reg.Counter("catmint.recv_bufs_reposted"),
+		linkFailures:     reg.Counter("catmint.link_failures"),
 	}
 }
 
@@ -198,6 +200,7 @@ type peerLink struct {
 	qp     *rdmadev.QP
 	remote simnet.MAC
 	ready  bool
+	failed bool
 
 	// Credits we may spend (the peer one-sided-writes grantMem).
 	grantMem  []byte // 8 bytes, registered with the NIC
@@ -334,8 +337,48 @@ func (l *LibOS) setupLink(qp *rdmadev.QP) *peerLink {
 	// HELLO does not consume credits (control bootstrap).
 	hdr := buildHeader(msgHello, pl.grantRkey, uint32(pl.granted))
 	l.node.Charge(l.cfg.PostSendCost)
-	qp.PostSend(nil, hdr[:])
+	if err := qp.PostSend(nil, hdr[:]); err != nil {
+		pl.fail(err)
+	}
 	return pl
+}
+
+// fail tears the link down after a QP error: every queued send and open
+// connection resolves with an error, flushed receive buffers are released,
+// and the link leaves the table so the next connect builds a fresh QP —
+// degradation with reconnection, never a wedged stack.
+func (pl *peerLink) fail(err error) {
+	if pl.failed {
+		return
+	}
+	pl.failed = true
+	l := pl.lib
+	if l.links[pl.remote] == pl {
+		delete(l.links, pl.remote)
+	}
+	l.stats.linkFailures.Inc()
+	for _, ps := range pl.pendingSends {
+		for _, b := range ps.sga.Segs {
+			b.IOUnref()
+		}
+		if ps.op != nil {
+			ps.op.Fail(ps.qd, core.OpPush, err)
+		}
+	}
+	pl.pendingSends = nil
+	for id, c := range pl.conns {
+		delete(pl.conns, id)
+		c.fail(err)
+	}
+	for _, buf := range pl.qp.FlushRecvs() {
+		buf.IOUnref()
+		buf.Free()
+	}
+	pl.posted = 0
+	for _, w := range pl.helloWait {
+		w.Wake()
+	}
+	pl.helloWait = nil
 }
 
 // buildHeader assembles a message header.
@@ -361,6 +404,9 @@ func (l *LibOS) postRecv(pl *peerLink) {
 // write, so the sender's CPU is never interrupted.
 func (pl *peerLink) pollFlow(ctx *sched.Context) sched.Poll {
 	l := pl.lib
+	if pl.failed {
+		return sched.Done
+	}
 	if pl.posted >= l.cfg.RefillThreshold {
 		return sched.Pending
 	}
@@ -372,7 +418,10 @@ func (pl *peerLink) pollFlow(ctx *sched.Context) sched.Poll {
 		var g [8]byte
 		binary.LittleEndian.PutUint64(g[:], pl.granted)
 		l.node.Charge(l.cfg.PostSendCost)
-		pl.qp.PostWrite(pl.peerRkey, 0, g[:])
+		if err := pl.qp.PostWrite(pl.peerRkey, 0, g[:]); err != nil {
+			pl.fail(err)
+			return sched.Done
+		}
 		l.stats.windowWrites.Inc()
 	}
 	return sched.Pending
@@ -408,7 +457,16 @@ func (pl *peerLink) drainPending() {
 			segs = append(segs, b.Bytes())
 		}
 		l.node.Charge(l.cfg.PostSendCost)
-		pl.qp.PostSend(ps, segs...)
+		if err := pl.qp.PostSend(ps, segs...); err != nil {
+			for _, b := range ps.sga.Segs {
+				b.IOUnref()
+			}
+			if ps.op != nil {
+				ps.op.Fail(ps.qd, core.OpPush, err)
+			}
+			pl.fail(err)
+			return
+		}
 		l.stats.sends.Inc()
 	}
 }
@@ -433,6 +491,15 @@ func (l *LibOS) handleCQE(cqe rdmadev.CQE) {
 		}
 		l.stats.recvs.Inc()
 		l.handleMessage(pl, cqe.Buf, cqe.Len)
+	case rdmadev.OpQPErr:
+		// The remote QP failed and NAKed us: tear the link down so every
+		// op parked on it errors instead of waiting forever.
+		for _, pl := range l.links {
+			if pl.qp.QPN() == cqe.QPN {
+				pl.fail(rdmadev.ErrQPError)
+				break
+			}
+		}
 	}
 }
 
@@ -540,6 +607,9 @@ func (l *LibOS) linkTo(remote simnet.MAC) (*peerLink, error) {
 	pl := l.setupLink(qp)
 	// Wait for the peer's HELLO (control path; block the app).
 	for !pl.ready {
+		if pl.failed {
+			return nil, core.ErrConnRefused
+		}
 		if !l.Step() {
 			if !l.node.Park(sim.Infinity) {
 				return nil, core.ErrStopped

@@ -91,6 +91,29 @@ func (c *conn) pop(op *core.Op) {
 	c.pops = append(c.pops, op)
 }
 
+// fail aborts the connection with err (link/QP failure): the pending
+// connect and queued pops resolve with err, buffered messages are released,
+// and later pushes/pops fail fast via c.err.
+func (c *conn) fail(err error) {
+	if c.err != nil {
+		return
+	}
+	c.err = err
+	c.open = false
+	if c.connectOp != nil {
+		c.connectOp.Fail(c.qd, core.OpConnect, err)
+		c.connectOp = nil
+	}
+	for _, op := range c.pops {
+		op.Fail(c.qd, core.OpPop, err)
+	}
+	c.pops = nil
+	for _, b := range c.recvQ {
+		b.Free()
+	}
+	c.recvQ = nil
+}
+
 // close tears the connection down, notifying the peer.
 func (c *conn) close() {
 	if c.err != nil {
@@ -289,19 +312,23 @@ func (l *LibOS) Push(qd core.QDesc, sga core.SGArray) (core.QToken, error) {
 	if !ok {
 		return core.InvalidQToken, core.ErrBadQDesc
 	}
-	op := l.tokens.New()
+	// Validate before minting the op: an op created then abandoned on an
+	// error return would linger outstanding in the token table forever.
 	switch s := q.(type) {
 	case *socket:
 		if s.conn == nil {
 			return core.InvalidQToken, core.ErrNotBound
 		}
+		op := l.tokens.New()
 		s.conn.push(op, sga)
+		return op.Token(), nil
 	case *core.MemQueue:
+		op := l.tokens.New()
 		s.Push(op, sga)
+		return op.Token(), nil
 	default:
 		return core.InvalidQToken, core.ErrNotSupported
 	}
-	return op.Token(), nil
 }
 
 // PushTo is unsupported on connection-oriented Catmint.
@@ -316,19 +343,21 @@ func (l *LibOS) Pop(qd core.QDesc) (core.QToken, error) {
 	if !ok {
 		return core.InvalidQToken, core.ErrBadQDesc
 	}
-	op := l.tokens.New()
 	switch s := q.(type) {
 	case *socket:
 		if s.conn == nil {
 			return core.InvalidQToken, core.ErrNotBound
 		}
+		op := l.tokens.New()
 		s.conn.pop(op)
+		return op.Token(), nil
 	case *core.MemQueue:
+		op := l.tokens.New()
 		s.Pop(op)
+		return op.Token(), nil
 	default:
 		return core.InvalidQToken, core.ErrNotSupported
 	}
-	return op.Token(), nil
 }
 
 // Wait blocks until qt completes.

@@ -32,6 +32,7 @@ type Stats struct {
 	TCPAccepts, TCPConnects uint64
 	BytesIn, BytesOut       uint64
 	FileAppends, FileReads  uint64
+	RxAllocDrops            uint64 // inbound data refused for want of heap
 }
 
 // LibOS is a Catnap instance.
@@ -74,6 +75,7 @@ func New(dir string) *LibOS {
 	l.reg.Sample("catnap.bytes_out", func() int64 { return int64(s.BytesOut) })
 	l.reg.Sample("catnap.file_appends", func() int64 { return int64(s.FileAppends) })
 	l.reg.Sample("catnap.file_reads", func() int64 { return int64(s.FileReads) })
+	l.reg.Sample("catnap.rx_alloc_drops", func() int64 { return int64(s.RxAllocDrops) })
 	l.heap.PublishTelemetry(l.reg, "mem")
 	l.tokens.Instrument(l.clock, 0)
 	l.tokens.SetLatencyHist(l.reg.Histogram("core.qtoken_latency_ns"))
@@ -375,10 +377,21 @@ func (q *tcpQueue) readLoop() {
 func (q *tcpQueue) deliver(data []byte) {
 	q.lib.stats.BytesIn += uint64(len(data))
 	if len(q.pops) > 0 {
+		buf, err := memory.TryCopyFrom(q.lib.heap, data)
+		if err != nil {
+			// Heap exhausted: fail the pop (app sees ENOMEM) but keep the
+			// bytes — the kernel already acked them — so a later pop after
+			// memory frees up delivers them.
+			q.lib.stats.RxAllocDrops++
+			op := q.pops[0]
+			q.pops = q.pops[1:]
+			q.recvQ = append(q.recvQ, data)
+			op.Fail(q.qd, core.OpPop, err)
+			return
+		}
 		op := q.pops[0]
 		q.pops = q.pops[1:]
-		op.Complete(core.QEvent{QD: q.qd, Op: core.OpPop,
-			SGA: core.SGA(memory.CopyFrom(q.lib.heap, data))})
+		op.Complete(core.QEvent{QD: q.qd, Op: core.OpPop, SGA: core.SGA(buf)})
 		return
 	}
 	q.recvQ = append(q.recvQ, data)
@@ -411,10 +424,15 @@ func (q *udpQueue) readLoop() {
 func (q *udpQueue) deliver(from core.Addr, data []byte) {
 	q.lib.stats.BytesIn += uint64(len(data))
 	if len(q.pops) > 0 {
+		buf, err := memory.TryCopyFrom(q.lib.heap, data)
+		if err != nil {
+			// UDP is lossy: drop the datagram, leave the pop pending.
+			q.lib.stats.RxAllocDrops++
+			return
+		}
 		op := q.pops[0]
 		q.pops = q.pops[1:]
-		op.Complete(core.QEvent{QD: q.qd, Op: core.OpPop,
-			SGA: core.SGA(memory.CopyFrom(q.lib.heap, data)), From: from})
+		op.Complete(core.QEvent{QD: q.qd, Op: core.OpPop, SGA: core.SGA(buf), From: from})
 		return
 	}
 	q.recvQ = append(q.recvQ, udpDatagram{from: from, data: data})

@@ -3,10 +3,18 @@ package catnip
 import (
 	"time"
 
+	"demikernel/internal/core"
 	"demikernel/internal/sched"
+	"demikernel/internal/sim"
 	"demikernel/internal/simnet"
 	"demikernel/internal/wire"
 )
+
+// negCacheTTL is how long a failed resolution is remembered. While the
+// entry is fresh, sends to the address fail immediately instead of
+// re-launching the bounded-retry request train (no retry storm when an
+// application hammers an unreachable host).
+const negCacheTTL = 5 * time.Millisecond
 
 // arpCache resolves IPv4 addresses to MACs. Unresolved sends queue their
 // packets on the pending entry; resolution flushes them in order. The fast
@@ -16,6 +24,7 @@ type arpCache struct {
 	lib     *LibOS
 	entries map[wire.IPAddr]simnet.MAC
 	pending map[wire.IPAddr]*arpPending
+	neg     map[wire.IPAddr]sim.Time // failed resolutions, by expiry
 }
 
 // arpPending tracks an unresolved address: queued frames and waiting
@@ -26,12 +35,15 @@ type arpPending struct {
 	retries int
 }
 
-// pendingSend is a deferred IPv4 transmission.
+// pendingSend is a deferred IPv4 transmission. done (optional) reports the
+// outcome: nil when the frame went on the wire, ErrHostUnreachable when
+// resolution gave up.
 type pendingSend struct {
 	dstIP     wire.IPAddr
 	proto     uint8
 	transport []byte
 	payload   []byte
+	done      func(error)
 }
 
 func newARPCache(l *LibOS) *arpCache {
@@ -39,6 +51,7 @@ func newARPCache(l *LibOS) *arpCache {
 		lib:     l,
 		entries: make(map[wire.IPAddr]simnet.MAC),
 		pending: make(map[wire.IPAddr]*arpPending),
+		neg:     make(map[wire.IPAddr]sim.Time),
 	}
 }
 
@@ -54,6 +67,19 @@ func (a *arpCache) hasPending(ip wire.IPAddr) bool {
 	return ok
 }
 
+// negative reports whether ip has a fresh failed-resolution entry.
+func (a *arpCache) negative(ip wire.IPAddr) bool {
+	exp, ok := a.neg[ip]
+	if !ok {
+		return false
+	}
+	if a.lib.node.Now() >= exp {
+		delete(a.neg, ip)
+		return false
+	}
+	return true
+}
+
 // lookup returns the MAC for ip if cached.
 func (a *arpCache) lookup(ip wire.IPAddr) (simnet.MAC, bool) {
 	m, ok := a.entries[ip]
@@ -61,10 +87,21 @@ func (a *arpCache) lookup(ip wire.IPAddr) (simnet.MAC, bool) {
 }
 
 // sendOrQueue transmits an IPv4 packet if the destination resolves,
-// otherwise queues it and kicks resolution.
-func (a *arpCache) sendOrQueue(dstIP wire.IPAddr, proto uint8, transport, payload []byte) {
+// otherwise queues it and kicks resolution. done (may be nil) is called
+// with nil once the packet is on the wire, or with ErrHostUnreachable if
+// resolution fails — synchronously on the warm-cache fast path.
+func (a *arpCache) sendOrQueue(dstIP wire.IPAddr, proto uint8, transport, payload []byte, done func(error)) {
 	if mac, ok := a.entries[dstIP]; ok {
 		a.lib.sendIPv4(mac, dstIP, proto, transport, payload)
+		if done != nil {
+			done(nil)
+		}
+		return
+	}
+	if a.negative(dstIP) {
+		if done != nil {
+			done(core.ErrHostUnreachable)
+		}
 		return
 	}
 	p, ok := a.pending[dstIP]
@@ -74,14 +111,19 @@ func (a *arpCache) sendOrQueue(dstIP wire.IPAddr, proto uint8, transport, payloa
 		a.request(dstIP)
 		a.spawnRetrier(dstIP)
 	}
-	p.sends = append(p.sends, pendingSend{dstIP, proto, transport, payload})
+	p.sends = append(p.sends, pendingSend{dstIP, proto, transport, payload, done})
 }
 
 // waitResolved registers a coroutine waker to fire when ip resolves; it
-// reports whether the address is already resolved.
+// reports whether the address is already resolved. While a negative-cache
+// entry is fresh, it neither registers nor re-requests — the caller
+// observes no pending resolution and fails fast.
 func (a *arpCache) waitResolved(ip wire.IPAddr, w sched.Waker) bool {
 	if _, ok := a.entries[ip]; ok {
 		return true
+	}
+	if a.negative(ip) {
+		return false
 	}
 	p, ok := a.pending[ip]
 	if !ok {
@@ -110,7 +152,9 @@ func (a *arpCache) request(ip wire.IPAddr) {
 }
 
 // spawnRetrier starts a background coroutine re-requesting ip until it
-// resolves (bounded retries, then the pending sends are dropped).
+// resolves. After bounded retries it gives up: queued sends fail with
+// ErrHostUnreachable, waiters wake to observe the failure, and a
+// negative-cache entry suppresses an immediate retry storm.
 func (a *arpCache) spawnRetrier(ip wire.IPAddr) {
 	const interval = 500 * time.Microsecond
 	const maxRetries = 10
@@ -122,6 +166,13 @@ func (a *arpCache) spawnRetrier(ip wire.IPAddr) {
 		}
 		if p.retries >= maxRetries {
 			delete(a.pending, ip)
+			a.neg[ip] = a.lib.node.Now().Add(negCacheTTL)
+			a.lib.stats.ARPGiveUps++
+			for _, s := range p.sends {
+				if s.done != nil {
+					s.done(core.ErrHostUnreachable)
+				}
+			}
 			for _, w := range p.wakers {
 				w.Wake() // let waiters observe failure
 			}
@@ -141,9 +192,11 @@ func (a *arpCache) handle(payload []byte) {
 	if err != nil {
 		return
 	}
-	// Learn the sender mapping opportunistically.
+	// Learn the sender mapping opportunistically (clearing any stale
+	// negative entry: the host is evidently reachable again).
 	if !h.SenderIP.IsZero() {
 		a.entries[h.SenderIP] = h.SenderHW
+		delete(a.neg, h.SenderIP)
 		a.flush(h.SenderIP, h.SenderHW)
 	}
 	if h.Op == wire.ARPRequest && h.TargetIP == a.lib.cfg.IP {
@@ -171,6 +224,9 @@ func (a *arpCache) flush(ip wire.IPAddr, mac simnet.MAC) {
 	delete(a.pending, ip)
 	for _, s := range p.sends {
 		a.lib.sendIPv4(mac, s.dstIP, s.proto, s.transport, s.payload)
+		if s.done != nil {
+			s.done(nil)
+		}
 	}
 	for _, w := range p.wakers {
 		w.Wake()

@@ -110,6 +110,9 @@ type Stats struct {
 	TCPDupAcksSent         uint64
 	RxDroppedNoPort        uint64
 	RxBadChecksum          uint64
+	RxChecksumDrops        uint64 // subset of RxBadChecksum: definite checksum mismatches
+	RxAllocDrops           uint64 // inbound payloads dropped because the heap was exhausted
+	ARPGiveUps             uint64 // ARP resolutions abandoned after bounded retries
 	ZeroCopyTx, CopiedTx   uint64
 	PureAcks, WindowProbes uint64
 }
@@ -196,6 +199,9 @@ func (l *LibOS) initTelemetry() {
 	l.reg.Sample("catnip.tcp.window_probes", func() int64 { return int64(s.WindowProbes) })
 	l.reg.Sample("catnip.rx_dropped_no_port", func() int64 { return int64(s.RxDroppedNoPort) })
 	l.reg.Sample("catnip.rx_bad_checksum", func() int64 { return int64(s.RxBadChecksum) })
+	l.reg.Sample("catnip.rx_checksum_drops", func() int64 { return int64(s.RxChecksumDrops) })
+	l.reg.Sample("catnip.rx_alloc_drops", func() int64 { return int64(s.RxAllocDrops) })
+	l.reg.Sample("catnip.arp_giveups", func() int64 { return int64(s.ARPGiveUps) })
 	l.reg.Sample("catnip.tx_zero_copy", func() int64 { return int64(s.ZeroCopyTx) })
 	l.reg.Sample("catnip.tx_copied", func() int64 { return int64(s.CopiedTx) })
 
@@ -306,6 +312,9 @@ func (l *LibOS) handleIPv4(eth wire.EthHeader, payload []byte) {
 	ip, body, err := wire.ParseIPv4(payload)
 	if err != nil {
 		l.stats.RxBadChecksum++
+		if wire.IsChecksumError(err) {
+			l.stats.RxChecksumDrops++
+		}
 		return
 	}
 	if ip.Dst != l.cfg.IP {
@@ -363,8 +372,10 @@ func (l *LibOS) timerWake(t sim.Time, h sched.Handle) {
 	l.node.Engine().At(t, l.node, func() { h.Wake() })
 }
 
-// allocEphemeral returns an unused local port.
-func (l *LibOS) allocEphemeral() uint16 {
+// allocEphemeral returns an unused local port, or ErrAddrNotAvail when the
+// whole port space is consumed — an overload condition the application must
+// see as a failed connect/send, not a crashed datapath.
+func (l *LibOS) allocEphemeral() (uint16, error) {
 	for i := 0; i < 65536; i++ {
 		p := l.nextEphemeral
 		l.nextEphemeral++
@@ -377,9 +388,9 @@ func (l *LibOS) allocEphemeral() uint16 {
 		if _, lnUsed := l.listeners[p]; lnUsed {
 			continue
 		}
-		return p
+		return p, nil
 	}
-	panic("catnip: ephemeral ports exhausted")
+	return 0, core.ErrAddrNotAvail
 }
 
 // --- PDPIX entry points ---
@@ -482,11 +493,9 @@ func (l *LibOS) Connect(qd core.QDesc, addr core.Addr) (core.QToken, error) {
 	}
 	switch s := q.(type) {
 	case *tcpSocket:
-		op := l.tokens.New()
-		if err := s.connect(addr, op); err != nil {
-			return core.InvalidQToken, err
-		}
-		return op.Token(), nil
+		// The socket validates (and allocates its ephemeral port) before
+		// minting the op, so error returns leave nothing outstanding.
+		return s.connect(addr)
 	case *udpSocket:
 		// Datagram connect just fixes the default destination.
 		op := l.tokens.New()

@@ -1,0 +1,202 @@
+package catnip
+
+// Regression tests for graceful degradation: resource exhaustion and
+// unreachable peers must surface as PDPIX errors, never as panics or hangs.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"demikernel/internal/core"
+	"demikernel/internal/dpdkdev"
+	"demikernel/internal/faults"
+	"demikernel/internal/memory"
+	"demikernel/internal/simnet"
+	"demikernel/internal/wire"
+)
+
+// TestEphemeralPortExhaustion: with the whole ephemeral port space consumed,
+// Connect returns ErrAddrNotAvail (EADDRNOTAVAIL) instead of panicking, and
+// mints no qtoken (nothing leaks into the token table).
+func TestEphemeralPortExhaustion(t *testing.T) {
+	eng, la, _ := pair(t, 11, simnet.DefaultLink(), true)
+	eng.Spawn(la.Node(), func() {
+		// Occupy every port so allocEphemeral has nothing to hand out.
+		dummy := &udpSocket{lib: la}
+		for p := 0; p < 65536; p++ {
+			la.udpPorts[uint16(p)] = dummy
+		}
+		qd, err := la.Socket(core.SockStream)
+		if err != nil {
+			t.Errorf("socket: %v", err)
+			return
+		}
+		_, err = la.Connect(qd, core.Addr{IP: ipB, Port: 80})
+		if !errors.Is(err, core.ErrAddrNotAvail) {
+			t.Errorf("connect with exhausted ports = %v, want ErrAddrNotAvail", err)
+		}
+		if n := la.Tokens().Outstanding(); n != 0 {
+			t.Errorf("outstanding qtokens after failed connect = %d, want 0", n)
+		}
+	})
+	eng.Run()
+}
+
+// TestRxChecksumDrop: an inbound frame whose payload was corrupted in
+// flight is dropped and counted, and the datagram never reaches the socket.
+func TestRxChecksumDrop(t *testing.T) {
+	eng, la, lb := pair(t, 12, simnet.DefaultLink(), true)
+	eng.Spawn(lb.Node(), func() {
+		qd, err := lb.Socket(core.SockDgram)
+		if err != nil {
+			t.Errorf("socket: %v", err)
+			return
+		}
+		if err := lb.Bind(qd, lb.Addr(9000)); err != nil {
+			t.Errorf("bind: %v", err)
+			return
+		}
+		// Wait drives the RX poll (the libOS is cooperatively scheduled);
+		// the corrupted datagram is dropped, so this pop never completes.
+		pqt, _ := lb.Pop(qd)
+		if ev, err := lb.Wait(pqt); err == nil && ev.Err == nil {
+			t.Errorf("pop completed with corrupted datagram: %+v", ev)
+		}
+	})
+	eng.Spawn(la.Node(), func() {
+		// Build a correct UDP frame by hand, then flip one payload bit
+		// after the checksum is computed — the bit flip a faulty link or
+		// NIC would introduce.
+		payload := []byte("datagram that will be corrupted")
+		h := wire.UDPHeader{SrcPort: 5000, DstPort: 9000, Length: uint16(wire.UDPHeaderLen + len(payload))}
+		hdr := make([]byte, wire.UDPHeaderLen)
+		h.Marshal(hdr, ipA, ipB, payload)
+		payload[3] ^= 0x10
+		la.sendIPv4(lb.port.MAC(), ipB, wire.ProtoUDP, hdr, payload)
+	})
+	eng.Run()
+	if got := lb.Stats().RxChecksumDrops; got != 1 {
+		t.Fatalf("RxChecksumDrops = %d, want 1", got)
+	}
+	if got := lb.Stats().RxBadChecksum; got != 1 {
+		t.Fatalf("RxBadChecksum = %d, want 1", got)
+	}
+}
+
+// TestRTOExhaustionFailsOps: when the peer blackholes mid-connection, RTO
+// backoff eventually gives up and every pending and future push/pop fails
+// with ErrConnTimeout — the application observes the outage, nothing hangs.
+func TestRTOExhaustionFailsOps(t *testing.T) {
+	eng, la, lb := pair(t, 13, simnet.DefaultLink(), true)
+	eng.Spawn(lb.Node(), echoServer(t, lb, 80))
+	eng.Spawn(la.Node(), func() {
+		qd, _ := la.Socket(core.SockStream)
+		cqt, err := la.Connect(qd, core.Addr{IP: ipB, Port: 80})
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		if ev, err := la.Wait(cqt); err != nil || ev.Err != nil {
+			t.Errorf("connect wait: %v %v", err, ev.Err)
+			return
+		}
+		// Blackhole the client's TX: every frame (data, retransmissions,
+		// the final RST) is dropped at the NIC, as with a dead link.
+		plan := faults.NewPlan(13)
+		stall := plan.Site("tx_stall", faults.Spec{Every: 1, Duration: 5 * time.Second})
+		la.port.(*dpdkdev.Port).SetFaults(dpdkdev.Faults{TxStall: stall})
+
+		pqt := push(t, la, qd, []byte("into the void"))
+		ev, err := la.Wait(pqt)
+		if err != nil {
+			t.Errorf("push wait: %v", err)
+			return
+		}
+		if !errors.Is(ev.Err, ErrConnTimeout) {
+			t.Errorf("pending push after blackhole = %v, want ErrConnTimeout", ev.Err)
+		}
+		// Future operations fail fast with the same error.
+		pqt2, err := la.Push(qd, core.SGA(memory.CopyFrom(la.Heap(), []byte("x"))))
+		if err != nil {
+			t.Errorf("push after timeout: %v", err)
+			return
+		}
+		if ev, _ := la.Wait(pqt2); !errors.Is(ev.Err, ErrConnTimeout) {
+			t.Errorf("future push = %v, want ErrConnTimeout", ev.Err)
+		}
+		popqt, err := la.Pop(qd)
+		if err != nil {
+			t.Errorf("pop after timeout: %v", err)
+			return
+		}
+		if ev, _ := la.Wait(popqt); !errors.Is(ev.Err, ErrConnTimeout) {
+			t.Errorf("future pop = %v, want ErrConnTimeout", ev.Err)
+		}
+		if n := la.Tokens().Outstanding(); n != 0 {
+			t.Errorf("outstanding qtokens after timeout = %d, want 0", n)
+		}
+	})
+	eng.Run()
+}
+
+// TestARPGiveUpUnreachable: connecting to an address no host answers for
+// fails with ErrHostUnreachable after bounded ARP retries, and the negative
+// cache makes an immediate retry fail fast without a fresh request storm.
+func TestARPGiveUpUnreachable(t *testing.T) {
+	ipGhost := wire.IPAddr{10, 0, 0, 99}
+	eng, la, _ := pair(t, 14, simnet.DefaultLink(), false)
+	eng.Spawn(la.Node(), func() {
+		qd, _ := la.Socket(core.SockStream)
+		cqt, err := la.Connect(qd, core.Addr{IP: ipGhost, Port: 80})
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		ev, err := la.Wait(cqt)
+		if err != nil {
+			t.Errorf("connect wait: %v", err)
+			return
+		}
+		if !errors.Is(ev.Err, core.ErrHostUnreachable) {
+			t.Errorf("connect to unanswered ARP = %v, want ErrHostUnreachable", ev.Err)
+		}
+		if got := la.Stats().ARPGiveUps; got != 1 {
+			t.Errorf("ARPGiveUps = %d, want 1", got)
+		}
+
+		// Immediate retry: the negative cache answers without transmitting
+		// a single frame (no retry storm against a dead host).
+		txBefore := la.Stats().TxFrames
+		qd2, _ := la.Socket(core.SockStream)
+		cqt2, err := la.Connect(qd2, core.Addr{IP: ipGhost, Port: 80})
+		if err != nil {
+			t.Errorf("reconnect: %v", err)
+			return
+		}
+		if ev, _ := la.Wait(cqt2); !errors.Is(ev.Err, core.ErrHostUnreachable) {
+			t.Errorf("reconnect = %v, want ErrHostUnreachable", ev.Err)
+		}
+		if tx := la.Stats().TxFrames - txBefore; tx != 0 {
+			t.Errorf("negative-cached retry transmitted %d frames, want 0", tx)
+		}
+		if got := la.Stats().ARPGiveUps; got != 1 {
+			t.Errorf("ARPGiveUps after cached retry = %d, want 1", got)
+		}
+
+		// A queued UDP send to the same host fails through the same path.
+		uqd, _ := la.Socket(core.SockDgram)
+		uqt, err := la.PushTo(uqd, core.SGA(memory.CopyFrom(la.Heap(), []byte("hello?"))), core.Addr{IP: ipGhost, Port: 7})
+		if err != nil {
+			t.Errorf("pushto: %v", err)
+			return
+		}
+		if ev, _ := la.Wait(uqt); !errors.Is(ev.Err, core.ErrHostUnreachable) {
+			t.Errorf("udp push to unreachable = %v, want ErrHostUnreachable", ev.Err)
+		}
+		if n := la.Tokens().Outstanding(); n != 0 {
+			t.Errorf("outstanding qtokens = %d, want 0", n)
+		}
+	})
+	eng.Run()
+}

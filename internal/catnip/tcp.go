@@ -76,25 +76,30 @@ func (s *tcpSocket) listen(backlog int) error {
 	return nil
 }
 
-func (s *tcpSocket) connect(addr core.Addr, op *core.Op) error {
+func (s *tcpSocket) connect(addr core.Addr) (core.QToken, error) {
 	if s.listener != nil || s.conn != nil {
-		return core.ErrInUse
+		return core.InvalidQToken, core.ErrInUse
 	}
 	if !s.bound {
-		s.localPort = s.lib.allocEphemeral()
+		p, err := s.lib.allocEphemeral()
+		if err != nil {
+			return core.InvalidQToken, err // EADDRNOTAVAIL: port space exhausted
+		}
+		s.localPort = p
 		s.bound = true
 	}
 	tuple := fourTuple{localPort: s.localPort, remoteIP: addr.IP, remotePort: addr.Port}
 	if _, exists := s.lib.conns[tuple]; exists {
-		return core.ErrInUse
+		return core.InvalidQToken, core.ErrInUse
 	}
+	op := s.lib.tokens.New()
 	c := newTCPConn(s.lib, s.qd, tuple)
 	c.state = stateSynSent
 	c.connectOp = op
 	s.conn = c
 	s.lib.conns[tuple] = c
 	c.startConnect()
-	return nil
+	return op.Token(), nil
 }
 
 func (s *tcpSocket) close() {

@@ -99,7 +99,7 @@ func (c *tcpConn) startConnect() {
 		if !c.lib.arp.waitResolved(c.tuple.remoteIP, ctx.Waker()) {
 			if !c.lib.arp.hasPending(c.tuple.remoteIP) {
 				// Resolution gave up: the host is unreachable.
-				c.abort(core.ErrConnRefused)
+				c.abort(core.ErrHostUnreachable)
 				return sched.Done
 			}
 			return sched.Pending

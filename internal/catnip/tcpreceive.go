@@ -15,6 +15,9 @@ func (l *LibOS) handleTCP(eth wire.EthHeader, ip wire.IPv4Header, body []byte) {
 	h, payload, err := wire.ParseTCP(body, ip.Src, ip.Dst)
 	if err != nil {
 		l.stats.RxBadChecksum++
+		if wire.IsChecksumError(err) {
+			l.stats.RxChecksumDrops++
+		}
 		return
 	}
 	tuple := fourTuple{localPort: h.DstPort, remoteIP: ip.Src, remotePort: h.SrcPort}
@@ -276,9 +279,15 @@ func (c *tcpConn) processPayload(seq uint32, payload []byte) {
 
 // deliver appends in-order payload to the receive queue. The NIC has
 // DMA-written the bytes into the DMA-capable heap, so no CPU copy is
-// charged (paper §5.3's zero-copy receive).
+// charged (paper §5.3's zero-copy receive). With the heap exhausted the
+// segment is dropped without advancing rcvNxt: no ack covers it, so the
+// peer retransmits once memory frees up.
 func (c *tcpConn) deliver(payload []byte) {
-	buf := memory.CopyFrom(c.lib.heap, payload)
+	buf, err := memory.TryCopyFrom(c.lib.heap, payload)
+	if err != nil {
+		c.lib.stats.RxAllocDrops++
+		return
+	}
 	c.recvQ = append(c.recvQ, buf)
 	c.recvBytes += len(payload)
 	c.rcvNxt += uint32(len(payload))

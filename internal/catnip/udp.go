@@ -47,12 +47,17 @@ func (s *udpSocket) bind(addr core.Addr) error {
 }
 
 // ensureBound lazily binds to an ephemeral port on first send.
-func (s *udpSocket) ensureBound() {
+func (s *udpSocket) ensureBound() error {
 	if !s.bound {
-		s.localPort = s.lib.allocEphemeral()
+		p, err := s.lib.allocEphemeral()
+		if err != nil {
+			return err
+		}
+		s.localPort = p
 		s.bound = true
 		s.lib.udpPorts[s.localPort] = s
 	}
+	return nil
 }
 
 // push transmits one datagram built from sga to the explicit address, or
@@ -76,7 +81,10 @@ func (s *udpSocket) push(op *core.Op, sga core.SGArray, to core.Addr) {
 		op.Fail(s.qd, core.OpPush, core.ErrNotSupported)
 		return
 	}
-	s.ensureBound()
+	if err := s.ensureBound(); err != nil {
+		op.Fail(s.qd, core.OpPush, err)
+		return
+	}
 	s.lib.node.Charge(s.lib.cfg.UDPEgressCost)
 	// Gather segments. Zero-copy eligible buffers are "DMA-gathered" (no
 	// CPU charge); small ones are copied (charged), mirroring the 1 KiB
@@ -94,8 +102,17 @@ func (s *udpSocket) push(op *core.Op, sga core.SGArray, to core.Addr) {
 	h := wire.UDPHeader{SrcPort: s.localPort, DstPort: dst.Port, Length: uint16(wire.UDPHeaderLen + n)}
 	hdr := make([]byte, wire.UDPHeaderLen)
 	h.Marshal(hdr, s.lib.cfg.IP, dst.IP, payload)
-	s.lib.arp.sendOrQueue(dst.IP, wire.ProtoUDP, hdr, payload)
-	op.Complete(core.QEvent{QD: s.qd, Op: core.OpPush})
+	// Completion is deferred to the ARP layer: on the warm-cache fast path
+	// the callback runs synchronously (identical behavior), and when
+	// bounded-retry resolution gives up, the push fails with
+	// ErrHostUnreachable instead of silently dropping the datagram.
+	s.lib.arp.sendOrQueue(dst.IP, wire.ProtoUDP, hdr, payload, func(err error) {
+		if err != nil {
+			op.Fail(s.qd, core.OpPush, err)
+			return
+		}
+		op.Complete(core.QEvent{QD: s.qd, Op: core.OpPush})
+	})
 }
 
 // pop returns the next datagram, completing immediately if one is queued.
@@ -144,6 +161,9 @@ func (l *LibOS) handleUDP(ip wire.IPv4Header, body []byte) {
 	h, payload, err := wire.ParseUDP(body, ip.Src, ip.Dst)
 	if err != nil {
 		l.stats.RxBadChecksum++
+		if wire.IsChecksumError(err) {
+			l.stats.RxChecksumDrops++
+		}
 		return
 	}
 	s, ok := l.udpPorts[h.DstPort]
@@ -152,6 +172,12 @@ func (l *LibOS) handleUDP(ip wire.IPv4Header, body []byte) {
 		return
 	}
 	// The NIC DMA-writes into the DMA-capable heap: no CPU copy charged.
-	buf := memory.CopyFrom(l.heap, payload)
+	// With the heap exhausted the datagram is dropped (UDP is lossy; the
+	// application's retry recovers) rather than panicking the stack.
+	buf, err := memory.TryCopyFrom(l.heap, payload)
+	if err != nil {
+		l.stats.RxAllocDrops++
+		return
+	}
 	s.deliver(core.Addr{IP: ip.Src, Port: h.SrcPort}, buf)
 }

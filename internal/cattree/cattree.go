@@ -316,9 +316,16 @@ func (l *LibOS) Push(qd core.QDesc, sga core.SGArray) (core.QToken, error) {
 	for _, b := range sga.Segs {
 		b.IORef()
 	}
-	err := l.dev.SubmitWrite(lba, staging, func(spdkdev.Completion) {
+	err := l.dev.SubmitWrite(lba, staging, func(c spdkdev.Completion) {
 		for _, b := range sga.Segs {
 			b.IOUnref()
+		}
+		if c.Err != nil {
+			// Injected I/O error or torn write: the reserved blocks stay a
+			// hole in the log (replay stops at the bad magic) and the
+			// application learns the append failed through the qtoken.
+			op.Fail(qd, core.OpPush, c.Err)
+			return
 		}
 		l.stats.appends.Inc()
 		l.stats.bytesAppended.Add(uint64(len(payload)))
@@ -355,6 +362,10 @@ func (l *LibOS) Pop(qd core.QDesc) (core.QToken, error) {
 	rel := lq.curBlock
 	lba := lq.part.base + rel
 	err := l.dev.SubmitRead(lba, 1, func(c spdkdev.Completion) {
+		if c.Err != nil {
+			op.Fail(qd, core.OpPop, c.Err)
+			return
+		}
 		magic := binary.BigEndian.Uint32(c.Data[0:4])
 		gen := binary.BigEndian.Uint32(c.Data[4:8])
 		if magic != recordMagic || gen != lq.part.gen {
@@ -371,6 +382,10 @@ func (l *LibOS) Pop(qd core.QDesc) (core.QToken, error) {
 		// Multi-block record: read the remainder.
 		rest := nBlocks - 1
 		l.dev.SubmitRead(lba+1, rest, func(c2 spdkdev.Completion) {
+			if c2.Err != nil {
+				op.Fail(qd, core.OpPop, c2.Err)
+				return
+			}
 			full := append(append([]byte{}, c.Data[recordHeaderLen:]...), c2.Data...)
 			l.finishRead(op, qd, full[:length])
 		})
@@ -433,6 +448,9 @@ func (l *LibOS) readRecordSync(lba int64, wantGen uint32) (payload []byte, block
 	done := false
 	l.dev.SubmitRead(lba, 1, func(c spdkdev.Completion) {
 		defer func() { done = true }()
+		if c.Err != nil {
+			return // recovery treats an unreadable block as log end
+		}
 		if binary.BigEndian.Uint32(c.Data[0:4]) != recordMagic {
 			return
 		}
@@ -449,10 +467,13 @@ func (l *LibOS) readRecordSync(lba int64, wantGen uint32) (payload []byte, block
 		// Multi-block record: synchronous continuation.
 		inner := false
 		l.dev.SubmitRead(lba+1, int(blocks-1), func(c2 spdkdev.Completion) {
+			inner = true
+			if c2.Err != nil {
+				return
+			}
 			full := append(append([]byte{}, c.Data[recordHeaderLen:]...), c2.Data...)
 			payload = append([]byte(nil), full[:length]...)
 			ok = true
-			inner = true
 		})
 		for !inner {
 			if !l.Step() && !l.node.Park(sim.Infinity) {

@@ -26,4 +26,10 @@ var (
 	ErrNotBound = errors.New("pdpix: socket not bound")
 	// ErrEmptySGA means a push carried no data.
 	ErrEmptySGA = errors.New("pdpix: empty scatter-gather array")
+	// ErrAddrNotAvail means no local address (ephemeral port) could be
+	// assigned — the POSIX EADDRNOTAVAIL analogue.
+	ErrAddrNotAvail = errors.New("pdpix: address not available")
+	// ErrHostUnreachable means link-layer resolution of the remote host
+	// failed (ARP gave up) — the POSIX EHOSTUNREACH analogue.
+	ErrHostUnreachable = errors.New("pdpix: host unreachable")
 )

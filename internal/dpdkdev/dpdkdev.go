@@ -16,10 +16,30 @@ package dpdkdev
 import (
 	"fmt"
 
+	"demikernel/internal/faults"
 	"demikernel/internal/sim"
 	"demikernel/internal/simnet"
 	"demikernel/internal/telemetry"
 )
+
+// Faults bundles the port's injection sites. Any field may be nil (that
+// fault class is disabled); SetFaults with the zero value disables all.
+type Faults struct {
+	// RxStall freezes RxBurst (polls return nothing while the window is
+	// open; the rx ring keeps filling and overflows into rx_ring_full).
+	RxStall *faults.Site
+	// TxStall drops transmitted frames while the window is open (the
+	// stack's retransmission machinery must recover).
+	TxStall *faults.Site
+	// LinkFlap drops frames in both directions while the window is open.
+	LinkFlap *faults.Site
+	// Corrupt flips one deterministic payload bit in an arriving frame —
+	// past the Ethernet header, so an IPv4/TCP/UDP checksum must catch it.
+	Corrupt *faults.Site
+	// Reset models a full device reset: every rx ring is cleared and the
+	// arriving frame that triggered it is lost.
+	Reset *faults.Site
+}
 
 // Mbuf is a packet buffer handed between the device and the stack. Rx mbufs
 // reference the frame delivered by the fabric; Tx mbufs are built by the
@@ -112,6 +132,10 @@ type Port struct {
 	queues []*Queue
 	reta   [retaSize]int // RSS indirection table: hash bits -> queue
 	reg    *telemetry.Registry
+
+	flt                    Faults
+	fltRxDrops, fltTxDrops *telemetry.Counter
+	fltCorrupt, fltResets  *telemetry.Counter
 }
 
 // Attach creates a single-queue port for node on the switch. poolSize
@@ -134,6 +158,10 @@ func AttachQueues(sw *simnet.Switch, node *sim.Node, link simnet.LinkParams, cfg
 		reg:  telemetry.NewRegistry(node.Name() + "/dpdk"),
 	}
 	p.reg.Sample("dpdk.pool_free", func() int64 { return int64(p.pool.free) })
+	p.fltRxDrops = p.reg.Counter("dpdk.fault_rx_drops")
+	p.fltTxDrops = p.reg.Counter("dpdk.fault_tx_drops")
+	p.fltCorrupt = p.reg.Counter("dpdk.fault_corrupt")
+	p.fltResets = p.reg.Counter("dpdk.fault_resets")
 	for i := 0; i < nq; i++ {
 		p.queues = append(p.queues, &Queue{
 			port: p, id: i, owner: node, rxLimit: cfg.RxRing,
@@ -193,11 +221,48 @@ func (p *Port) TxBurst(frames [][]byte) int { return p.queues[0].TxBurst(frames)
 // The frame passes through RSS classification like any fabric delivery.
 func (p *Port) InjectRx(data []byte) { p.net.InjectRx(simnet.Frame{Data: data}) }
 
+// SetFaults installs (or, with the zero value, clears) the port's fault
+// injection sites.
+func (p *Port) SetFaults(f Faults) { p.flt = f }
+
 // DeliverRx implements simnet.RxSink: classify the arriving frame to a
-// queue (RSS) and ring that queue's doorbell.
+// queue (RSS) and ring that queue's doorbell. Injected faults act here,
+// where a real NIC's MAC/PHY would lose or damage the frame.
 func (p *Port) DeliverRx(f simnet.Frame) {
-	p.queues[p.rxQueue(f.Data)].deliver(f.Data)
+	now := p.net.Node().Now()
+	if p.flt.Reset.Fire(now) {
+		// A device reset wipes every rx descriptor ring; the frame that
+		// arrived during the reset is lost with them.
+		p.fltResets.Inc()
+		for _, q := range p.queues {
+			p.fltRxDrops.Add(uint64(len(q.ring)))
+			q.ring = nil
+		}
+		p.fltRxDrops.Inc()
+		return
+	}
+	if p.flt.LinkFlap.Active(now) {
+		p.fltRxDrops.Inc()
+		return
+	}
+	data := f.Data
+	if p.flt.Corrupt.Fire(now) && len(data) > wireHeaderLen {
+		// Flip one bit past the Ethernet header (a flip inside it would
+		// just misroute the frame, which checksums cannot witness). The
+		// frame is copied first: the fabric may share the backing array.
+		c := make([]byte, len(data))
+		copy(c, data)
+		off := wireHeaderLen + p.flt.Corrupt.Rand().Intn(len(c)-wireHeaderLen)
+		c[off] ^= 1 << uint(p.flt.Corrupt.Rand().Intn(8))
+		data = c
+		p.fltCorrupt.Inc()
+	}
+	p.queues[p.rxQueue(data)].deliver(data)
 }
+
+// wireHeaderLen is the Ethernet header length — injected bit flips land
+// beyond it so the IPv4/transport checksums are obliged to catch them.
+const wireHeaderLen = 14
 
 // A Queue is one rx/tx queue pair of a port. Each queue is polled by
 // exactly one virtual CPU (its owner); RSS guarantees a flow's frames all
@@ -257,6 +322,15 @@ func (q *Queue) deliver(data []byte) {
 // mbufs, DPDK's rte_rx_burst. It returns nil immediately when the ring is
 // empty.
 func (q *Queue) RxBurst(max int) []*Mbuf {
+	now := q.port.net.Node().Now()
+	if q.owner != nil {
+		now = q.owner.Now()
+	}
+	if q.port.flt.RxStall.Active(now) {
+		// A stalled queue returns nothing; arrivals keep queueing in the
+		// ring and overflow into rx_ring_full like a real wedged NIC.
+		return nil
+	}
 	var out []*Mbuf
 	for len(out) < max && len(q.ring) > 0 {
 		data := q.ring[0]
@@ -288,6 +362,12 @@ func (q *Queue) TxBurst(frames [][]byte) int {
 		now = q.owner.Now()
 	}
 	for _, f := range frames {
+		if q.port.flt.TxStall.Active(now) || q.port.flt.LinkFlap.Active(now) {
+			// The frame is accepted then lost on the wire; the stack's
+			// retransmission machinery is responsible for recovery.
+			q.port.fltTxDrops.Inc()
+			continue
+		}
 		q.port.net.SendAt(simnet.Frame{Data: f}, now)
 		q.tel.txPackets.Inc()
 		q.tel.txBytes.Add(uint64(len(f)))

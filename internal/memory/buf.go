@@ -90,12 +90,26 @@ func (b *Buf) IOUnref() {
 // CopyFrom allocates a buffer on h holding a copy of p. It is the bridge
 // from non-DMA memory (PDPIX requires all I/O be from the DMA heap).
 func CopyFrom(h *Heap, p []byte) *Buf {
-	if len(p) == 0 {
-		b := h.Alloc(1)
-		b.data = b.data[:0]
-		return b
+	b, err := TryCopyFrom(h, p)
+	if err != nil {
+		panic("memory: CopyFrom: " + err.Error())
 	}
-	b := h.Alloc(len(p))
-	copy(b.data, p)
 	return b
+}
+
+// TryCopyFrom is CopyFrom with pool exhaustion reported as ErrNoMem, so RX
+// paths can drop a frame (TCP retransmit or the application retry recovers
+// it) instead of dying with the heap.
+func TryCopyFrom(h *Heap, p []byte) (*Buf, error) {
+	size := len(p)
+	if size == 0 {
+		size = 1
+	}
+	b, err := h.TryAlloc(size)
+	if err != nil {
+		return nil, err
+	}
+	b.data = b.data[:len(p)]
+	copy(b.data, p)
+	return b, nil
 }

@@ -13,11 +13,17 @@
 package memory
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 
 	"demikernel/internal/telemetry"
 )
+
+// ErrNoMem is returned by TryAlloc when the heap cannot satisfy the request
+// (today only via an injected pool-exhaustion fault; a real mempool returns
+// it when the DMA arena is full).
+var ErrNoMem = errors.New("memory: out of buffers")
 
 // ZeroCopyThreshold is the smallest buffer size worth transmitting
 // zero-copy (paper §5.3); smaller buffers are copied by the I/O stacks.
@@ -57,6 +63,7 @@ type Stats struct {
 	UAFDeferred    uint64 // frees deferred because the libOS still held a reference
 	HugeAllocs     uint64
 	BytesRequested uint64
+	AllocFailures  uint64 // TryAlloc calls denied by the exhaustion hook
 }
 
 // A superblock is one pool of fixed-size objects in a contiguous arena.
@@ -89,6 +96,11 @@ type Heap struct {
 	partial  [][]*superblock // per class: superblocks with free slots
 	stats    Stats
 	rkeySeq  uint32
+
+	// allocFault, when set, is consulted by TryAlloc; returning true makes
+	// the allocation fail with ErrNoMem. It is a plain callback (not a
+	// faults.Site) so this package stays importable from everywhere.
+	allocFault func(size int) bool
 }
 
 // NewHeap returns an empty heap. register may be nil.
@@ -120,6 +132,7 @@ func (h *Heap) PublishTelemetry(reg *telemetry.Registry, prefix string) {
 	reg.Sample(prefix+".registrations", func() int64 { return int64(h.stats.Registrations) })
 	reg.Sample(prefix+".uaf_deferred", func() int64 { return int64(h.stats.UAFDeferred) })
 	reg.Sample(prefix+".huge_allocs", func() int64 { return int64(h.stats.HugeAllocs) })
+	reg.Sample(prefix+".alloc_failures", func() int64 { return int64(h.stats.AllocFailures) })
 	reg.Sample(prefix+".bytes_requested", func() int64 { return int64(h.stats.BytesRequested) })
 	reg.Sample(prefix+".superblock_occupancy_pct", func() int64 {
 		slots := int64(h.stats.Superblocks) * objectsPerSuperblock
@@ -130,12 +143,32 @@ func (h *Heap) PublishTelemetry(reg *telemetry.Registry, prefix string) {
 	})
 }
 
+// SetAllocFault installs (or clears, with nil) the pool-exhaustion hook
+// consulted by TryAlloc. The chaos harness points it at a faults site.
+func (h *Heap) SetAllocFault(f func(size int) bool) { h.allocFault = f }
+
 // Alloc returns a buffer of exactly size bytes from the DMA-capable heap,
-// with the application holding its reference. The backing slot is from a
-// size-class superblock (or a dedicated one for huge sizes).
+// with the application holding its reference. It panics if the heap is
+// exhausted — callers that can degrade use TryAlloc instead; callers that
+// cannot (fixed pre-sized pools, test fixtures) keep the invariant panic.
 func (h *Heap) Alloc(size int) *Buf {
+	b, err := h.TryAlloc(size)
+	if err != nil {
+		panic("memory: Alloc: " + err.Error())
+	}
+	return b
+}
+
+// TryAlloc is Alloc with pool exhaustion reported as ErrNoMem instead of a
+// panic, so datapaths can drop-with-counter rather than die. The backing
+// slot is from a size-class superblock (or a dedicated one for huge sizes).
+func (h *Heap) TryAlloc(size int) (*Buf, error) {
 	if size <= 0 {
 		panic("memory: Alloc with non-positive size")
+	}
+	if h.allocFault != nil && h.allocFault(size) {
+		h.stats.AllocFailures++
+		return nil, ErrNoMem
 	}
 	h.stats.Allocs++
 	h.stats.BytesRequested += uint64(size)
@@ -164,7 +197,7 @@ func (h *Heap) Alloc(size int) *Buf {
 	if sb.freeHead < 0 {
 		h.dropPartial(sb)
 	}
-	return b
+	return b, nil
 }
 
 // newSuperblock carves a fresh arena of count objects of the given size.

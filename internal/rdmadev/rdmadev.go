@@ -14,15 +14,31 @@ package rdmadev
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"time"
 
+	"demikernel/internal/faults"
 	"demikernel/internal/memory"
 	"demikernel/internal/sim"
 	"demikernel/internal/simnet"
 	"demikernel/internal/telemetry"
 	"demikernel/internal/wire"
 )
+
+// ErrQPError is returned by PostSend/PostWrite on a QP that has entered the
+// error state (injected QP error / async disconnect). The QP stays errored
+// until destroyed; the application reconnects with a fresh QP, exactly as
+// with real verbs hardware.
+var ErrQPError = errors.New("rdmadev: queue pair in error state")
+
+// Faults bundles the NIC's injection sites. Any field may be nil.
+type Faults struct {
+	// QPError transitions the posting QP into the error state: the
+	// triggering post and all later posts fail with ErrQPError, and
+	// inbound frames for the QP are dropped and counted.
+	QPError *faults.Site
+}
 
 // WireMTU is the maximum payload carried per fragment frame.
 const WireMTU = 4096
@@ -39,6 +55,10 @@ const (
 	OpSend Opcode = iota
 	// OpRecv completes a PostRecv whose buffer now holds a full message.
 	OpRecv
+	// OpQPErr is an error completion: the QP entered the error state
+	// because the remote side NAKed it (its paired QP failed). The host
+	// must tear down its use of the QP; posts now fail with ErrQPError.
+	OpQPErr
 )
 
 // CQE is a completion queue entry.
@@ -58,6 +78,8 @@ type Stats struct {
 	RNRDrops             uint64 // messages dropped: no posted receive buffer
 	RecvTooSmall         uint64
 	BadFrames, UnknownQP uint64
+	QPErrDrops           uint64 // inbound frames dropped on an errored QP
+	NaksTx, NaksRx       uint64 // QP-error NAK notifications sent/received
 }
 
 // recvWR is a posted receive buffer.
@@ -76,6 +98,7 @@ type QP struct {
 
 	rq      []recvWR
 	sendSeq uint32
+	errored bool
 
 	// Inbound reassembly state for the current message.
 	cur      *recvWR
@@ -96,6 +119,24 @@ func (q *QP) Connected() bool { return q.connected }
 
 // RecvPosted returns the number of posted, unconsumed receive buffers.
 func (q *QP) RecvPosted() int { return len(q.rq) }
+
+// Errored reports whether the QP is in the error state.
+func (q *QP) Errored() bool { return q.errored }
+
+// FlushRecvs removes and returns every posted receive buffer, the verbs
+// "flush" that lets the owner release buffer references after a QP error.
+func (q *QP) FlushRecvs() []*memory.Buf {
+	var out []*memory.Buf
+	for _, wr := range q.rq {
+		out = append(out, wr.buf)
+	}
+	if q.cur != nil {
+		out = append(out, q.cur.buf)
+		q.cur = nil
+	}
+	q.rq = nil
+	return out
+}
 
 // MR is a registered memory region accessible to one-sided operations.
 type MR struct {
@@ -130,7 +171,12 @@ type NIC struct {
 	nextRkey  uint32
 	stats     Stats
 	tel       *telemetry.Registry
+	flt       Faults
 }
+
+// SetFaults installs (or, with the zero value, clears) the NIC's fault
+// injection sites.
+func (n *NIC) SetFaults(f Faults) { n.flt = f }
 
 // NewNIC attaches a NIC for node to the fabric.
 func (r *Registry) NewNIC(node *sim.Node, link simnet.LinkParams, rxRing int) *NIC {
@@ -154,6 +200,9 @@ func (r *Registry) NewNIC(node *sim.Node, link simnet.LinkParams, rxRing int) *N
 	n.tel.Sample("rdma.recv_too_small", func() int64 { return int64(s.RecvTooSmall) })
 	n.tel.Sample("rdma.bad_frames", func() int64 { return int64(s.BadFrames) })
 	n.tel.Sample("rdma.unknown_qp", func() int64 { return int64(s.UnknownQP) })
+	n.tel.Sample("rdma.qperr_drops", func() int64 { return int64(s.QPErrDrops) })
+	n.tel.Sample("rdma.naks_tx", func() int64 { return int64(s.NaksTx) })
+	n.tel.Sample("rdma.naks_rx", func() int64 { return int64(s.NaksRx) })
 	return n
 }
 
@@ -198,6 +247,7 @@ const rdmaHeaderLen = 34
 const (
 	opSendWire  = 1
 	opWriteWire = 2
+	opNakWire   = 3
 	flagLast    = 1
 )
 
@@ -252,10 +302,35 @@ func (q *QP) sendFragments(op byte, rkey uint32, remoteOff uint64, segs ...[]byt
 	}
 }
 
+// nak notifies the paired remote QP that this QP has failed, mirroring the
+// RC transport's NAK/retry-exhaustion path: the requester's QP also moves
+// to the error state and its host sees an OpQPErr completion. Without it a
+// one-sided failure would strand the peer waiting on replies forever.
+func (q *QP) nak() {
+	if !q.connected {
+		return
+	}
+	frame := make([]byte, wire.EthHeaderLen+rdmaHeaderLen)
+	eth := wire.EthHeader{Dst: q.remoteMAC, Src: q.nic.port.MAC(), EtherType: wire.EtherTypeRDMA}
+	eth.Marshal(frame)
+	putHeader(frame[wire.EthHeaderLen:], opNakWire, 0, q.remoteQPN, q.qpn, 0, 0, 0, 0, 0)
+	q.nic.port.Send(simnet.Frame{Data: frame})
+	q.nic.stats.TxFrames++
+	q.nic.stats.NaksTx++
+}
+
 // PostSend submits a two-sided send of the concatenated segments
 // (ibv_post_send with IBV_WR_SEND). A send CQE is delivered on the local
 // CQ; the remote consumes one posted receive buffer.
 func (q *QP) PostSend(ctx any, segs ...[]byte) error {
+	if q.errored {
+		return ErrQPError
+	}
+	if q.nic.flt.QPError.Fire(q.nic.node.Now()) {
+		q.errored = true
+		q.nak()
+		return ErrQPError
+	}
 	if !q.connected {
 		return fmt.Errorf("rdmadev: send on unconnected QP %d", q.qpn)
 	}
@@ -270,6 +345,9 @@ func (q *QP) PostSend(ctx any, segs ...[]byte) error {
 // and no receive buffer is consumed — the remote CPU is not involved, which
 // is exactly why Catmint uses it for flow-control window updates.
 func (q *QP) PostWrite(rkey uint32, remoteOff int, data []byte) error {
+	if q.errored {
+		return ErrQPError
+	}
 	if !q.connected {
 		return fmt.Errorf("rdmadev: write on unconnected QP %d", q.qpn)
 	}
@@ -342,6 +420,19 @@ func (n *NIC) handleFrame(f simnet.Frame) {
 	q, ok := n.qps[dstQPN]
 	if !ok || (q.connected && q.remoteQPN != srcQPN) {
 		n.stats.UnknownQP++
+		return
+	}
+	if op == opNakWire {
+		n.stats.NaksRx++
+		if !q.errored {
+			q.errored = true
+			n.cq = append(n.cq, CQE{QPN: q.qpn, Op: OpQPErr})
+		}
+		return
+	}
+	if q.errored {
+		n.stats.QPErrDrops++
+		q.nak() // remind a peer that missed the first NAK
 		return
 	}
 	q.handleSendFragment(flags, fragOff, totalLen, data)

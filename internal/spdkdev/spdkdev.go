@@ -10,12 +10,32 @@
 package spdkdev
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
+	"demikernel/internal/faults"
 	"demikernel/internal/sim"
 	"demikernel/internal/telemetry"
 )
+
+// Errors surfaced in Completion.Err by injected faults. Callers distinguish
+// torn writes (partial durable mutation) from clean I/O errors.
+var (
+	ErrInjected  = errors.New("spdkdev: injected I/O error")
+	ErrTornWrite = errors.New("spdkdev: torn write (partial blocks durable)")
+)
+
+// Faults bundles the device's injection sites. Any field may be nil.
+type Faults struct {
+	// IOErr fails a command with ErrInjected and no durable mutation.
+	IOErr *faults.Site
+	// Latency stretches a command's service time by its Spec.Duration.
+	Latency *faults.Site
+	// TornWrite makes a write persist only a prefix of its blocks and
+	// complete with ErrTornWrite — the classic partial-sector power bug.
+	TornWrite *faults.Site
+}
 
 // BlockSize is the device's logical block size in bytes.
 const BlockSize = 512
@@ -88,6 +108,20 @@ type Device struct {
 	epoch     uint64 // bumped by Crash to invalidate in-flight completions
 	stats     Stats
 	tel       *telemetry.Registry
+	flt       Faults
+}
+
+// SetFaults installs (or, with the zero value, clears) the device's fault
+// injection sites.
+func (d *Device) SetFaults(f Faults) { d.flt = f }
+
+// faultCost returns the latency penalty for this command, consuming one
+// Latency trigger if it fires.
+func (d *Device) faultCost() time.Duration {
+	if d.flt.Latency.Fire(d.node.Now()) {
+		return d.flt.Latency.Spec().Duration
+	}
+	return 0
 }
 
 // New creates a device with the given capacity in blocks.
@@ -166,16 +200,29 @@ func (d *Device) SubmitWrite(lba int64, data []byte, cookie any) error {
 	if err := d.checkRange(lba, n); err != nil {
 		return err
 	}
-	cost := d.params.WriteLatency + d.params.transferCost(len(data))
+	cost := d.params.WriteLatency + d.params.transferCost(len(data)) + d.faultCost()
+	now := d.node.Now()
+	if d.flt.IOErr.Fire(now) {
+		d.schedule(cost, func() Completion {
+			return Completion{Op: OpWrite, Cookie: cookie, Err: ErrInjected}
+		})
+		return nil
+	}
+	torn := n // blocks actually persisted; < n for a torn write
+	var tornErr error
+	if d.flt.TornWrite.Fire(now) {
+		torn = d.flt.TornWrite.Rand().Intn(n)
+		tornErr = ErrTornWrite
+	}
 	d.schedule(cost, func() Completion {
-		for i := 0; i < n; i++ {
+		for i := 0; i < torn; i++ {
 			blk := make([]byte, BlockSize)
 			copy(blk, data[i*BlockSize:(i+1)*BlockSize])
 			d.blocks[lba+int64(i)] = blk
 		}
 		d.stats.Writes++
-		d.stats.BytesWrit += uint64(len(data))
-		return Completion{Op: OpWrite, Cookie: cookie}
+		d.stats.BytesWrit += uint64(torn * BlockSize)
+		return Completion{Op: OpWrite, Cookie: cookie, Err: tornErr}
 	})
 	return nil
 }
@@ -185,7 +232,13 @@ func (d *Device) SubmitRead(lba int64, nBlocks int, cookie any) error {
 	if err := d.checkRange(lba, nBlocks); err != nil {
 		return err
 	}
-	cost := d.params.ReadLatency + d.params.transferCost(nBlocks*BlockSize)
+	cost := d.params.ReadLatency + d.params.transferCost(nBlocks*BlockSize) + d.faultCost()
+	if d.flt.IOErr.Fire(d.node.Now()) {
+		d.schedule(cost, func() Completion {
+			return Completion{Op: OpRead, Cookie: cookie, Err: ErrInjected}
+		})
+		return nil
+	}
 	d.schedule(cost, func() Completion {
 		out := make([]byte, nBlocks*BlockSize)
 		for i := 0; i < nBlocks; i++ {
@@ -204,7 +257,7 @@ func (d *Device) SubmitRead(lba int64, nBlocks int, cookie any) error {
 // previously submitted command has completed (the pipeline is serial, so
 // scheduling position suffices).
 func (d *Device) SubmitFlush(cookie any) {
-	d.schedule(d.params.FlushLatency, func() Completion {
+	d.schedule(d.params.FlushLatency+d.faultCost(), func() Completion {
 		d.stats.Flushes++
 		return Completion{Op: OpFlush, Cookie: cookie}
 	})

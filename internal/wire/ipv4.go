@@ -77,7 +77,7 @@ func ParseIPv4(b []byte) (IPv4Header, []byte, error) {
 		return IPv4Header{}, nil, ErrTruncated
 	}
 	if Checksum(b[:ihl]) != 0 {
-		return IPv4Header{}, nil, fmt.Errorf("wire: bad IPv4 header checksum")
+		return IPv4Header{}, nil, errBadIPChecksum
 	}
 	var h IPv4Header
 	h.TOS = b[1]

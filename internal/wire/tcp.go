@@ -2,11 +2,17 @@ package wire
 
 import "errors"
 
-var errBadChecksum = errors.New("wire: bad transport checksum")
+var (
+	errBadChecksum   = errors.New("wire: bad transport checksum")
+	errBadIPChecksum = errors.New("wire: bad IPv4 header checksum")
+)
 
-// IsChecksumError reports whether err indicates a corrupted transport
-// checksum (as opposed to truncation).
-func IsChecksumError(err error) bool { return errors.Is(err, errBadChecksum) }
+// IsChecksumError reports whether err indicates a corrupted IPv4 header or
+// transport checksum (as opposed to truncation), so RX paths can count
+// corruption drops separately from malformed frames.
+func IsChecksumError(err error) bool {
+	return errors.Is(err, errBadChecksum) || errors.Is(err, errBadIPChecksum)
+}
 
 // TCP flag bits.
 const (
