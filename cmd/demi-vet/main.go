@@ -1,0 +1,156 @@
+// Command demi-vet runs the repository's static analyzers over the module:
+// qtoken discipline, buffer ownership, sim-world determinism, and
+// //demi:nonalloc hot-path allocation checks. It is built exclusively on
+// the standard library's go/parser, go/ast and go/types.
+//
+// Usage:
+//
+//	go run ./cmd/demi-vet ./...
+//	go run ./cmd/demi-vet -time ./internal/apps/... ./examples/...
+//
+// Exit status: 0 no findings, 1 findings (or stale allowlist entries), 2
+// usage or load errors. Audited exceptions live in analysis.allow at the
+// module root (override with -allow).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"demikernel/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("demi-vet", flag.ContinueOnError)
+	allowPath := fs.String("allow", "", "allowlist file (default <module-root>/analysis.allow)")
+	timing := fs.Bool("time", false, "print per-analyzer wall time")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "demi-vet:", err)
+		return 2
+	}
+	mod, err := analysis.LoadModule(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "demi-vet:", err)
+		return 2
+	}
+
+	pkgs, wholeModule, err := selectPackages(mod, cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "demi-vet:", err)
+		return 2
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintln(os.Stderr, "demi-vet: no packages matched", strings.Join(patterns, " "))
+		return 2
+	}
+
+	if *allowPath == "" {
+		*allowPath = filepath.Join(mod.Root, "analysis.allow")
+	}
+	allow, err := analysis.LoadAllowlist(*allowPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "demi-vet:", err)
+		return 2
+	}
+
+	findings, elapsed := analysis.RunTimed(mod, pkgs, analysis.DefaultAnalyzers())
+	findings = allow.Filter(findings)
+
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	status := 0
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "demi-vet: %d finding(s)\n", len(findings))
+		status = 1
+	}
+	// Stale allowlist entries only count against a whole-module run: a
+	// partial run legitimately misses the findings other entries suppress.
+	if wholeModule {
+		for _, e := range allow.Unused() {
+			fmt.Fprintf(os.Stderr, "demi-vet: %s:%d: stale allowlist entry (%s %s %q) suppresses nothing — delete it\n",
+				*allowPath, e.Line, e.Analyzer, e.File, e.Contains)
+			status = 1
+		}
+	}
+	if *timing {
+		names := make([]string, 0, len(elapsed))
+		for n := range elapsed {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(os.Stderr, "demi-vet: %-12s %s\n", n, elapsed[n].Round(1e6))
+		}
+	}
+	return status
+}
+
+// selectPackages resolves the command-line patterns against the loaded
+// module. "./..." (or a bare directory with /... suffix) selects every
+// package under that directory; a plain directory selects its package.
+func selectPackages(mod *analysis.Module, cwd string, patterns []string) ([]*analysis.Package, bool, error) {
+	whole := false
+	var roots []string // absolute dir prefixes selecting package trees
+	var exact []string // absolute dirs selecting single packages
+	for _, pat := range patterns {
+		dir, recursive := strings.CutSuffix(pat, "/...")
+		if dir == "" || dir == "." {
+			dir = cwd
+		}
+		abs, err := filepath.Abs(filepath.Join(cwd, dir))
+		if filepath.IsAbs(dir) {
+			abs, err = dir, nil
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		if recursive {
+			if abs == mod.Root {
+				whole = true
+			}
+			roots = append(roots, abs)
+		} else {
+			exact = append(exact, abs)
+		}
+	}
+	if whole {
+		return mod.Pkgs, true, nil
+	}
+	var out []*analysis.Package
+	for _, p := range mod.Pkgs {
+		dir := filepath.Join(mod.Root, strings.TrimPrefix(p.Path, mod.Path))
+		keep := false
+		for _, r := range roots {
+			if dir == r || strings.HasPrefix(dir, r+string(filepath.Separator)) {
+				keep = true
+			}
+		}
+		for _, e := range exact {
+			if dir == e {
+				keep = true
+			}
+		}
+		if keep {
+			out = append(out, p)
+		}
+	}
+	return out, false, nil
+}

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// An Allowlist holds the audited exceptions to analyzer findings. Format,
+// one entry per line:
+//
+//	<analyzer> <file-suffix> <message-substring>   # rationale
+//
+// A finding is suppressed when its analyzer matches exactly, its
+// module-relative file path ends in <file-suffix>, and its message contains
+// <message-substring>. Blank lines and lines starting with # are ignored;
+// a trailing " # ..." comment documents why the exception is sound (and is
+// required by convention — an allowlist entry without a rationale is a
+// smell). Entries that suppress nothing are reported by Unused so the list
+// can only shrink.
+type Allowlist struct {
+	Entries []AllowEntry
+}
+
+// An AllowEntry is one parsed allowlist line.
+type AllowEntry struct {
+	Analyzer string
+	File     string // suffix match against the finding's module-relative path
+	Contains string // substring match against the finding's message
+	Line     int    // line in the allowlist file, for stale-entry reports
+	used     bool
+}
+
+func (e AllowEntry) matches(f Finding) bool {
+	return e.Analyzer == f.Analyzer &&
+		strings.HasSuffix(f.File, e.File) &&
+		strings.Contains(f.Message, e.Contains)
+}
+
+// LoadAllowlist reads an allowlist file. A missing file yields an empty
+// list, so repositories without exceptions need no file at all.
+func LoadAllowlist(path string) (*Allowlist, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return &Allowlist{}, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	return ParseAllowlist(f, path)
+}
+
+// ParseAllowlist parses allowlist entries from r; name labels parse errors.
+func ParseAllowlist(r io.Reader, name string) (*Allowlist, error) {
+	al := &Allowlist{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.Index(text, "#"); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		parts := strings.SplitN(text, " ", 3)
+		if len(parts) < 3 {
+			return nil, fmt.Errorf("%s:%d: want \"<analyzer> <file-suffix> <message-substring>\", got %q", name, line, text)
+		}
+		al.Entries = append(al.Entries, AllowEntry{
+			Analyzer: parts[0],
+			File:     parts[1],
+			Contains: strings.TrimSpace(parts[2]),
+			Line:     line,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return al, nil
+}
+
+// Filter returns the findings not suppressed by the allowlist, marking the
+// entries that fired.
+func (al *Allowlist) Filter(findings []Finding) []Finding {
+	if al == nil || len(al.Entries) == 0 {
+		return findings
+	}
+	kept := findings[:0]
+	for _, f := range findings {
+		suppressed := false
+		for i := range al.Entries {
+			if al.Entries[i].matches(f) {
+				al.Entries[i].used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, f)
+		}
+	}
+	return kept
+}
+
+// Unused returns the entries that suppressed no finding in the last Filter
+// — stale exceptions that should be deleted.
+func (al *Allowlist) Unused() []AllowEntry {
+	if al == nil {
+		return nil
+	}
+	var out []AllowEntry
+	for _, e := range al.Entries {
+		if !e.used {
+			out = append(out, e)
+		}
+	}
+	return out
+}

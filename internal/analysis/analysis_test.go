@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The module is loaded once and shared: whole-module type-checking from
+// source costs ~2 s, and every test needs the same packages. modPkgs
+// snapshots the module's own packages before fixture loads append to
+// mod.Pkgs, so TestModuleClean analyzes exactly what demi-vet ships.
+var (
+	modOnce sync.Once
+	mod     *Module
+	modPkgs []*Package
+	modErr  error
+)
+
+func loadSharedModule(t *testing.T) (*Module, []*Package) {
+	t.Helper()
+	modOnce.Do(func() {
+		mod, modErr = LoadModule(".")
+		if modErr == nil {
+			modPkgs = append([]*Package(nil), mod.Pkgs...)
+		}
+	})
+	if modErr != nil {
+		t.Fatalf("LoadModule: %v", modErr)
+	}
+	return mod, modPkgs
+}
+
+// A want is one expected-finding comment: // want `regexp`.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRx = regexp.MustCompile("want `([^`]+)`")
+
+// parseWants extracts the want comments of a fixture package.
+func parseWants(t *testing.T, m *Module, pkg *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				match := wantRx.FindStringSubmatch(c.Text)
+				if match == nil {
+					continue
+				}
+				pos := m.Fset.Position(c.Slash)
+				re, err := regexp.Compile(match[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+				}
+				wants = append(wants, &want{file: filepath.Base(pos.Filename), line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture analyzes one testdata package with one analyzer and checks
+// the findings against its want comments, both directions.
+func runFixture(t *testing.T, fixture string, a *Analyzer) {
+	t.Helper()
+	m, _ := loadSharedModule(t)
+	pkg, err := m.LoadDir(filepath.Join("testdata", "src", fixture))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	findings := Run(m, []*Package{pkg}, []*Analyzer{a})
+	wants := parseWants(t, m, pkg)
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want comments", fixture)
+	}
+	for _, f := range findings {
+		ok := false
+		for _, w := range wants {
+			if w.line == f.Pos.Line && w.file == filepath.Base(f.File) && w.re.MatchString(f.Message) {
+				w.matched = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected a finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestQTokenFixture(t *testing.T) {
+	runFixture(t, "qtokenfix", QTokenAnalyzer())
+}
+
+func TestOwnershipFixture(t *testing.T) {
+	runFixture(t, "ownerfix", OwnershipAnalyzer())
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	runFixture(t, "determfix", DeterminismAnalyzer([]string{"determfix"}))
+}
+
+func TestNonAllocFixture(t *testing.T) {
+	runFixture(t, "nonallocfix", NonAllocAnalyzer())
+}
+
+// TestModuleClean is the acceptance gate: demi-vet with the checked-in
+// allowlist reports nothing on the module itself, and every allowlist
+// entry still earns its keep.
+func TestModuleClean(t *testing.T) {
+	m, pkgs := loadSharedModule(t)
+	allow, err := LoadAllowlist(filepath.Join(m.Root, "analysis.allow"))
+	if err != nil {
+		t.Fatalf("LoadAllowlist: %v", err)
+	}
+	findings := allow.Filter(Run(m, pkgs, DefaultAnalyzers()))
+	for _, f := range findings {
+		t.Errorf("module is not demi-vet clean: %s", f)
+	}
+	for _, e := range allow.Unused() {
+		t.Errorf("analysis.allow:%d: stale entry (%s %s %q) suppresses nothing", e.Line, e.Analyzer, e.File, e.Contains)
+	}
+}
+
+func TestAllowlistParse(t *testing.T) {
+	al, err := ParseAllowlist(strings.NewReader(`
+# comment
+determinism internal/sim/time.go time.Now  # rationale
+nonalloc sched.go dynamic call
+`), "test")
+	if err != nil {
+		t.Fatalf("ParseAllowlist: %v", err)
+	}
+	if len(al.Entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(al.Entries))
+	}
+	if e := al.Entries[0]; e.Analyzer != "determinism" || e.File != "internal/sim/time.go" || e.Contains != "time.Now" {
+		t.Errorf("entry 0 parsed as %+v", e)
+	}
+	if e := al.Entries[1]; e.Contains != "dynamic call" {
+		t.Errorf("entry 1 message substring = %q, want with spaces", e.Contains)
+	}
+
+	if _, err := ParseAllowlist(strings.NewReader("tooshort entry\n"), "test"); err == nil {
+		t.Error("malformed line should be a parse error")
+	}
+}
+
+func TestAllowlistFilterAndUnused(t *testing.T) {
+	al := &Allowlist{Entries: []AllowEntry{
+		{Analyzer: "qtoken", File: "a.go", Contains: "dropped", Line: 1},
+		{Analyzer: "qtoken", File: "b.go", Contains: "dropped", Line: 2},
+	}}
+	findings := []Finding{
+		{Analyzer: "qtoken", File: "pkg/a.go", Message: "qtoken is dropped"},
+		{Analyzer: "ownership", File: "pkg/a.go", Message: "buffer dropped"},
+	}
+	kept := al.Filter(findings)
+	if len(kept) != 1 || kept[0].Analyzer != "ownership" {
+		t.Fatalf("Filter kept %v, want only the ownership finding", kept)
+	}
+	unused := al.Unused()
+	if len(unused) != 1 || unused[0].Line != 2 {
+		t.Fatalf("Unused = %v, want only the b.go entry", unused)
+	}
+}
+
+func TestLoadAllowlistMissingFile(t *testing.T) {
+	al, err := LoadAllowlist(filepath.Join(t.TempDir(), "nope.allow"))
+	if err != nil {
+		t.Fatalf("missing allowlist should be empty, got error %v", err)
+	}
+	if len(al.Entries) != 0 {
+		t.Fatalf("missing allowlist has %d entries", len(al.Entries))
+	}
+}

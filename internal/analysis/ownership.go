@@ -1,0 +1,452 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// OwnershipAnalyzer enforces the paper's explicit zero-copy buffer
+// ownership contract (§3.1, §4.2) on *memory.Buf values:
+//
+//  1. Every buffer obtained from the DMA heap (Heap.Alloc, Heap.TryAlloc,
+//     memory.CopyFrom, memory.TryCopyFrom) must be freed, pushed, returned,
+//     or stored — a buffer that reaches no consuming use leaks its slot.
+//  2. A return statement between the allocation and the buffer's first
+//     consuming use leaks it on that path (the compile-time twin of the
+//     chaos soak's "no leaked buffers" invariant).
+//  3. A failed Push/PushTo does NOT transfer ownership: the error branch
+//     of a push must free the buffer (or consume it some other way) before
+//     bailing out.
+//  4. A buffer that has been pushed is owned by the library OS until the
+//     qtoken completes: writing through it after the push (copy into its
+//     Bytes, indexed stores) races the device DMA (§4.2: UAF protection
+//     does not include write protection).
+//
+// The memory package itself is exempt — it is the allocator and
+// manipulates slot ownership by design.
+func OwnershipAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "ownership",
+		Doc:  "DMA buffers must be freed/pushed/returned/stored on all paths; pushed buffers are immutable",
+	}
+	a.Run = func(p *Pass) { runOwnership(p) }
+	return a
+}
+
+// bufAllocators are the memory-package entry points that hand the caller
+// an owned buffer.
+var bufAllocators = map[string]bool{
+	"Alloc": true, "TryAlloc": true, "CopyFrom": true, "TryCopyFrom": true,
+}
+
+// bufConsumingMethods are Buf methods that discharge the ownership
+// obligation.
+func bufConsumingMethod(name string) bool { return name == "Free" }
+
+func runOwnership(p *Pass) {
+	if strings.HasSuffix(p.Pkg.Path, "internal/memory") {
+		return // the allocator owns its own slots
+	}
+	buf := p.Mod.LookupNamed("internal/memory", "Buf")
+	if buf == nil {
+		return
+	}
+	isBuf := func(t types.Type) bool {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			return false
+		}
+		n, ok := ptr.Elem().(*types.Named)
+		return ok && n.Obj() == buf.Obj()
+	}
+	info := p.Pkg.Info
+	isAllocator := func(call *ast.CallExpr) bool {
+		fn := staticCallee(info, call)
+		return fn != nil && fn.Pkg() != nil &&
+			strings.HasSuffix(fn.Pkg().Path(), "internal/memory") &&
+			bufAllocators[fn.Name()]
+	}
+	for _, file := range p.Pkg.Files {
+		for _, prod := range findProducers(info, file, isBuf, isAllocator) {
+			callee := exprString(prod.call.Fun)
+			switch {
+			case prod.dropped, prod.blank:
+				p.Reportf(prod.call.Pos(), "keep the buffer and Free it when done",
+					"buffer allocated by %s is discarded without Free", callee)
+			case prod.obj != nil:
+				checkBufferLifecycle(p, prod, callee)
+			}
+		}
+	}
+}
+
+func checkBufferLifecycle(p *Pass, prod producer, callee string) {
+	info := p.Pkg.Info
+	uses := collectUses(info, prod.fn, prod.obj, bufConsumingMethod)
+	var consumes []objUse
+	for _, u := range uses {
+		if u.consuming {
+			consumes = append(consumes, u)
+		}
+	}
+	if len(consumes) == 0 {
+		p.Reportf(prod.call.Pos(),
+			"Free the buffer, push it, return it, or store it for a later Free",
+			"buffer %q allocated by %s is never freed, pushed, returned, or stored", prod.obj.Name(), callee)
+		return
+	}
+	checkEarlyReturns(p, prod, consumes)
+	checkPushPaths(p, prod, consumes)
+}
+
+// checkEarlyReturns flags return statements between the allocation and the
+// buffer's first consuming use: on those paths the buffer leaks. Returns
+// guarded by the allocation's own error (the alloc failed, so there is no
+// buffer) are exempt.
+func checkEarlyReturns(p *Pass, prod producer, consumes []objUse) {
+	first := token.Pos(-1)
+	for _, c := range consumes {
+		if c.id.Pos() > prod.call.End() && (first < 0 || c.id.Pos() < first) {
+			first = c.id.Pos()
+		}
+	}
+	if first < 0 {
+		return // all consuming uses are textually before the allocation (loop back-edge)
+	}
+	info := p.Pkg.Info
+	walkStack(prod.fn, func(n ast.Node, stack []ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if ret.Pos() <= prod.call.End() || ret.Pos() >= first {
+			return true
+		}
+		if guardedByAllocError(info, stack, prod.errObj) {
+			return true
+		}
+		for _, r := range ret.Results {
+			if containsIdentOf(info, r, prod.obj) {
+				return true
+			}
+		}
+		p.Reportf(ret.Pos(), "Free the buffer before this return (or on a deferred path)",
+			"buffer %q (allocated at line %d) leaks on this return path",
+			prod.obj.Name(), p.Mod.Fset.Position(prod.call.Pos()).Line)
+		return true
+	})
+}
+
+// guardedByAllocError reports whether the statement sits inside an if
+// branch conditioned on the allocation's error result — i.e. the path
+// where no buffer was handed out.
+func guardedByAllocError(info *types.Info, stack []ast.Node, errObj types.Object) bool {
+	if errObj == nil {
+		return false
+	}
+	for _, n := range stack {
+		if ifs, ok := n.(*ast.IfStmt); ok && containsIdentOf(info, ifs.Cond, errObj) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkPushPaths verifies rule 3 (the error branch of a push frees the
+// buffer) and rule 4 (no writes through the buffer after a push).
+func checkPushPaths(p *Pass, prod producer, consumes []objUse) {
+	info := p.Pkg.Info
+	firstPush := token.Pos(-1)
+	walkStack(prod.fn, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isPushCall(call) || !callArgsContain(info, call, prod.obj) {
+			return true
+		}
+		if firstPush < 0 || call.Pos() < firstPush {
+			firstPush = call.Pos()
+		}
+		checkPushErrorBranch(p, prod, call, stack)
+		return true
+	})
+	if firstPush >= 0 {
+		checkWritesAfterPush(p, prod, firstPush)
+	}
+}
+
+// isPushCall matches Push/PushTo calls — the PDPIX ownership-transfer
+// points.
+func isPushCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "Push" || fun.Sel.Name == "PushTo"
+	case *ast.Ident:
+		return fun.Name == "Push" || fun.Name == "PushTo"
+	}
+	return false
+}
+
+func callArgsContain(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
+	for _, arg := range call.Args {
+		if containsIdentOf(info, arg, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkPushErrorBranch finds the `if err != nil` (or `if err == nil`)
+// guard attached to a push of the tracked buffer and verifies the failure
+// branch consumes it: a failed push leaves ownership with the caller.
+func checkPushErrorBranch(p *Pass, prod producer, push *ast.CallExpr, stack []ast.Node) {
+	info := p.Pkg.Info
+	assign, ifs := pushGuard(stack, push)
+	if assign == nil || ifs == nil {
+		return
+	}
+	errObj := assignedError(info, assign)
+	if errObj == nil {
+		return
+	}
+	op, condErr := condErrorTest(info, ifs.Cond)
+	if condErr != errObj {
+		return
+	}
+	var failBranch ast.Node
+	switch op {
+	case token.NEQ: // if err != nil { <failure> }
+		failBranch = ifs.Body
+	case token.EQL: // if err == nil { <success> } else { <failure> }
+		if ifs.Else != nil {
+			failBranch = ifs.Else
+		}
+	default:
+		return
+	}
+	if failBranch != nil {
+		if branchConsumes(info, failBranch, prod.obj) {
+			return
+		}
+		if !branchExits(failBranch) {
+			// Failure path falls through; a later Free can still run.
+			if consumesAfter(info, prod, ifs.End()) {
+				return
+			}
+		}
+		p.Reportf(push.Pos(), "a failed push does not transfer ownership; Free the buffer on the error path",
+			"buffer %q leaks when %s fails: the error path neither frees nor stores it",
+			prod.obj.Name(), exprString(push.Fun))
+		return
+	}
+	// `if err == nil { ... }` with no else: failure falls through the if.
+	if consumesAfter(info, prod, ifs.End()) {
+		return
+	}
+	p.Reportf(push.Pos(), "a failed push does not transfer ownership; add an else branch that frees the buffer",
+		"buffer %q leaks when %s fails: nothing frees it on the failure path",
+		prod.obj.Name(), exprString(push.Fun))
+}
+
+// pushGuard locates the assignment capturing the push's results and the if
+// statement testing its error, handling both forms:
+//
+//	qt, err := l.Push(...)        // assign, then if
+//	if err != nil { ... }
+//
+//	if qt, err := l.Push(...); err != nil { ... }  // if with init
+func pushGuard(stack []ast.Node, push *ast.CallExpr) (*ast.AssignStmt, *ast.IfStmt) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		assign, ok := stack[i].(*ast.AssignStmt)
+		if !ok {
+			continue
+		}
+		if i > 0 {
+			if ifs, ok := stack[i-1].(*ast.IfStmt); ok && ifs.Init == assign {
+				return assign, ifs
+			}
+			var list []ast.Stmt
+			switch blk := stack[i-1].(type) {
+			case *ast.BlockStmt:
+				list = blk.List
+			case *ast.CaseClause:
+				list = blk.Body
+			case *ast.CommClause:
+				list = blk.Body
+			}
+			for j, s := range list {
+				if s == assign && j+1 < len(list) {
+					if ifs, ok := list[j+1].(*ast.IfStmt); ok {
+						return assign, ifs
+					}
+				}
+			}
+		}
+		return assign, nil
+	}
+	return nil, nil
+}
+
+// assignedError returns the object bound to the error result of the
+// assignment, if any.
+func assignedError(info *types.Info, assign *ast.AssignStmt) types.Object {
+	for _, l := range assign.Lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj != nil && isErrorType(obj.Type()) {
+			return obj
+		}
+	}
+	return nil
+}
+
+// condErrorTest decodes a `err != nil` / `err == nil` condition.
+func condErrorTest(info *types.Info, cond ast.Expr) (token.Token, types.Object) {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || (be.Op != token.NEQ && be.Op != token.EQL) {
+		return token.ILLEGAL, nil
+	}
+	id, nilSide := be.X, be.Y
+	if isNilIdent(id) {
+		id, nilSide = be.Y, be.X
+	}
+	if !isNilIdent(nilSide) {
+		return token.ILLEGAL, nil
+	}
+	e, ok := id.(*ast.Ident)
+	if !ok {
+		return token.ILLEGAL, nil
+	}
+	obj := info.Uses[e]
+	if obj == nil || !isErrorType(obj.Type()) {
+		return token.ILLEGAL, nil
+	}
+	return be.Op, obj
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// branchConsumes reports whether the branch contains a consuming use of obj.
+func branchConsumes(info *types.Info, branch ast.Node, obj types.Object) bool {
+	for _, u := range collectUses(info, branch, obj, bufConsumingMethod) {
+		if u.consuming {
+			return true
+		}
+	}
+	return false
+}
+
+// branchExits reports whether the branch unconditionally leaves the
+// surrounding flow (return / break / continue / goto at its top level).
+func branchExits(branch ast.Node) bool {
+	var list []ast.Stmt
+	switch b := branch.(type) {
+	case *ast.BlockStmt:
+		list = b.List
+	case *ast.IfStmt: // else-if chain
+		return branchExits(b.Body)
+	default:
+		return false
+	}
+	for _, s := range list {
+		switch s.(type) {
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			return true
+		}
+		if es, ok := s.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && (sel.Sel.Name == "Fatal" || sel.Sel.Name == "Fatalf") {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// consumesAfter reports whether any consuming use of the buffer appears
+// after pos.
+func consumesAfter(info *types.Info, prod producer, pos token.Pos) bool {
+	for _, u := range collectUses(info, prod.fn, prod.obj, bufConsumingMethod) {
+		if u.consuming && u.id.Pos() > pos {
+			return true
+		}
+	}
+	return false
+}
+
+// checkWritesAfterPush flags writes through the buffer after its first
+// push: copy(b.Bytes(), ...) and indexed/sliced stores into it.
+func checkWritesAfterPush(p *Pass, prod producer, pushPos token.Pos) {
+	info := p.Pkg.Info
+	report := func(pos token.Pos) {
+		p.Reportf(pos, "marshal into the buffer before pushing it; the libOS owns it until the qtoken completes",
+			"buffer %q is written after being pushed (pushed at line %d); pushed buffers are immutable until completion",
+			prod.obj.Name(), p.Mod.Fset.Position(pushPos).Line)
+	}
+	walkStack(prod.fn, func(n ast.Node, stack []ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			if s.Pos() <= pushPos || len(s.Args) == 0 {
+				return true
+			}
+			if id, ok := s.Fun.(*ast.Ident); ok && id.Name == "copy" {
+				if containsIdentOf(info, s.Args[0], prod.obj) {
+					report(s.Pos())
+				}
+			}
+		case *ast.AssignStmt:
+			if s.Pos() <= pushPos {
+				return true
+			}
+			for _, l := range s.Lhs {
+				if id, ok := l.(*ast.Ident); ok && info.Uses[id] == prod.obj {
+					continue // rebinding the variable, not writing the buffer
+				}
+				if _, ok := l.(*ast.Ident); ok {
+					continue
+				}
+				if containsIdentOf(info, l, prod.obj) {
+					report(s.Pos())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// staticCallee resolves a call to its *types.Func when the callee is a
+// plain function or a method on a concrete value.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// QTokenAnalyzer enforces qtoken discipline (paper §4.2): every qtoken
+// minted by an asynchronous PDPIX call (push, pop, accept, connect, or any
+// other producer returning core.QToken) represents an outstanding
+// operation whose completion someone must redeem. A token assigned to _,
+// dropped as a bare expression, or bound to a variable that is never
+// passed onward (to Wait/WaitAny/WaitAll or any helper), returned, or
+// stored is an operation whose completion — and, for pops, whose received
+// buffers — is stranded forever. The chaos soak (PR 4) detects stranded
+// tokens at run time on the paths it happens to drive; this analyzer
+// rejects them on every path at build time.
+func QTokenAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "qtoken",
+		Doc:  "qtokens from push/pop/accept/connect must be waited, returned, or stored",
+	}
+	a.Run = func(p *Pass) { runQToken(p) }
+	return a
+}
+
+const qtokenHint = "redeem the qtoken with Wait/WaitAny/WaitAll, return it, or store it for a later wait"
+
+func runQToken(p *Pass) {
+	qtok := p.Mod.LookupNamed("internal/core", "QToken")
+	if qtok == nil {
+		return
+	}
+	isTok := func(t types.Type) bool {
+		n, ok := t.(*types.Named)
+		return ok && n.Obj() == qtok.Obj()
+	}
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		for _, prod := range findProducers(info, file, isTok, nil) {
+			callee := exprString(prod.call.Fun)
+			switch {
+			case prod.dropped:
+				p.Reportf(prod.call.Pos(), qtokenHint,
+					"qtoken returned by %s is dropped", callee)
+			case prod.blank:
+				p.Reportf(prod.call.Pos(), qtokenHint,
+					"qtoken returned by %s is assigned to _ and never redeemed", callee)
+			case prod.obj != nil:
+				if !hasConsumingUse(info, prod.fn, prod.obj) {
+					p.Reportf(prod.call.Pos(), qtokenHint,
+						"qtoken %q returned by %s is never waited, returned, or stored", prod.obj.Name(), callee)
+				}
+			}
+		}
+	}
+}
+
+// hasConsumingUse reports whether obj has at least one consuming use in
+// body (nil body — package scope — counts as stored).
+func hasConsumingUse(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	if body == nil {
+		return true
+	}
+	for _, u := range collectUses(info, body, obj, nil) {
+		if u.consuming {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,34 @@
+// Package determfix seeds determinism violations for the analyzer tests
+// (run with a DeterminismConfig that includes "determfix").
+package determfix
+
+import (
+	"fmt"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `sim-world code calls time.Now`
+}
+
+func sleeps() {
+	time.Sleep(time.Millisecond) // want `sim-world code calls time.Sleep`
+}
+
+func durationMathOK(a, b time.Duration) time.Duration {
+	return a + b // Duration arithmetic does not read the clock
+}
+
+func dumpMap(m map[string]int) {
+	for k, v := range m { // want `map iteration order feeds fmt.Println`
+		fmt.Println(k, v)
+	}
+}
+
+func aggregateMapOK(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // aggregation is order-independent
+	}
+	return total
+}

@@ -1,0 +1,5 @@
+package determfix
+
+import "math/rand" // want `sim-world package imports math/rand`
+
+func roll() int { return rand.Intn(6) }

@@ -1,0 +1,83 @@
+// Package nonallocfix seeds //demi:nonalloc violations for the analyzer
+// tests: each annotated function contains exactly the allocating constructs
+// its want comments name; the *OK functions must produce no findings.
+package nonallocfix
+
+func helperAllocates() *int { return new(int) }
+
+func cleanHelper(x int) int { return x*2 + 1 }
+
+//demi:nonalloc
+func makes() []byte {
+	return make([]byte, 64) // want `make allocates`
+}
+
+//demi:nonalloc
+func captures(n int) func() int {
+	return func() int { return n } // want `closure captures "n" and is heap-allocated`
+}
+
+//demi:nonalloc
+func staticClosureOK() func() int {
+	return func() int { return 7 }
+}
+
+//demi:nonalloc
+func boxes(v int) any {
+	return v // want `returning non-pointer int as interface allocates`
+}
+
+//demi:nonalloc
+func pointerInterfaceOK(v *int) any {
+	return v
+}
+
+//demi:nonalloc
+func appendBare(s []int, v int) []int {
+	return append(s, v) // want `append without a capacity guard`
+}
+
+//demi:nonalloc
+func appendGuardedOK(s []int, v int) []int {
+	if len(s) < cap(s) {
+		s = append(s, v)
+	}
+	return s
+}
+
+//demi:nonalloc
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//demi:nonalloc
+func toBytes(s string) []byte {
+	return []byte(s) // want `string<->\[\]byte conversion allocates a copy`
+}
+
+//demi:nonalloc
+func callsAllocator() int {
+	return *helperAllocates() // want `call to nonallocfix.helperAllocates may allocate`
+}
+
+//demi:nonalloc
+func callsCleanOK(x int) int {
+	return cleanHelper(cleanHelper(x)) // transitively allocation-free
+}
+
+//demi:nonalloc
+func dynamic(f func()) {
+	f() // want `dynamic call f`
+}
+
+//demi:nonalloc
+func spawns() {
+	go spin() // want `go statement allocates a goroutine`
+}
+
+func spin() {}
+
+//demi:nonalloc
+func mapWrite(m map[int]int) {
+	m[1] = 2 // want `map assignment may allocate`
+}

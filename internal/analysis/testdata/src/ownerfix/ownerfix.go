@@ -1,0 +1,102 @@
+// Package ownerfix seeds buffer-ownership violations for the analyzer
+// tests: leaked allocations, leaks on early returns and push-failure
+// paths, and writes through a pushed buffer.
+package ownerfix
+
+import (
+	"demikernel/internal/core"
+	"demikernel/internal/memory"
+)
+
+// lib stands in for a PDPIX libOS.
+type lib struct{}
+
+func (lib) Push(qd core.QDesc, sga core.SGArray) (core.QToken, error)       { return 1, nil }
+func (lib) Wait(qt core.QToken) error                                       { return nil }
+func (lib) PushTo(core.QDesc, core.SGArray, core.Addr) (core.QToken, error) { return 1, nil }
+
+func leakNever(h *memory.Heap) {
+	b := h.Alloc(64) // want `buffer "b" allocated by h.Alloc is never freed, pushed, returned, or stored`
+	_ = b
+}
+
+func leakDropped(h *memory.Heap, data []byte) {
+	memory.CopyFrom(h, data) // want `buffer allocated by memory.CopyFrom is discarded without Free`
+}
+
+func leakEarlyReturn(h *memory.Heap, bad bool) {
+	b := h.Alloc(64)
+	if bad {
+		return // want `buffer "b" \(allocated at line \d+\) leaks on this return path`
+	}
+	b.Free()
+}
+
+func failedAllocGuardOK(h *memory.Heap) {
+	b, err := h.TryAlloc(64)
+	if err != nil {
+		return // no buffer was handed out: not a leak
+	}
+	b.Free()
+}
+
+func leakPushError(l lib, qd core.QDesc, h *memory.Heap) error {
+	b := h.Alloc(64)
+	qt, err := l.Push(qd, core.SGA(b)) // want `buffer "b" leaks when l.Push fails`
+	if err != nil {
+		return err // the push-error rule reports this path at the push site
+	}
+	b.Free()
+	return l.Wait(qt)
+}
+
+func pushErrorFreedOK(l lib, qd core.QDesc, h *memory.Heap) error {
+	b := h.Alloc(64)
+	qt, err := l.Push(qd, core.SGA(b))
+	if err != nil {
+		b.Free()
+		return err
+	}
+	b.Free()
+	return l.Wait(qt)
+}
+
+func leakPushErrNilForm(l lib, qd core.QDesc, h *memory.Heap, to core.Addr) {
+	b := h.Alloc(64)
+	if qt, err := l.PushTo(qd, core.SGA(b), to); err == nil { // want `buffer "b" leaks when l.PushTo fails`
+		l.Wait(qt)
+	}
+}
+
+func pushErrNilElseFreedOK(l lib, qd core.QDesc, h *memory.Heap, to core.Addr) {
+	b := h.Alloc(64)
+	if qt, err := l.PushTo(qd, core.SGA(b), to); err == nil {
+		l.Wait(qt)
+	} else {
+		b.Free()
+	}
+}
+
+func writeAfterPush(l lib, qd core.QDesc, h *memory.Heap, payload []byte) {
+	b := h.Alloc(64)
+	qt, err := l.Push(qd, core.SGA(b))
+	if err != nil {
+		b.Free()
+		return
+	}
+	copy(b.Bytes(), payload) // want `buffer "b" is written after being pushed`
+	l.Wait(qt)
+	b.Free()
+}
+
+func marshalBeforePushOK(l lib, qd core.QDesc, h *memory.Heap, payload []byte) {
+	b := h.Alloc(64)
+	copy(b.Bytes(), payload)
+	qt, err := l.Push(qd, core.SGA(b))
+	if err != nil {
+		b.Free()
+		return
+	}
+	l.Wait(qt)
+	b.Free()
+}

@@ -1,0 +1,49 @@
+// Package qtokenfix seeds qtoken-discipline violations for the analyzer
+// tests. Each `want` comment is a regexp the qtoken analyzer must match on
+// that line.
+package qtokenfix
+
+import "demikernel/internal/core"
+
+// push stands in for a PDPIX libcall minting a qtoken.
+func push() (core.QToken, error) { return 1, nil }
+
+func wait(core.QToken) {}
+
+func dropped() {
+	push() // want `qtoken returned by push is dropped`
+}
+
+func blank() {
+	_, _ = push() // want `assigned to _ and never redeemed`
+}
+
+func unused() {
+	qt, _ := push() // want `qtoken "qt" returned by push is never waited, returned, or stored`
+	_ = qt
+}
+
+func waited() {
+	qt, _ := push()
+	wait(qt)
+}
+
+func returned() (core.QToken, error) {
+	return push()
+}
+
+func stored(sink *core.QToken) {
+	qt, _ := push()
+	*sink = qt
+}
+
+func kept(pending []core.QToken) []core.QToken {
+	qt, _ := push()
+	return append(pending, qt)
+}
+
+func guarded() {
+	if qt, err := push(); err == nil {
+		wait(qt)
+	}
+}

@@ -218,10 +218,15 @@ func ClientFrom(l demi.LibOS, local, server core.Addr, msgSize, rounds, warmup i
 		start := clock.Now()
 		msg := l.Heap().Alloc(msgSize)
 		fill(msg, byte(i))
-		if _, err := l.Push(qd, core.SGA(msg)); err != nil {
+		wqt, err := l.Push(qd, core.SGA(msg))
+		if err != nil {
+			msg.Free() // failed push leaves ownership with us
 			return res, err
 		}
 		msg.Free() // UAF protection covers the in-flight buffer
+		if _, err := l.Wait(wqt); err != nil {
+			return res, err
+		}
 		got := 0
 		for got < msgSize {
 			pqt, err := l.Pop(qd)

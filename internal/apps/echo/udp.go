@@ -73,10 +73,15 @@ func ClientUDP(l demi.LibOS, server core.Addr, msgSize, rounds, warmup int, cloc
 		start := clock.Now()
 		msg := l.Heap().Alloc(msgSize)
 		fill(msg, byte(i))
-		if _, err := l.PushTo(qd, core.SGA(msg), server); err != nil {
+		wqt, err := l.PushTo(qd, core.SGA(msg), server)
+		if err != nil {
+			msg.Free() // failed push leaves ownership with us
 			return res, err
 		}
 		msg.Free()
+		if _, err := l.Wait(wqt); err != nil {
+			return res, err
+		}
 		pqt, err := l.Pop(qd)
 		if err != nil {
 			return res, err

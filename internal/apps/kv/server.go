@@ -118,6 +118,7 @@ func Server(l demi.LibOS, cfg ServerConfig, stats *ServerStats) error {
 			out := memory.CopyFrom(l.Heap(), reply)
 			wqt, werr := l.Push(c.qd, core.SGA(out))
 			if werr != nil {
+				out.Free() // failed push leaves ownership with us
 				drop(i, c)
 				continue
 			}
@@ -204,6 +205,7 @@ func rewriteAOF(l demi.LibOS, logQD core.QDesc, store *Store, stats *ServerStats
 		rec := memory.CopyFrom(l.Heap(), EncodeCommand(cmd...))
 		qt, err := l.Push(logQD, core.SGA(rec))
 		if err != nil {
+			rec.Free() // failed push leaves ownership with us
 			return err
 		}
 		if ev, err := l.Wait(qt); err != nil {

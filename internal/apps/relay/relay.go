@@ -85,6 +85,8 @@ func Server(l demi.LibOS, addr core.Addr, stats *Stats) error {
 			ok := memory.CopyFrom(l.Heap(), []byte{OpAllocateOK})
 			if qt, err := l.PushTo(qd, core.SGA(ok), ev.From); err == nil {
 				l.Wait(qt)
+			} else {
+				ok.Free() // failed push leaves ownership with us
 			}
 		case OpData:
 			if len(msg) < dataHeaderLen {
@@ -102,6 +104,7 @@ func Server(l demi.LibOS, addr core.Addr, stats *Stats) error {
 			fwd := memory.CopyFrom(l.Heap(), msg)
 			qt, err := l.PushTo(qd, core.SGA(fwd), target)
 			if err != nil {
+				fwd.Free() // failed push leaves ownership with us
 				continue
 			}
 			if _, err := l.Wait(qt); err != nil {

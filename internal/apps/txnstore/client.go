@@ -59,12 +59,13 @@ func (c *Client) call(i int, req any) (any, error) {
 	out := memory.CopyFrom(c.lib.Heap(), framed)
 	qt, err := c.lib.Push(c.conns[i], core.SGA(out))
 	if err != nil {
-		return nil, err
-	}
-	if _, err := c.lib.Wait(qt); err != nil {
+		out.Free() // failed push leaves ownership with us
 		return nil, err
 	}
 	out.Free()
+	if _, err := c.lib.Wait(qt); err != nil {
+		return nil, err
+	}
 	return c.receive(i)
 }
 
@@ -103,12 +104,13 @@ func (c *Client) broadcastPut(req PutRequest) (applied int, err error) {
 		out := memory.CopyFrom(c.lib.Heap(), framed)
 		qt, perr := c.lib.Push(c.conns[i], core.SGA(out))
 		if perr != nil {
-			return 0, perr
-		}
-		if _, perr := c.lib.Wait(qt); perr != nil {
+			out.Free() // failed push leaves ownership with us
 			return 0, perr
 		}
 		out.Free()
+		if _, perr := c.lib.Wait(qt); perr != nil {
+			return 0, perr
+		}
 	}
 	for i := range c.conns {
 		msg, rerr := c.receive(i)

@@ -129,6 +129,7 @@ func (r *Replica) Serve(l demi.LibOS, addr core.Addr) error {
 			out := memory.CopyFrom(l.Heap(), replies)
 			wqt, werr := l.Push(c.qd, core.SGA(out))
 			if werr != nil {
+				out.Free() // failed push leaves ownership with us
 				l.Close(c.qd)
 				tokens = append(tokens[:i], tokens[i+1:]...)
 				continue

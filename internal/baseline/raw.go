@@ -163,6 +163,7 @@ func PerftestPing(nic *rdmadev.NIC, qp *rdmadev.QP, heap *memory.Heap, msgSize, 
 	node := nic.Node()
 	rtts := make([]time.Duration, 0, count)
 	msg := heap.Alloc(msgSize)
+	defer msg.Free()
 	for i := 0; i < 4; i++ {
 		qp.PostRecv(heap.Alloc(msgSize), nil)
 	}

@@ -41,9 +41,11 @@ func RunRelay(serverSys System, packets int) (*Hist, error) {
 		alloc := memory.CopyFrom(l.Heap(), relay.BuildAllocate(1, core.Addr{IP: genIP, Port: calleePort}))
 		qt, err := l.PushTo(caller, core.SGA(alloc), relayAddr)
 		if err != nil {
+			alloc.Free() // failed push leaves ownership with us
 			genErr = err
 			return
 		}
+		alloc.Free()
 		l.Wait(qt)
 		pqt, _ := l.Pop(caller)
 		if ev, err := l.Wait(pqt); err != nil || ev.Err != nil {
@@ -56,9 +58,11 @@ func RunRelay(serverSys System, packets int) (*Hist, error) {
 			data := memory.CopyFrom(l.Heap(), relay.BuildData(1, payload))
 			qt, err := l.PushTo(caller, core.SGA(data), relayAddr)
 			if err != nil {
+				data.Free() // failed push leaves ownership with us
 				genErr = err
 				return
 			}
+			data.Free()
 			l.Wait(qt)
 			pqt, _ := l.Pop(callee)
 			ev, err := l.Wait(pqt)

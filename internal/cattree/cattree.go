@@ -19,6 +19,7 @@ package cattree
 
 import (
 	"encoding/binary"
+	"sort"
 	"time"
 
 	"demikernel/internal/core"
@@ -524,8 +525,15 @@ func (l *LibOS) Mount() error {
 		}
 		l.stats.recoveredRecs.Inc()
 	}
-	// Scan each named log for its tail.
-	for _, p := range l.parts {
+	// Scan each named log for its tail, in sorted name order so recovery
+	// issues device reads in the same order on every run.
+	names := make([]string, 0, len(l.parts))
+	for name := range l.parts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := l.parts[name]
 		p.tail = 0
 		for p.tail < p.size {
 			_, blocks, ok, err := l.readRecordSync(p.base+p.tail, p.gen)

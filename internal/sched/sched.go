@@ -83,6 +83,8 @@ type Waker struct {
 }
 
 // Wake sets the coroutine's readiness bit.
+//
+//demi:nonalloc wakes happen per packet on the I/O fast path
 func (w Waker) Wake() {
 	b := w.block
 	if b != nil && b.occupied&(1<<w.slot) != 0 && b.gens[w.slot] == w.gen {
@@ -204,6 +206,8 @@ func (s *Scheduler) Spawn(c Class, co Coroutine) Handle {
 // whether one ran. FastPath coroutines are polled even when their readiness
 // bit is clear only if they were spawned ready — by convention fast paths
 // always return Yield, so they stay ready.
+//
+//demi:nonalloc the paper's 12-cycle context switch leaves no room for the allocator
 func (s *Scheduler) RunOne() bool {
 	for c := Class(0); c < numClasses; c++ {
 		if s.runClass(c) {
@@ -217,6 +221,8 @@ func (s *Scheduler) RunOne() bool {
 // runClass finds and polls one ready coroutine in class c, scanning
 // round-robin from the slot after the last one run so same-class
 // coroutines cannot starve each other.
+//
+//demi:nonalloc the waker-block iteration is the scheduler's innermost loop
 func (s *Scheduler) runClass(c Class) bool {
 	blocks := s.classes[c]
 	n := len(blocks)
@@ -247,7 +253,11 @@ func (s *Scheduler) runClass(c Class) bool {
 	return false
 }
 
-// poll runs one coroutine slot and applies its result.
+// poll runs one coroutine slot and applies its result. The Coroutine.Poll
+// dispatch is the one dynamic call on the path; the allowlist carries it
+// (every Poll implementation is audited by the alloc-guard benchmark).
+//
+//demi:nonalloc
 func (s *Scheduler) poll(c Class, blk *wakerBlock, slot uint) {
 	bit := uint64(1) << slot
 	blk.ready &^= bit // clear before polling: wakes during poll are kept

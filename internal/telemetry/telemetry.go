@@ -29,9 +29,13 @@ import "sort"
 type Counter struct{ v uint64 }
 
 // Inc adds one.
+//
+//demi:nonalloc counters are incremented per I/O on the datapath
 func (c *Counter) Inc() { c.v++ }
 
 // Add adds n.
+//
+//demi:nonalloc
 func (c *Counter) Add(n uint64) { c.v += n }
 
 // Value returns the current count.
@@ -41,9 +45,13 @@ func (c *Counter) Value() uint64 { return c.v }
 type Gauge struct{ v int64 }
 
 // Set replaces the value.
+//
+//demi:nonalloc
 func (g *Gauge) Set(v int64) { g.v = v }
 
 // Add adjusts the value by d (negative to decrease).
+//
+//demi:nonalloc
 func (g *Gauge) Add(d int64) { g.v += d }
 
 // Value returns the current value.

@@ -3,12 +3,16 @@ package wire
 // Checksum computes the RFC 1071 internet checksum over b: the one's
 // complement of the one's-complement sum of 16-bit words. A buffer with a
 // valid embedded checksum sums to zero.
+//
+//demi:nonalloc wire codecs run per packet
 func Checksum(b []byte) uint16 {
 	return finish(sum16(b, 0))
 }
 
 // sum16 accumulates the one's-complement sum of b into acc. Odd trailing
 // bytes are padded with zero, per the RFC.
+//
+//demi:nonalloc wire codecs run per packet
 func sum16(b []byte, acc uint32) uint32 {
 	for len(b) >= 2 {
 		acc += uint32(be.Uint16(b))
@@ -21,6 +25,8 @@ func sum16(b []byte, acc uint32) uint32 {
 }
 
 // finish folds carries and complements the accumulator.
+//
+//demi:nonalloc wire codecs run per packet
 func finish(acc uint32) uint16 {
 	for acc > 0xffff {
 		acc = (acc >> 16) + (acc & 0xffff)
@@ -29,6 +35,8 @@ func finish(acc uint32) uint16 {
 }
 
 // pseudoHeaderSum computes the partial sum of the TCP/UDP pseudo-header.
+//
+//demi:nonalloc wire codecs run per packet
 func pseudoHeaderSum(src, dst IPAddr, proto uint8, length int) uint32 {
 	var acc uint32
 	acc = sum16(src[:], acc)
@@ -40,6 +48,8 @@ func pseudoHeaderSum(src, dst IPAddr, proto uint8, length int) uint32 {
 
 // TransportChecksum computes the UDP/TCP checksum over the pseudo-header,
 // transport header and payload. The checksum field inside hdr must be zero.
+//
+//demi:nonalloc wire codecs run per packet
 func TransportChecksum(src, dst IPAddr, proto uint8, hdr, payload []byte) uint16 {
 	acc := pseudoHeaderSum(src, dst, proto, len(hdr)+len(payload))
 	acc = sum16(hdr, acc)
@@ -51,6 +61,8 @@ func TransportChecksum(src, dst IPAddr, proto uint8, hdr, payload []byte) uint16
 
 // VerifyTransportChecksum reports whether the checksum embedded in hdr is
 // consistent with the pseudo-header and payload.
+//
+//demi:nonalloc wire codecs run per packet
 func VerifyTransportChecksum(src, dst IPAddr, proto uint8, hdr, payload []byte) bool {
 	acc := pseudoHeaderSum(src, dst, proto, len(hdr)+len(payload))
 	acc = sum16(hdr, acc)

@@ -48,6 +48,8 @@ const DontFragment = 0b010
 
 // Marshal writes the header into b (>= IPv4HeaderLen bytes), computing the
 // header checksum, and returns the bytes consumed.
+//
+//demi:nonalloc wire codecs run per packet
 func (h *IPv4Header) Marshal(b []byte) int {
 	b[0] = 0x45 // version 4, IHL 5
 	b[1] = h.TOS
@@ -65,12 +67,14 @@ func (h *IPv4Header) Marshal(b []byte) int {
 
 // ParseIPv4 parses an IPv4 header, validates version, length and checksum,
 // and returns the header with its payload (trimmed to TotalLen).
+//
+//demi:nonalloc wire codecs run per packet
 func ParseIPv4(b []byte) (IPv4Header, []byte, error) {
 	if len(b) < IPv4HeaderLen {
 		return IPv4Header{}, nil, ErrTruncated
 	}
 	if b[0]>>4 != 4 {
-		return IPv4Header{}, nil, fmt.Errorf("wire: not IPv4 (version %d)", b[0]>>4)
+		return IPv4Header{}, nil, errNotIPv4
 	}
 	ihl := int(b[0]&0xf) * 4
 	if ihl < IPv4HeaderLen || len(b) < ihl {
