@@ -267,6 +267,27 @@ func BenchmarkScaleOut(b *testing.B) {
 	}
 }
 
+// BenchmarkChain regenerates the intra-host service-chain comparison:
+// the same relay -> cache -> KV chain over Catmem shared-memory queues
+// (zero-copy handoff) vs Catloop loopback TCP.
+func BenchmarkChain(b *testing.B) {
+	for _, transport := range []string{"catmem", "catloop"} {
+		transport := transport
+		b.Run(transport, func(b *testing.B) {
+			var run bench.ChainRun
+			for i := 0; i < b.N; i++ {
+				var err error
+				run, err = bench.RunChain(transport, 400)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(run.RTTAvg)/float64(time.Microsecond), "virt-us/rtt")
+			b.ReportMetric(run.RelayNsPerReq, "virt-ns/relay-req")
+		})
+	}
+}
+
 // BenchmarkAblationZeroCopy regenerates the zero-copy ablation at 16 KiB.
 func BenchmarkAblationZeroCopy(b *testing.B) {
 	opts := quickEchoOpts()

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	demi-bench [-json] [-telemetry] table2|table3|fig5|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|fig12|ablation|scaleout|chaos|all
+//	demi-bench [-json] [-telemetry] table2|table3|fig5|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|fig12|chain|ablation|scaleout|chaos|all
 //
 // Flags may appear before or after the experiment name:
 //
@@ -48,6 +48,7 @@ func main() {
 		{"fig10", one(bench.Fig10)},
 		{"fig11", one(bench.Fig11)},
 		{"fig12", one(bench.Fig12)},
+		{"chain", bench.Chain},
 		{"ablation", bench.Ablations},
 		{"scaleout", bench.ScaleOut},
 		{"chaos", bench.Chaos},

@@ -29,11 +29,15 @@
 package demikernel
 
 import (
+	"demikernel/internal/catloop"
+	"demikernel/internal/catmem"
 	"demikernel/internal/catnap"
 	"demikernel/internal/core"
 	"demikernel/internal/demi"
 	"demikernel/internal/memory"
 	"demikernel/internal/sched"
+	"demikernel/internal/sim"
+	"demikernel/internal/wire"
 )
 
 // PDPIX types, re-exported.
@@ -96,3 +100,23 @@ func SGA(bufs ...*Buf) SGArray { return core.SGA(bufs...) }
 // NewCatnap builds the POSIX library OS on the real operating system.
 // logDir hosts storage logs opened with Open ("" disables storage).
 func NewCatnap(logDir string) *catnap.LibOS { return catnap.New(logDir) }
+
+// NewMemRegion builds a shared-memory region on a simulation engine: the
+// rendezvous namespace and shared heap that Catmem instances on one host
+// attach to.
+func NewMemRegion(eng *sim.Engine) *catmem.Region { return catmem.NewRegion(eng) }
+
+// NewCatmem attaches a Catmem (shared-memory queue) libOS instance for
+// node to the region. Push hands buffers to the peer by reference — true
+// zero-copy between co-located processes.
+func NewCatmem(region *catmem.Region, node *sim.Node) *catmem.LibOS { return region.New(node) }
+
+// NewLoopHub builds the in-process wire that Catloop TCP stacks attach to.
+func NewLoopHub(eng *sim.Engine) *catloop.Hub { return catloop.NewHub(eng) }
+
+// NewCatloop attaches a Catloop (TCP loopback) libOS instance: a full
+// Catnip TCP stack whose frames hop between co-located stacks through one
+// address space instead of a NIC.
+func NewCatloop(hub *catloop.Hub, node *sim.Node, ip wire.IPAddr) *catloop.LibOS {
+	return catloop.New(hub, node, ip)
+}

@@ -107,6 +107,14 @@ func TestOwnershipFixture(t *testing.T) {
 	runFixture(t, "ownerfix", OwnershipAnalyzer())
 }
 
+// TestCatmemOwnershipFixture pins the shared-memory handoff contract:
+// successful pushes consume the SGA (no Free by the pusher), call-level
+// push errors leave ownership with the caller, and handed-off buffers are
+// immutable to the pusher.
+func TestCatmemOwnershipFixture(t *testing.T) {
+	runFixture(t, "catmemfix", OwnershipAnalyzer())
+}
+
 func TestDeterminismFixture(t *testing.T) {
 	runFixture(t, "determfix", DeterminismAnalyzer([]string{"determfix"}))
 }

@@ -27,6 +27,8 @@ var defaultDeterministicPkgs = []string{
 	"/internal/wire",
 	"/internal/catnip",
 	"/internal/catmint",
+	"/internal/catmem",
+	"/internal/catloop",
 	"/internal/cattree",
 	"/internal/core",
 	"/internal/memory",

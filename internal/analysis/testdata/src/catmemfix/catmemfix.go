@@ -1,0 +1,76 @@
+// Package catmemfix pins the catmem ownership-handoff contract for the
+// ownership analyzer: a successful shared-memory Push CONSUMES the SGA
+// (the popper or the queue frees it — never the pusher), a call-level
+// Push error leaves ownership with the caller, and a handed-off buffer
+// must not be touched after the push. The network free-after-push idiom
+// exercised in ownerfix stays legal; this fixture checks the zero-copy
+// side of the same rules.
+package catmemfix
+
+import (
+	"demikernel/internal/core"
+	"demikernel/internal/memory"
+)
+
+// shm stands in for a catmem libOS endpoint.
+type shm struct{}
+
+func (shm) Push(qd core.QDesc, sga core.SGArray) (core.QToken, error) { return 1, nil }
+func (shm) Pop(qd core.QDesc) (core.QToken, error)                    { return 1, nil }
+func (shm) Wait(qt core.QToken) error                                 { return nil }
+
+// handoffOK is the catmem fast path: allocate, marshal, push, and walk
+// away. No Free after a successful push — ownership moved to the popper.
+func handoffOK(l shm, qd core.QDesc, h *memory.Heap, payload []byte) error {
+	b := h.Alloc(len(payload))
+	copy(b.Bytes(), payload)
+	qt, err := l.Push(qd, core.SGA(b))
+	if err != nil {
+		b.Free() // call-level error: ownership never transferred
+		return err
+	}
+	return l.Wait(qt)
+}
+
+// leakOnCallError drops the buffer on the call-level error branch. A push
+// that fails before queuing hands nothing over; the caller still owns b.
+func leakOnCallError(l shm, qd core.QDesc, h *memory.Heap) error {
+	b := h.Alloc(64)
+	qt, err := l.Push(qd, core.SGA(b)) // want `buffer "b" leaks when l.Push fails`
+	if err != nil {
+		return err
+	}
+	return l.Wait(qt)
+}
+
+// writeAfterHandoff mutates the payload after the push. Under zero-copy
+// handoff the popper may already be reading the same bytes.
+func writeAfterHandoff(l shm, qd core.QDesc, h *memory.Heap, seq byte) error {
+	b := h.Alloc(64)
+	qt, err := l.Push(qd, core.SGA(b))
+	if err != nil {
+		b.Free()
+		return err
+	}
+	b.Bytes()[0] = seq // want `buffer "b" is written after being pushed`
+	return l.Wait(qt)
+}
+
+// relayOK is the forwarder idiom from the service chain: a popped SGA is
+// pushed onward intact. The relay never frees — the next hop's popper
+// does — and the analyzer must not demand a Free here.
+func relayOK(l shm, up, dn core.QDesc, sga core.SGArray) error {
+	qt, err := l.Push(dn, sga)
+	if err != nil {
+		sga.Free()
+		return err
+	}
+	return l.Wait(qt)
+}
+
+// stashOK parks the buffer for a later consumer (the cache stage's
+// look-aside store): storing is a sanctioned ownership sink.
+func stashOK(h *memory.Heap, store map[uint32]*memory.Buf, key uint32) {
+	b := h.Alloc(64)
+	store[key] = b
+}

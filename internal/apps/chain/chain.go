@@ -1,0 +1,405 @@
+// Package chain is a three-stage microservice service chain — ingress
+// relay -> cache -> key-value store — built entirely on PDPIX queues. It
+// is the paper's motivating deployment shape: datacenter requests rarely
+// touch one process; they traverse a sidecar, a cache tier and a backing
+// store, and every hop's datapath cost multiplies across the chain.
+//
+// The same stage code runs over any demi.LibOS. The handoff flag selects
+// the buffer-ownership discipline per transport:
+//
+//   - handoff=true (catmem): Push CONSUMES the scatter-gather array —
+//     forwarding a popped request downstream is pointer handoff, so a
+//     request's bytes are written once by the client and never copied
+//     again on the way to the store.
+//   - handoff=false (catloop, catnip, catnap): the network contract —
+//     the pusher still owns the buffers and frees them after the push
+//     completes; pops may split or coalesce frames, so stages reframe
+//     from the byte stream.
+//
+// Wire format, both directions (lengths big-endian):
+//
+//	bytes 0-3: payload length N
+//	byte  4:   opcode (1 = GET, 2 = REPLY)
+//	bytes 5-8: key
+//	bytes 9..: value (REPLY only)
+package chain
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"demikernel/internal/core"
+	"demikernel/internal/demi"
+	"demikernel/internal/memory"
+	"demikernel/internal/sim"
+)
+
+// Opcodes.
+const (
+	OpGet   = 1
+	OpReply = 2
+)
+
+// lenPrefix frames every message; hdrLen is opcode + key.
+const (
+	lenPrefix = 4
+	hdrLen    = 5
+)
+
+// Stats counts one stage's activity.
+type Stats struct {
+	Requests uint64 // frames forwarded downstream (relay) or served (cache/kv)
+	Replies  uint64 // frames forwarded upstream
+	Hits     uint64 // cache only
+	Misses   uint64 // cache only
+}
+
+// valueByte is the deterministic store content: value[i] of key.
+func valueByte(key uint32, i int) byte { return byte(int(key)*31 + i*7 + 3) }
+
+// buildFrame allocates one framed message in h.
+func buildFrame(h *memory.Heap, op byte, key uint32, val []byte) *memory.Buf {
+	b := h.Alloc(lenPrefix + hdrLen + len(val))
+	p := b.Bytes()
+	binary.BigEndian.PutUint32(p[0:4], uint32(hdrLen+len(val)))
+	p[4] = op
+	binary.BigEndian.PutUint32(p[5:9], key)
+	copy(p[9:], val)
+	return b
+}
+
+// accept waits for exactly one upstream connection on lst.
+func accept(l demi.LibOS, lst core.Addr) (listenQD, connQD core.QDesc, err error) {
+	qd, err := l.Socket(core.SockStream)
+	if err != nil {
+		return core.InvalidQD, core.InvalidQD, err
+	}
+	if err := l.Bind(qd, lst); err != nil {
+		return core.InvalidQD, core.InvalidQD, err
+	}
+	if err := l.Listen(qd, 4); err != nil {
+		return core.InvalidQD, core.InvalidQD, err
+	}
+	aqt, err := l.Accept(qd)
+	if err != nil {
+		return core.InvalidQD, core.InvalidQD, err
+	}
+	ev, err := l.Wait(aqt)
+	if err != nil {
+		return core.InvalidQD, core.InvalidQD, err
+	}
+	if ev.Err != nil {
+		return core.InvalidQD, core.InvalidQD, ev.Err
+	}
+	return qd, ev.NewQD, nil
+}
+
+// dial connects downstream.
+func dial(l demi.LibOS, to core.Addr) (core.QDesc, error) {
+	qd, err := l.Socket(core.SockStream)
+	if err != nil {
+		return core.InvalidQD, err
+	}
+	qt, err := l.Connect(qd, to)
+	if err != nil {
+		return core.InvalidQD, err
+	}
+	ev, err := l.Wait(qt)
+	if err != nil {
+		return core.InvalidQD, err
+	}
+	if ev.Err != nil {
+		return core.InvalidQD, ev.Err
+	}
+	return qd, nil
+}
+
+// send pushes sga under the transport's ownership discipline: with
+// handoff, the queue consumed it; without, the sender frees it once the
+// push completes.
+func send(l demi.LibOS, qd core.QDesc, sga core.SGArray, handoff bool) error {
+	qt, err := l.Push(qd, sga)
+	if err != nil {
+		if !handoff {
+			sga.Free()
+		}
+		return err
+	}
+	ev, err := l.Wait(qt)
+	if err != nil {
+		return err
+	}
+	if !handoff {
+		sga.Free()
+	}
+	return ev.Err
+}
+
+// framer extracts whole frames from a queue. Over a handoff transport
+// every pop is exactly one frame and the SGA is returned intact for
+// zero-copy forwarding; over a stream transport pops are accumulated and
+// reframed into fresh buffers.
+type framer struct {
+	l       demi.LibOS
+	qd      core.QDesc
+	handoff bool
+	buf     []byte // stream accumulator (handoff=false only)
+}
+
+// next returns the next whole frame, or ok=false on EOF. The returned SGA
+// owns the frame: forward it with send (zero-copy under handoff) or Free
+// it after parsing.
+func (f *framer) next() (core.SGArray, bool, error) {
+	for {
+		if !f.handoff {
+			if sga, ok := f.reframe(); ok {
+				return sga, true, nil
+			}
+		}
+		qt, err := f.l.Pop(f.qd)
+		if err != nil {
+			return core.SGArray{}, false, err
+		}
+		ev, err := f.l.Wait(qt)
+		if err != nil {
+			return core.SGArray{}, false, err
+		}
+		if ev.Err != nil {
+			return core.SGArray{}, false, ev.Err
+		}
+		if len(ev.SGA.Segs) == 0 {
+			return core.SGArray{}, false, nil // EOF
+		}
+		if f.handoff {
+			// Message-preserving transport: one pop is one frame.
+			return ev.SGA, true, nil
+		}
+		f.buf = append(f.buf, ev.SGA.Flatten()...)
+		ev.SGA.Free()
+	}
+}
+
+// reframe cuts one whole frame out of the stream accumulator.
+func (f *framer) reframe() (core.SGArray, bool) {
+	if len(f.buf) < lenPrefix {
+		return core.SGArray{}, false
+	}
+	n := int(binary.BigEndian.Uint32(f.buf[0:4]))
+	if len(f.buf) < lenPrefix+n {
+		return core.SGArray{}, false
+	}
+	b := memory.CopyFrom(f.l.Heap(), f.buf[:lenPrefix+n])
+	f.buf = f.buf[lenPrefix+n:]
+	return core.SGA(b), true
+}
+
+// parse views a frame's opcode, key and value. The bytes alias the SGA's
+// first segment — valid only until the frame is freed or forwarded.
+func parse(sga core.SGArray) (op byte, key uint32, val []byte, err error) {
+	if len(sga.Segs) != 1 {
+		return 0, 0, nil, fmt.Errorf("chain: %d-segment frame", len(sga.Segs))
+	}
+	p := sga.Segs[0].Bytes()
+	if len(p) < lenPrefix+hdrLen || int(binary.BigEndian.Uint32(p[0:4])) != len(p)-lenPrefix {
+		return 0, 0, nil, fmt.Errorf("chain: malformed %d-byte frame", len(p))
+	}
+	return p[4], binary.BigEndian.Uint32(p[5:9]), p[lenPrefix+hdrLen:], nil
+}
+
+// Relay is the ingress stage: a pure bidirectional forwarder (sidecar
+// proxy shape). Under handoff it never touches the bytes — both
+// directions are pointer handoffs.
+func Relay(l demi.LibOS, lst, down core.Addr, handoff bool, stats *Stats) error {
+	lqd, up, err := accept(l, lst)
+	if err != nil {
+		return err
+	}
+	dn, err := dial(l, down)
+	if err != nil {
+		return err
+	}
+	upF := &framer{l: l, qd: up, handoff: handoff}
+	dnF := &framer{l: l, qd: dn, handoff: handoff}
+	for {
+		req, ok, err := upF.next()
+		if err != nil || !ok {
+			l.Close(dn)
+			l.Close(up)
+			l.Close(lqd)
+			return err
+		}
+		if err := send(l, dn, req, handoff); err != nil {
+			return err
+		}
+		stats.Requests++
+		rep, ok, err := dnF.next()
+		if err != nil || !ok {
+			l.Close(dn)
+			l.Close(up)
+			l.Close(lqd)
+			return err
+		}
+		if err := send(l, up, rep, handoff); err != nil {
+			return err
+		}
+		stats.Replies++
+	}
+}
+
+// Cache is the middle stage: a look-aside cache over the KV store. Hits
+// are served from memory; misses forward the request downstream
+// unmodified (zero-copy under handoff) and fill from the reply.
+func Cache(l demi.LibOS, lst, down core.Addr, handoff bool, stats *Stats) error {
+	lqd, up, err := accept(l, lst)
+	if err != nil {
+		return err
+	}
+	dn, err := dial(l, down)
+	if err != nil {
+		return err
+	}
+	upF := &framer{l: l, qd: up, handoff: handoff}
+	dnF := &framer{l: l, qd: dn, handoff: handoff}
+	cache := make(map[uint32][]byte)
+	for {
+		req, ok, err := upF.next()
+		if err != nil || !ok {
+			l.Close(dn)
+			l.Close(up)
+			l.Close(lqd)
+			return err
+		}
+		_, key, _, err := parse(req)
+		if err != nil {
+			return err
+		}
+		stats.Requests++
+		if val, hit := cache[key]; hit {
+			stats.Hits++
+			req.Free() // request consumed here; reply built fresh
+			rep := core.SGA(buildFrame(l.Heap(), OpReply, key, val))
+			if err := send(l, up, rep, handoff); err != nil {
+				return err
+			}
+			stats.Replies++
+			continue
+		}
+		stats.Misses++
+		if err := send(l, dn, req, handoff); err != nil {
+			return err
+		}
+		rep, ok, err := dnF.next()
+		if err != nil || !ok {
+			l.Close(dn)
+			l.Close(up)
+			l.Close(lqd)
+			return err
+		}
+		_, rkey, rval, err := parse(rep)
+		if err != nil {
+			return err
+		}
+		// Fill the cache (the map copy is the cache's own storage — the
+		// frame itself flows on untouched).
+		cp := make([]byte, len(rval))
+		copy(cp, rval)
+		cache[rkey] = cp
+		if err := send(l, up, rep, handoff); err != nil {
+			return err
+		}
+		stats.Replies++
+	}
+}
+
+// KV is the terminal stage: a deterministic in-memory store of nkeys
+// values, valSize bytes each.
+func KV(l demi.LibOS, lst core.Addr, handoff bool, nkeys, valSize int, stats *Stats) error {
+	store := make(map[uint32][]byte, nkeys)
+	for k := 0; k < nkeys; k++ {
+		v := make([]byte, valSize)
+		for i := range v {
+			v[i] = valueByte(uint32(k), i)
+		}
+		store[uint32(k)] = v
+	}
+	lqd, up, err := accept(l, lst)
+	if err != nil {
+		return err
+	}
+	upF := &framer{l: l, qd: up, handoff: handoff}
+	for {
+		req, ok, err := upF.next()
+		if err != nil || !ok {
+			l.Close(up)
+			l.Close(lqd)
+			return err
+		}
+		op, key, _, err := parse(req)
+		if err != nil {
+			return err
+		}
+		req.Free()
+		if op != OpGet {
+			return fmt.Errorf("chain: kv got opcode %d", op)
+		}
+		stats.Requests++
+		rep := core.SGA(buildFrame(l.Heap(), OpReply, key, store[key]))
+		if err := send(l, up, rep, handoff); err != nil {
+			return err
+		}
+		stats.Replies++
+	}
+}
+
+// Result is the client's view of one run.
+type Result struct {
+	Rounds int
+	RTTs   []time.Duration // post-warmup request latencies, in order
+}
+
+// Client drives the chain closed-loop: one GET outstanding, the reply
+// verified byte-for-byte against the deterministic store content. Keys
+// cycle through [0, nkeys) so every key is a cache miss exactly once.
+func Client(l demi.LibOS, server core.Addr, handoff bool, rounds, warmup, nkeys, valSize int, clock sim.Clock) (Result, error) {
+	qd, err := dial(l, server)
+	if err != nil {
+		return Result{}, err
+	}
+	f := &framer{l: l, qd: qd, handoff: handoff}
+	res := Result{RTTs: make([]time.Duration, 0, rounds)}
+	for r := 0; r < warmup+rounds; r++ {
+		key := uint32(r % nkeys)
+		start := clock.Now()
+		req := core.SGA(buildFrame(l.Heap(), OpGet, key, nil))
+		if err := send(l, qd, req, handoff); err != nil {
+			return res, err
+		}
+		rep, ok, err := f.next()
+		if err != nil {
+			return res, err
+		}
+		if !ok {
+			return res, fmt.Errorf("chain: server closed after %d rounds", r)
+		}
+		op, rkey, val, err := parse(rep)
+		if err != nil {
+			return res, err
+		}
+		if op != OpReply || rkey != key || len(val) != valSize {
+			return res, fmt.Errorf("chain: bad reply op=%d key=%d len=%d", op, rkey, len(val))
+		}
+		for i, b := range val {
+			if b != valueByte(key, i) {
+				return res, fmt.Errorf("chain: corrupt value byte %d of key %d", i, key)
+			}
+		}
+		rep.Free()
+		if r >= warmup {
+			res.Rounds++
+			res.RTTs = append(res.RTTs, clock.Now().Sub(start))
+		}
+	}
+	l.Close(qd)
+	return res, nil
+}

@@ -1,0 +1,125 @@
+package chain
+
+import (
+	"testing"
+
+	"demikernel/internal/catloop"
+	"demikernel/internal/catmem"
+	"demikernel/internal/core"
+	"demikernel/internal/sim"
+	"demikernel/internal/wire"
+)
+
+const (
+	nkeys   = 8
+	valSize = 64
+	warmup  = 8
+	rounds  = 32
+)
+
+// TestChainOverCatmem runs the full three-stage chain over shared-memory
+// queues and checks end-to-end correctness plus stage accounting.
+func TestChainOverCatmem(t *testing.T) {
+	eng := sim.NewEngine(21)
+	region := catmem.NewRegion(eng)
+	var relaySt, cacheSt, kvSt Stats
+	kv := region.New(eng.NewNode("kv"))
+	cache := region.New(eng.NewNode("cache"))
+	relay := region.New(eng.NewNode("relay"))
+	cli := region.New(eng.NewNode("client"))
+	eng.Spawn(kv.Node(), func() {
+		if err := KV(kv, core.Addr{Port: 3}, true, nkeys, valSize, &kvSt); err != nil {
+			t.Errorf("kv: %v", err)
+		}
+	})
+	eng.Spawn(cache.Node(), func() {
+		if err := Cache(cache, core.Addr{Port: 2}, core.Addr{Port: 3}, true, &cacheSt); err != nil {
+			t.Errorf("cache: %v", err)
+		}
+	})
+	eng.Spawn(relay.Node(), func() {
+		if err := Relay(relay, core.Addr{Port: 1}, core.Addr{Port: 2}, true, &relaySt); err != nil {
+			t.Errorf("relay: %v", err)
+		}
+	})
+	var res Result
+	eng.Spawn(cli.Node(), func() {
+		var err error
+		res, err = Client(cli, core.Addr{Port: 1}, true, rounds, warmup, nkeys, valSize, cli.Node())
+		if err != nil {
+			t.Errorf("client: %v", err)
+		}
+	})
+	eng.Run()
+	checkChain(t, res, &relaySt, &cacheSt, &kvSt)
+	if n := region.Heap().LiveObjects(); n != 0 {
+		t.Errorf("catmem chain leaked %d buffers", n)
+	}
+}
+
+// TestChainOverCatloop runs the identical chain over loopback TCP stacks.
+func TestChainOverCatloop(t *testing.T) {
+	eng := sim.NewEngine(22)
+	hub := catloop.NewHub(eng)
+	ipKV := wire.IPAddr{127, 0, 0, 1}
+	ipCache := wire.IPAddr{127, 0, 0, 2}
+	ipRelay := wire.IPAddr{127, 0, 0, 3}
+	ipCli := wire.IPAddr{127, 0, 0, 4}
+	kv := catloop.New(hub, eng.NewNode("kv"), ipKV)
+	cache := catloop.New(hub, eng.NewNode("cache"), ipCache)
+	relay := catloop.New(hub, eng.NewNode("relay"), ipRelay)
+	cli := catloop.New(hub, eng.NewNode("client"), ipCli)
+	var relaySt, cacheSt, kvSt Stats
+	eng.Spawn(kv.Node(), func() {
+		if err := KV(kv, core.Addr{IP: ipKV, Port: 3}, false, nkeys, valSize, &kvSt); err != nil {
+			t.Errorf("kv: %v", err)
+		}
+	})
+	eng.Spawn(cache.Node(), func() {
+		if err := Cache(cache, core.Addr{IP: ipCache, Port: 2}, core.Addr{IP: ipKV, Port: 3}, false, &cacheSt); err != nil {
+			t.Errorf("cache: %v", err)
+		}
+	})
+	eng.Spawn(relay.Node(), func() {
+		if err := Relay(relay, core.Addr{IP: ipRelay, Port: 1}, core.Addr{IP: ipCache, Port: 2}, false, &relaySt); err != nil {
+			t.Errorf("relay: %v", err)
+		}
+	})
+	var res Result
+	eng.Spawn(cli.Node(), func() {
+		var err error
+		res, err = Client(cli, core.Addr{IP: ipRelay, Port: 1}, false, rounds, warmup, nkeys, valSize, cli.Node())
+		if err != nil {
+			t.Errorf("client: %v", err)
+		}
+	})
+	eng.Run()
+	checkChain(t, res, &relaySt, &cacheSt, &kvSt)
+}
+
+func checkChain(t *testing.T, res Result, relaySt, cacheSt, kvSt *Stats) {
+	t.Helper()
+	total := uint64(rounds + warmup)
+	if res.Rounds != rounds || len(res.RTTs) != rounds {
+		t.Errorf("client rounds = %d/%d RTT samples = %d", res.Rounds, rounds, len(res.RTTs))
+	}
+	if relaySt.Requests != total || relaySt.Replies != total {
+		t.Errorf("relay fwd = %d/%d, want %d each", relaySt.Requests, relaySt.Replies, total)
+	}
+	if cacheSt.Requests != total {
+		t.Errorf("cache requests = %d, want %d", cacheSt.Requests, total)
+	}
+	// Keys cycle through [0, nkeys): each key misses exactly once.
+	if cacheSt.Misses != nkeys || cacheSt.Hits != total-nkeys {
+		t.Errorf("cache hits/misses = %d/%d, want %d/%d",
+			cacheSt.Hits, cacheSt.Misses, total-nkeys, nkeys)
+	}
+	if kvSt.Requests != nkeys {
+		t.Errorf("kv requests = %d, want %d", kvSt.Requests, nkeys)
+	}
+	for i, d := range res.RTTs {
+		if d <= 0 {
+			t.Errorf("RTT[%d] = %v", i, d)
+		}
+	}
+}

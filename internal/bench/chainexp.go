@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"demikernel/internal/apps/chain"
+	"demikernel/internal/catloop"
+	"demikernel/internal/catmem"
+	"demikernel/internal/core"
+	"demikernel/internal/sim"
+	"demikernel/internal/wire"
+)
+
+// chainResult is one transport's measurement of the three-stage chain.
+type chainResult struct {
+	transport string
+	rtt       *Hist
+	// per-stage CPU ns per request (node busy time / requests served).
+	relayNs, cacheNs, kvNs float64
+	hitRate                float64
+}
+
+// chainStacks carries the transport-specific pieces of one instantiated
+// chain: the ownership discipline and the leak check over its heap(s).
+type chainStacks struct {
+	handoff bool
+	heapOf  func() int // live-object count across the transport's heap(s)
+}
+
+const (
+	chainKeys    = 16
+	chainValSize = 64
+	chainWarmup  = 64
+)
+
+// runChain drives the relay -> cache -> kv chain once over the given
+// transport and returns its measurement.
+func runChain(transport string, rounds int) (chainResult, error) {
+	eng := sim.NewEngine(77)
+	var stacks chainStacks
+	var addrs [3]core.Addr // relay, cache, kv listen addresses
+	switch transport {
+	case "catmem":
+		region := catmem.NewRegion(eng)
+		kv := region.New(eng.NewNode("kv"))
+		cache := region.New(eng.NewNode("cache"))
+		relay := region.New(eng.NewNode("relay"))
+		cli := region.New(eng.NewNode("client"))
+		stacks = chainStacks{handoff: true, heapOf: region.Heap().LiveObjects}
+		addrs = [3]core.Addr{{Port: 1}, {Port: 2}, {Port: 3}}
+		return finishChain(eng, stacks, addrs, kv, cache, relay, cli, rounds)
+	case "catloop":
+		hub := catloop.NewHub(eng)
+		ips := [4]wire.IPAddr{
+			{127, 0, 0, 1}, {127, 0, 0, 2}, {127, 0, 0, 3}, {127, 0, 0, 4},
+		}
+		kv := catloop.New(hub, eng.NewNode("kv"), ips[0])
+		cache := catloop.New(hub, eng.NewNode("cache"), ips[1])
+		relay := catloop.New(hub, eng.NewNode("relay"), ips[2])
+		cli := catloop.New(hub, eng.NewNode("client"), ips[3])
+		stacks = chainStacks{
+			handoff: false,
+			heapOf: func() int {
+				return kv.Heap().LiveObjects() + cache.Heap().LiveObjects() +
+					relay.Heap().LiveObjects() + cli.Heap().LiveObjects()
+			},
+		}
+		addrs = [3]core.Addr{
+			{IP: ips[2], Port: 1}, {IP: ips[1], Port: 2}, {IP: ips[0], Port: 3},
+		}
+		return finishChain(eng, stacks, addrs, kv, cache, relay, cli, rounds)
+	default:
+		return chainResult{}, fmt.Errorf("chain: unknown transport %q", transport)
+	}
+}
+
+// chainLibOS is the slice of the libOS surface the chain stages need plus
+// the node identity for CPU accounting.
+type chainLibOS interface {
+	core.LibOS
+	PushTo(qd core.QDesc, sga core.SGArray, to core.Addr) (core.QToken, error)
+	Node() *sim.Node
+}
+
+func finishChain(eng *sim.Engine, stacks chainStacks, addrs [3]core.Addr,
+	kv, cache, relay, cli chainLibOS, rounds int) (chainResult, error) {
+	var kvSt, cacheSt, relaySt chain.Stats
+	var stageErr error
+	keep := func(err error) {
+		if err != nil && stageErr == nil {
+			stageErr = err
+		}
+	}
+	eng.Spawn(kv.Node(), func() {
+		keep(chain.KV(kv, addrs[2], stacks.handoff, chainKeys, chainValSize, &kvSt))
+	})
+	eng.Spawn(cache.Node(), func() {
+		keep(chain.Cache(cache, addrs[1], addrs[2], stacks.handoff, &cacheSt))
+	})
+	eng.Spawn(relay.Node(), func() {
+		keep(chain.Relay(relay, addrs[0], addrs[1], stacks.handoff, &relaySt))
+	})
+	var res chain.Result
+	eng.Spawn(cli.Node(), func() {
+		var err error
+		res, err = chain.Client(cli, addrs[0], stacks.handoff,
+			rounds, chainWarmup, chainKeys, chainValSize, cli.Node())
+		keep(err)
+	})
+	eng.Run()
+	if stageErr != nil {
+		return chainResult{}, stageErr
+	}
+	total := float64(rounds + chainWarmup)
+	h := &Hist{}
+	for _, d := range res.RTTs {
+		h.Add(d)
+	}
+	if n := stacks.heapOf(); n != 0 {
+		return chainResult{}, fmt.Errorf("chain leaked %d buffers", n)
+	}
+	name := "catmem"
+	if !stacks.handoff {
+		name = "catloop"
+	}
+	return chainResult{
+		transport: name,
+		rtt:       h,
+		relayNs:   float64(relay.Node().Busy()) / total,
+		cacheNs:   float64(cache.Node().Busy()) / total,
+		kvNs:      float64(kv.Node().Busy()) / float64(kvSt.Requests),
+		hitRate:   100 * float64(cacheSt.Hits) / float64(cacheSt.Requests),
+	}, nil
+}
+
+// ChainRun is one transport's headline numbers, exported for the root
+// benchmark harness.
+type ChainRun struct {
+	RTTAvg, RTTP99 time.Duration
+	RelayNsPerReq  float64
+}
+
+// RunChain drives the service chain once over the named transport
+// ("catmem" or "catloop").
+func RunChain(transport string, rounds int) (ChainRun, error) {
+	r, err := runChain(transport, rounds)
+	if err != nil {
+		return ChainRun{}, err
+	}
+	return ChainRun{
+		RTTAvg:        r.rtt.Mean(),
+		RTTP99:        r.rtt.P99(),
+		RelayNsPerReq: r.relayNs,
+	}, nil
+}
+
+// Chain benchmarks the three-stage microservice chain over the two
+// intra-host transports: shared-memory queues (catmem, zero-copy handoff)
+// vs loopback TCP (catloop, full protocol stacks). Fig-5 style: per-hop
+// CPU cost is the story, end-to-end RTT the corroboration.
+func Chain() ([]*Table, error) {
+	t := &Table{
+		Title: "Service chain: client -> relay -> cache -> KV, intra-host transports",
+		Note: "catmem hands buffers through shared memory (zero-copy); " +
+			"catloop runs full TCP stacks over an in-process wire",
+		Header: []string{"transport", "rtt avg (µs)", "rtt p99 (µs)",
+			"relay ns/req", "cache ns/req", "kv ns/req", "cache hit %"},
+	}
+	const rounds = 2000
+	for _, transport := range []string{"catmem", "catloop"} {
+		r, err := runChain(transport, rounds)
+		if err != nil {
+			return nil, fmt.Errorf("chain %s: %w", transport, err)
+		}
+		t.AddRow(r.transport,
+			Micros(r.rtt.Mean()), Micros(r.rtt.P99()),
+			fmt.Sprintf("%.0f", r.relayNs),
+			fmt.Sprintf("%.0f", r.cacheNs),
+			fmt.Sprintf("%.0f", r.kvNs),
+			fmt.Sprintf("%.0f", r.hitRate))
+	}
+	return []*Table{t}, nil
+}
+

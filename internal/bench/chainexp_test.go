@@ -1,0 +1,29 @@
+package bench
+
+import "testing"
+
+// TestChainSmoke runs the service chain over both transports with a small
+// round count — the CI smoke job. Catmem must beat catloop on end-to-end
+// RTT: that gap is the whole reason the shared-memory libOS exists.
+func TestChainSmoke(t *testing.T) {
+	const rounds = 200
+	shm, err := runChain("catmem", rounds)
+	if err != nil {
+		t.Fatalf("catmem: %v", err)
+	}
+	tcp, err := runChain("catloop", rounds)
+	if err != nil {
+		t.Fatalf("catloop: %v", err)
+	}
+	if shm.rtt.Mean() >= tcp.rtt.Mean() {
+		t.Errorf("catmem rtt %v not below catloop %v", shm.rtt.Mean(), tcp.rtt.Mean())
+	}
+	// Per-hop CPU: the relay stage is a pure forwarder, so its ns/req is
+	// the cleanest transport-cost comparison.
+	if shm.relayNs >= tcp.relayNs {
+		t.Errorf("catmem relay %.0f ns/req not below catloop %.0f", shm.relayNs, tcp.relayNs)
+	}
+	if shm.hitRate != tcp.hitRate {
+		t.Errorf("hit rates diverge: %.1f%% vs %.1f%%", shm.hitRate, tcp.hitRate)
+	}
+}

@@ -1,11 +1,13 @@
 package bench
 
-// Chaos soak experiment: three application pairs (Catnip echo, Redis-style
-// KV with an AOF on Cattree/SPDK, Catmint echo over RDMA) run concurrently
-// on one switch while a deterministic fault plan injects every fault class
-// the devices support — RX/TX stalls, link flaps, bit corruption and device
-// resets on the DPDK port; I/O errors, latency spikes and torn writes on
-// the SPDK disk; QP errors on the RDMA NIC; and DMA-heap exhaustion. The
+// Chaos soak experiment: four application pairs (Catnip echo, Redis-style
+// KV with an AOF on Cattree/SPDK, Catmint echo over RDMA, and a co-located
+// Catmem shared-memory echo) run concurrently on one switch while a
+// deterministic fault plan injects every fault class the devices support —
+// RX/TX stalls, link flaps, bit corruption and device resets on the DPDK
+// port; I/O errors, latency spikes and torn writes on the SPDK disk; QP
+// errors on the RDMA NIC; DMA-heap exhaustion; and ring-full stalls plus
+// abrupt peer death on the shared-memory queues. The
 // invariants checked afterwards are the robustness story: no accepted
 // request is lost or corrupted, every qtoken completes or errors, no buffer
 // leaks, and the same seed replays byte-for-byte.
@@ -18,6 +20,7 @@ import (
 
 	"demikernel/internal/apps/echo"
 	"demikernel/internal/apps/kv"
+	"demikernel/internal/catmem"
 	"demikernel/internal/core"
 	"demikernel/internal/demi"
 	"demikernel/internal/dpdkdev"
@@ -35,6 +38,7 @@ type ChaosOpts struct {
 	EchoRounds int // Catnip TCP echo rounds
 	KVOps      int // KV operations (2/3 SET, 1/3 GET)
 	MintRounds int // Catmint RDMA echo rounds
+	ShmRounds  int // Catmem shared-memory echo rounds
 	MsgSize    int
 	ValueSize  int
 }
@@ -46,6 +50,7 @@ func DefaultChaosOpts() ChaosOpts {
 		EchoRounds: 2500,
 		KVOps:      1000,
 		MintRounds: 1500,
+		ShmRounds:  20000,
 		MsgSize:    64,
 		ValueSize:  64,
 	}
@@ -58,6 +63,7 @@ var chaosSites = []string{
 	"spdk.io_err", "spdk.latency", "spdk.torn_write",
 	"rdma.qp_error",
 	"mem.exhaust",
+	"catmem.ring_full", "catmem.peer_death",
 }
 
 // ChaosReport is one run's outcome.
@@ -67,9 +73,10 @@ type ChaosReport struct {
 	// operations that failed visibly (connection reset/timeout) and were
 	// retried on a fresh connection; KVDegraded counts writes the server
 	// refused with an AOF error reply.
-	EchoOK, EchoErrs       int
+	EchoOK, EchoErrs         int
 	KVOK, KVDegraded, KVErrs int
-	MintOK, MintErrs       int
+	MintOK, MintErrs         int
+	ShmOK, ShmErrs           int
 	// Faults maps each site to how often it fired.
 	Faults map[string]uint64
 	// Outstanding is the client stacks' unconsumed qtokens (must be 0).
@@ -97,6 +104,12 @@ func RunChaos(opts ChaosOpts) (*ChaosReport, error) {
 	mintCli := tb.NewStack(SysCatmint(0), "mint-cli", wire.IPAddr{10, 30, 0, 6})
 	tb.SeedARP()
 
+	// Co-located shared-memory pair: same host, so no switch attachment —
+	// only a catmem region between the two nodes.
+	region := catmem.NewRegion(tb.Eng)
+	shmSrv := region.New(tb.Eng.NewNode("shm-srv"))
+	shmCli := region.New(tb.Eng.NewNode("shm-cli"))
+
 	// Fault plan. After gates every site past connection setup; Every-N
 	// triggers are deterministic in the op stream; Max caps give the stack
 	// room to recover between faults.
@@ -120,6 +133,10 @@ func RunChaos(opts ChaosOpts) (*ChaosReport, error) {
 	})
 	memSite := plan.Site("mem.exhaust", faults.Spec{After: ms, Every: 397, Max: 3})
 	echoSrv.OS.Heap().SetAllocFault(func(int) bool { return memSite.Fire(echoSrv.Node.Now()) })
+	shmCli.SetFaults(catmem.Faults{
+		RingFull:  plan.Site("catmem.ring_full", faults.Spec{After: ms, Every: 283, Duration: 25 * time.Microsecond, Max: 3}),
+		PeerDeath: plan.Site("catmem.peer_death", faults.Spec{After: ms, Every: 499, Max: 2}),
+	})
 
 	// Servers.
 	echoAddr := core.Addr{IP: echoSrv.IP, Port: 7100}
@@ -135,10 +152,12 @@ func RunChaos(opts ChaosOpts) (*ChaosReport, error) {
 	tb.Eng.Spawn(mintSrv.Node, func() {
 		echo.Server(mintSrv.OS, echo.ServerConfig{Addr: mintAddr})
 	})
+	shmAddr := core.Addr{Port: 7300}
+	tb.Eng.Spawn(shmSrv.Node(), func() { chaosShmServer(shmSrv, shmAddr) })
 
 	// Clients.
 	rep := &ChaosReport{Seed: opts.Seed, Faults: map[string]uint64{}}
-	var echoErr, kvErr, mintErr error
+	var echoErr, kvErr, mintErr, shmErr error
 	tb.Eng.Spawn(echoCli.Node, func() {
 		rep.EchoOK, rep.EchoErrs, echoErr = chaosEchoClient(echoCli.OS, echoAddr, opts.EchoRounds, opts.MsgSize)
 	})
@@ -148,9 +167,12 @@ func RunChaos(opts ChaosOpts) (*ChaosReport, error) {
 	tb.Eng.Spawn(mintCli.Node, func() {
 		rep.MintOK, rep.MintErrs, mintErr = chaosEchoClient(mintCli.OS, mintAddr, opts.MintRounds, opts.MsgSize)
 	})
+	tb.Eng.Spawn(shmCli.Node(), func() {
+		rep.ShmOK, rep.ShmErrs, shmErr = chaosShmClient(shmCli, shmAddr, opts.ShmRounds, opts.MsgSize)
+	})
 	tb.Eng.Run()
 
-	for _, e := range []error{echoErr, kvErr, mintErr} {
+	for _, e := range []error{echoErr, kvErr, mintErr, shmErr} {
 		if e != nil {
 			return rep, e
 		}
@@ -174,15 +196,19 @@ func RunChaos(opts ChaosOpts) (*ChaosReport, error) {
 			rep.Outstanding += tok.Tokens().Outstanding()
 		}
 	}
+	rep.Outstanding += shmCli.Tokens().Outstanding()
 	if rep.Outstanding != 0 {
 		return rep, fmt.Errorf("chaos: %d qtokens still outstanding on client stacks", rep.Outstanding)
 	}
 
 	// Zero buffer leaks on the Catnip client heaps (Catmint legitimately
-	// keeps receive buffers posted to the NIC).
+	// keeps receive buffers posted to the NIC). The catmem region's shared
+	// heap must also drain: every handed-off buffer has exactly one owner,
+	// and peer-death teardown reclaims in-flight rings.
 	for _, st := range []*Stack{echoCli, kvCli} {
 		rep.LiveBufs += st.OS.Heap().LiveObjects()
 	}
+	rep.LiveBufs += region.Heap().LiveObjects()
 	if rep.LiveBufs != 0 {
 		return rep, fmt.Errorf("chaos: %d DMA buffers leaked on client heaps", rep.LiveBufs)
 	}
@@ -211,9 +237,127 @@ func RunChaos(opts ChaosOpts) (*ChaosReport, error) {
 			dump(st.name+"/disk", st.s.Disk.Telemetry())
 		}
 	}
+	dump("shm-srv", shmSrv.Telemetry())
+	dump("shm-cli", shmCli.Telemetry())
 	dump("faults", plan.Telemetry())
 	rep.Telemetry = sb.String()
 	return rep, nil
+}
+
+// chaosShmServer echoes on a catmem listener forever, re-accepting after
+// every teardown (peer death kills both endpoints; the client redials).
+// Shared-memory ownership: the popped SGA is pushed back as-is and the
+// push consumes it — the server never frees a successfully pushed buffer.
+func chaosShmServer(l *catmem.LibOS, addr core.Addr) {
+	qd, err := l.Socket(core.SockStream)
+	if err != nil {
+		return
+	}
+	if err := l.Bind(qd, addr); err != nil {
+		return
+	}
+	if err := l.Listen(qd, 8); err != nil {
+		return
+	}
+	for {
+		aqt, err := l.Accept(qd)
+		if err != nil {
+			return
+		}
+		ev, err := l.Wait(aqt)
+		if err != nil || ev.Err != nil {
+			return // engine stopping
+		}
+		conn := ev.NewQD
+		for {
+			pqt, err := l.Pop(conn)
+			if err != nil {
+				break
+			}
+			pev, err := l.Wait(pqt)
+			if err != nil {
+				return
+			}
+			if pev.Err != nil || len(pev.SGA.Segs) == 0 {
+				break // death or EOF: drop the conn, accept the next
+			}
+			wqt, err := l.Push(conn, pev.SGA)
+			if err != nil {
+				pev.SGA.Free() // call-level error: ownership stayed here
+				break
+			}
+			if wev, werr := l.Wait(wqt); werr != nil || wev.Err != nil {
+				break // failed push ops are freed by the queue
+			}
+		}
+		l.Close(conn)
+	}
+}
+
+// chaosShmRound pushes one patterned message through the shared-memory
+// echo pair and verifies the reply. Unlike chaosEchoRound, ownership of
+// the pushed buffer transfers to the queue — no free on success or on an
+// operation-level failure.
+func chaosShmRound(l *catmem.LibOS, qd core.QDesc, round, size int) error {
+	msg := memory.CopyFrom(l.Heap(), chaosPattern(round, size))
+	qt, err := l.Push(qd, core.SGA(msg))
+	if err != nil {
+		msg.Free() // call-level error: ownership stayed here
+		return err
+	}
+	ev, err := l.Wait(qt)
+	if err != nil {
+		return err
+	}
+	if ev.Err != nil {
+		return ev.Err
+	}
+	pqt, err := l.Pop(qd)
+	if err != nil {
+		return err
+	}
+	pev, err := l.Wait(pqt)
+	if err != nil {
+		return err
+	}
+	if pev.Err != nil {
+		return pev.Err
+	}
+	if len(pev.SGA.Segs) == 0 {
+		return core.ErrQueueClosed
+	}
+	got := pev.SGA.Flatten()
+	pev.SGA.Free()
+	if !bytes.Equal(got, chaosPattern(round, size)) {
+		return fmt.Errorf("chaos: shm round %d reply corrupted", round)
+	}
+	return nil
+}
+
+// chaosShmClient runs verified shared-memory echo rounds, redialing after
+// every injected peer death.
+func chaosShmClient(l *catmem.LibOS, server core.Addr, rounds, size int) (ok, errs int, err error) {
+	conn, err := chaosConnect(l, server, 8)
+	if err != nil {
+		return ok, errs, err
+	}
+	for i := 0; i < rounds; i++ {
+		rerr := chaosShmRound(l, conn, i, size)
+		if rerr == nil {
+			ok++
+			continue
+		}
+		if strings.Contains(rerr.Error(), "corrupted") {
+			return ok, errs, rerr
+		}
+		errs++
+		l.Close(conn)
+		if conn, err = chaosConnect(l, server, 8); err != nil {
+			return ok, errs, err
+		}
+	}
+	l.Close(conn)
+	return ok, errs, nil
 }
 
 // stackTelemetry digs the telemetry registry out of a libOS (unwrapping the
@@ -484,9 +628,9 @@ var ChaosSeeds = []uint64{41, 42, 43}
 // telemetry dumps must match byte-for-byte.
 func Chaos() ([]*Table, error) {
 	t := &Table{
-		Title:  "Chaos soak: deterministic fault injection across three stacks",
+		Title:  "Chaos soak: deterministic fault injection across four stacks",
 		Note:   "every run twice per seed; 'replay' requires byte-identical telemetry dumps",
-		Header: []string{"seed", "echo ok/err", "kv ok/degr/err", "mint ok/err", "fault classes", "replay"},
+		Header: []string{"seed", "echo ok/err", "kv ok/degr/err", "mint ok/err", "shm ok/err", "fault classes", "replay"},
 	}
 	for _, seed := range ChaosSeeds {
 		opts := DefaultChaosOpts()
@@ -506,6 +650,7 @@ func Chaos() ([]*Table, error) {
 			fmt.Sprintf("%d/%d", r1.EchoOK, r1.EchoErrs),
 			fmt.Sprintf("%d/%d/%d", r1.KVOK, r1.KVDegraded, r1.KVErrs),
 			fmt.Sprintf("%d/%d", r1.MintOK, r1.MintErrs),
+			fmt.Sprintf("%d/%d", r1.ShmOK, r1.ShmErrs),
 			fmt.Sprintf("%d/%d", len(r1.Faults), len(chaosSites)),
 			"byte-identical")
 	}

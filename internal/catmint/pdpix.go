@@ -296,7 +296,7 @@ func (l *LibOS) Close(qd core.QDesc) error {
 			s.conn.close()
 		}
 	case *core.MemQueue:
-		s.Close()
+		s.Destroy() // descriptor gone: free undrained data, never leak
 	}
 	l.qds.Remove(qd)
 	return nil

@@ -463,7 +463,7 @@ func (l *LibOS) Close(qd core.QDesc) error {
 	case *fileQueue:
 		s.f.Close()
 	case *core.MemQueue:
-		s.Close()
+		s.Destroy() // descriptor gone: free undrained data, never leak
 	}
 	return nil
 }

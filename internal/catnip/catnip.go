@@ -520,7 +520,7 @@ func (l *LibOS) Close(qd core.QDesc) error {
 	case *tcpSocket:
 		s.close()
 	case *core.MemQueue:
-		s.Close()
+		s.Destroy() // descriptor gone: free undrained data, never leak
 	}
 	l.qds.Remove(qd)
 	return nil

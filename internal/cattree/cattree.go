@@ -275,8 +275,11 @@ func (l *LibOS) Close(qd core.QDesc) error {
 	if !ok {
 		return core.ErrBadQDesc
 	}
-	if lq, ok := q.(*logQueue); ok {
-		lq.closed = true
+	switch s := q.(type) {
+	case *logQueue:
+		s.closed = true
+	case *core.MemQueue:
+		s.Destroy() // descriptor gone: free undrained data, never leak
 	}
 	return nil
 }

@@ -122,7 +122,7 @@ func TestMemQueueFIFOAcrossWaiters(t *testing.T) {
 	}
 }
 
-func TestMemQueueClose(t *testing.T) {
+func TestMemQueueCloseDrains(t *testing.T) {
 	h := memory.NewHeap(nil)
 	tb := NewTokenTable()
 	q := NewMemQueue(1)
@@ -131,21 +131,126 @@ func TestMemQueueClose(t *testing.T) {
 	q.Push(tb.New(), SGA(memory.CopyFrom(h, []byte("z")))) // consumed by pending pop
 	q.Push(tb.New(), SGA(memory.CopyFrom(h, []byte("buffered"))))
 	q.Close()
-	// The buffered sga must be freed; only the popped one stays live.
-	if h.LiveObjects() != 1 {
-		t.Errorf("live = %d, want 1", h.LiveObjects())
-	}
+	// Close must not strand the buffered sga: a draining pop still gets it.
 	pop := tb.New()
 	q.Pop(pop)
 	ev, _, _ := tb.TryTake(pop.Token())
+	if ev.Err != nil {
+		t.Fatalf("draining pop after close failed: %v", ev.Err)
+	}
+	if string(ev.SGA.Flatten()) != "buffered" {
+		t.Errorf("draining pop got %q", ev.SGA.Flatten())
+	}
+	ev.SGA.Free()
+	// Only once the queue is dry do pops report the close.
+	pop = tb.New()
+	q.Pop(pop)
+	ev, _, _ = tb.TryTake(pop.Token())
 	if !errors.Is(ev.Err, ErrQueueClosed) {
-		t.Errorf("pop after close: %+v", ev)
+		t.Errorf("pop after drain: %+v", ev)
 	}
 	push := tb.New()
 	q.Push(push, SGA(memory.CopyFrom(h, []byte("w"))))
 	ev, _, _ = tb.TryTake(push.Token())
 	if !errors.Is(ev.Err, ErrQueueClosed) {
 		t.Errorf("push after close: %+v", ev)
+	}
+	// The rejected push's buffer was freed by the queue; the popped "z"
+	// stays with its consumer.
+	if h.LiveObjects() != 1 {
+		t.Errorf("live = %d, want 1 (the popped sga)", h.LiveObjects())
+	}
+}
+
+func TestMemQueueDestroyFreesBufferedData(t *testing.T) {
+	h := memory.NewHeap(nil)
+	tb := NewTokenTable()
+	q := NewMemQueue(1)
+	q.Push(tb.New(), SGA(memory.CopyFrom(h, []byte("a"))))
+	q.Push(tb.New(), SGA(memory.CopyFrom(h, []byte("b"))))
+	q.Destroy()
+	if h.LiveObjects() != 0 {
+		t.Errorf("live = %d after Destroy, want 0", h.LiveObjects())
+	}
+	if q.Depth() != 0 {
+		t.Errorf("depth = %d after Destroy", q.Depth())
+	}
+}
+
+func TestMemQueueBackpressure(t *testing.T) {
+	h := memory.NewHeap(nil)
+	tb := NewTokenTable()
+	q := NewBoundedMemQueue(1, 2)
+	if q.Capacity() != 2 {
+		t.Fatalf("capacity = %d", q.Capacity())
+	}
+	p1, p2, p3 := tb.New(), tb.New(), tb.New()
+	q.Push(p1, SGA(memory.CopyFrom(h, []byte("1"))))
+	q.Push(p2, SGA(memory.CopyFrom(h, []byte("2"))))
+	q.Push(p3, SGA(memory.CopyFrom(h, []byte("3"))))
+	if !p1.Done() || !p2.Done() {
+		t.Fatal("pushes below high-water did not complete")
+	}
+	if p3.Done() {
+		t.Fatal("push at capacity completed without backpressure")
+	}
+	if q.Depth() != 3 || q.Len() != 2 {
+		t.Fatalf("depth = %d len = %d, want 3/2", q.Depth(), q.Len())
+	}
+	// A pop frees one slot; the parked push is admitted FIFO.
+	pop := tb.New()
+	q.Pop(pop)
+	ev, _, _ := tb.TryTake(pop.Token())
+	if string(ev.SGA.Flatten()) != "1" {
+		t.Errorf("pop got %q", ev.SGA.Flatten())
+	}
+	ev.SGA.Free()
+	if !p3.Done() {
+		t.Fatal("parked push not admitted after pop")
+	}
+	if q.Depth() != 2 {
+		t.Errorf("depth = %d after admit", q.Depth())
+	}
+	// Drain and verify FIFO order survived the backpressure stall.
+	for _, want := range []string{"2", "3"} {
+		pop := tb.New()
+		q.Pop(pop)
+		ev, _, _ := tb.TryTake(pop.Token())
+		if string(ev.SGA.Flatten()) != want {
+			t.Errorf("drained %q, want %q", ev.SGA.Flatten(), want)
+		}
+		ev.SGA.Free()
+	}
+	if h.LiveObjects() != 0 {
+		t.Errorf("live = %d after drain", h.LiveObjects())
+	}
+}
+
+func TestMemQueueCloseFailsParkedPush(t *testing.T) {
+	h := memory.NewHeap(nil)
+	tb := NewTokenTable()
+	q := NewBoundedMemQueue(1, 1)
+	q.Push(tb.New(), SGA(memory.CopyFrom(h, []byte("kept"))))
+	parked := tb.New()
+	q.Push(parked, SGA(memory.CopyFrom(h, []byte("parked"))))
+	q.Close()
+	ev, _, _ := tb.TryTake(parked.Token())
+	if !errors.Is(ev.Err, ErrQueueClosed) {
+		t.Errorf("parked push after close: %+v", ev)
+	}
+	// The parked push's buffer was freed; the buffered one drains.
+	if h.LiveObjects() != 1 {
+		t.Errorf("live = %d, want 1", h.LiveObjects())
+	}
+	pop := tb.New()
+	q.Pop(pop)
+	ev, _, _ = tb.TryTake(pop.Token())
+	if string(ev.SGA.Flatten()) != "kept" {
+		t.Errorf("drain after close got %q", ev.SGA.Flatten())
+	}
+	ev.SGA.Free()
+	if h.LiveObjects() != 0 {
+		t.Errorf("live = %d after drain", h.LiveObjects())
 	}
 }
 

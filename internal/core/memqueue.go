@@ -2,18 +2,35 @@ package core
 
 // MemQueue is PDPIX's lightweight in-memory queue (paper §4.2: "queue()
 // creates a light-weight in-memory queue, similar to a Go channel"). Pushes
-// complete immediately; pops complete when data is available. Buffers pass
-// by reference from producer to consumer — the consumer becomes the owner
-// and frees them.
+// complete while the queue is below its high-water capacity; pops complete
+// when data is available. Buffers pass by reference from producer to
+// consumer — the consumer becomes the owner and frees them. A push that the
+// queue can never deliver (failed by Close) is freed by the queue, so
+// producers never free after Push.
 type MemQueue struct {
-	qd     QDesc
-	data   []SGArray
-	waiter []*Op // pending pops, FIFO
-	closed bool
+	qd       QDesc
+	capacity int // max buffered SGArrays; 0 = unbounded
+	data     []SGArray
+	waiter   []*Op         // pending pops, FIFO
+	pushers  []pendingPush // pushes parked on backpressure, FIFO
+	closed   bool
 }
 
-// NewMemQueue creates an in-memory queue with descriptor qd.
+// pendingPush is one push op parked until the queue drains below capacity.
+type pendingPush struct {
+	op  *Op
+	sga SGArray
+}
+
+// NewMemQueue creates an unbounded in-memory queue with descriptor qd.
 func NewMemQueue(qd QDesc) *MemQueue { return &MemQueue{qd: qd} }
+
+// NewBoundedMemQueue creates an in-memory queue that buffers at most
+// capacity scatter-gather arrays; pushes beyond the high-water mark park
+// until a pop drains the queue (backpressure). capacity <= 0 is unbounded.
+func NewBoundedMemQueue(qd QDesc, capacity int) *MemQueue {
+	return &MemQueue{qd: qd, capacity: capacity}
+}
 
 // QD returns the queue's descriptor.
 func (q *MemQueue) QD() QDesc { return q.qd }
@@ -21,10 +38,28 @@ func (q *MemQueue) QD() QDesc { return q.qd }
 // Len returns the number of buffered scatter-gather arrays.
 func (q *MemQueue) Len() int { return len(q.data) }
 
-// Push enqueues sga and completes op immediately. Ownership of the segments
-// passes through the queue to the eventual popper.
+// Depth is the queue's instantaneous occupancy: buffered arrays plus pushes
+// parked on backpressure (data admitted but not yet below high-water).
+func (q *MemQueue) Depth() int { return len(q.data) + len(q.pushers) }
+
+// Capacity returns the high-water mark (0 = unbounded).
+func (q *MemQueue) Capacity() int { return q.capacity }
+
+// Closed reports whether the queue has been closed.
+func (q *MemQueue) Closed() bool { return q.closed }
+
+// full reports whether the queue is at or above its high-water mark.
+func (q *MemQueue) full() bool {
+	return q.capacity > 0 && len(q.data) >= q.capacity
+}
+
+// Push enqueues sga. The op completes immediately when the queue is below
+// its high-water mark; at capacity it parks until a pop makes room.
+// Ownership of the segments passes through the queue to the eventual
+// popper; if the queue can never deliver them (closed), it frees them.
 func (q *MemQueue) Push(op *Op, sga SGArray) {
 	if q.closed {
+		sga.Free()
 		op.Fail(q.qd, OpPush, ErrQueueClosed)
 		return
 	}
@@ -32,18 +67,26 @@ func (q *MemQueue) Push(op *Op, sga SGArray) {
 		pop := q.waiter[0]
 		q.waiter = q.waiter[1:]
 		pop.Complete(QEvent{QD: q.qd, Op: OpPop, SGA: sga})
-	} else {
-		q.data = append(q.data, sga)
+		op.Complete(QEvent{QD: q.qd, Op: OpPush})
+		return
 	}
+	if q.full() {
+		q.pushers = append(q.pushers, pendingPush{op: op, sga: sga})
+		return
+	}
+	q.data = append(q.data, sga)
 	op.Complete(QEvent{QD: q.qd, Op: OpPush})
 }
 
 // Pop completes op with buffered data, or parks it until a push arrives.
+// After Close, pops drain the remaining buffered data before reporting
+// ErrQueueClosed, so no accepted push is stranded.
 func (q *MemQueue) Pop(op *Op) {
 	if len(q.data) > 0 {
 		sga := q.data[0]
 		q.data = q.data[1:]
 		op.Complete(QEvent{QD: q.qd, Op: OpPop, SGA: sga})
+		q.admit()
 		return
 	}
 	if q.closed {
@@ -53,14 +96,44 @@ func (q *MemQueue) Pop(op *Op) {
 	q.waiter = append(q.waiter, op)
 }
 
-// Close fails all pending pops and rejects future operations. Buffered data
-// is freed.
+// admit moves parked pushes into the freed buffer space, completing their
+// ops in FIFO order.
+func (q *MemQueue) admit() {
+	for len(q.pushers) > 0 && !q.full() {
+		p := q.pushers[0]
+		q.pushers = q.pushers[1:]
+		q.data = append(q.data, p.sga)
+		p.op.Complete(QEvent{QD: q.qd, Op: OpPush})
+	}
+}
+
+// Close half-closes the queue: parked pops and parked pushes fail with
+// ErrQueueClosed (a parked push's buffers are freed — the producer handed
+// them over and never frees after Push), future pushes are rejected, and
+// buffered data stays available for draining pops. Callers tearing the
+// queue down for good use Destroy, which also frees the undrained data.
 func (q *MemQueue) Close() {
+	if q.closed {
+		return
+	}
 	q.closed = true
 	for _, op := range q.waiter {
 		op.Fail(q.qd, OpPop, ErrQueueClosed)
 	}
 	q.waiter = nil
+	for _, p := range q.pushers {
+		p.sga.Free()
+		p.op.Fail(q.qd, OpPush, ErrQueueClosed)
+	}
+	q.pushers = nil
+}
+
+// Destroy closes the queue and frees any still-buffered data. Library OSes
+// call it when the descriptor is released: with the descriptor gone no pop
+// can drain the queue, so freeing is the only way to keep the never-leak
+// contract.
+func (q *MemQueue) Destroy() {
+	q.Close()
 	for _, sga := range q.data {
 		sga.Free()
 	}

@@ -85,6 +85,22 @@ const (
 	CaladanPerPacket = 180 * time.Nanosecond
 )
 
+// Intra-host transport costs (catmem shared-memory queues and the catloop
+// in-process wire).
+const (
+	// ShmRingOp is one lock-free ring slot operation (enqueue or dequeue)
+	// on a shared-memory queue: an index update plus one cache-line write.
+	ShmRingOp = 25 * time.Nanosecond
+	// ShmHandoff is the consumer-side latency of a cross-core buffer
+	// handoff through shared memory: the cache-line transfer plus the
+	// poll that observes it.
+	ShmHandoff = 100 * time.Nanosecond
+	// LoopbackWire is the in-process wire latency of the catloop hub: a
+	// frame handed between two TCP stacks in one address space (memcpy
+	// plus a wakeup, no NIC or PCIe crossing).
+	LoopbackWire = 300 * time.Nanosecond
+)
+
 // Environment profiles (Figure 6).
 const (
 	// WSLSyscallFactor multiplies kernel-crossing costs under the Windows

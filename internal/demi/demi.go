@@ -110,9 +110,15 @@ func untagQT(qt core.QToken) core.QToken {
 	return qt &^ storTag
 }
 
-// retagEvent rewrites a storage event into the combined namespace.
+// retagEvent rewrites a storage event into the combined namespace. NewQD
+// must be retagged too: an accept-style completion carrying an untagged
+// descriptor would route the application's next operation on it to the
+// wrong libOS.
 func retagEvent(ev core.QEvent) core.QEvent {
 	ev.QD = tagQD(ev.QD)
+	if ev.NewQD > 0 {
+		ev.NewQD = tagQD(ev.NewQD)
+	}
 	return ev
 }
 

@@ -1,6 +1,6 @@
 package faults_test
 
-// The chaos soak is the fault engine's acceptance test: three application
+// The chaos soak is the fault engine's acceptance test: four application
 // pairs run concurrently while every fault class fires, and the run must
 // end with all client operations completed-or-errored, no buffer leaks,
 // and byte-identical telemetry when the seed replays. The harness itself
