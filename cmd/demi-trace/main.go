@@ -1,24 +1,30 @@
 // demi-trace records a packet trace from a simulated Catnip echo session
 // and prints or verifies it — the paper's §6.3 deterministic-debugging
-// workflow as a tool.
+// workflow as a tool — and runs the distributed tracer over the service
+// chain, printing critical-path waterfalls for the slowest requests.
 //
 // Usage:
 //
 //	demi-trace record  > session.trace    # capture a server-side trace
 //	demi-trace verify  < session.trace    # replay it, check egress matches
 //	demi-trace dump    < session.trace    # human-readable listing
+//	demi-trace chain -slowest 10 -waterfall   # trace the service chain
 package main
 
 import (
+	"bufio"
+	"flag"
 	"fmt"
 	"io"
 	"os"
 	"time"
 
 	"demikernel/internal/apps/echo"
+	"demikernel/internal/bench"
 	"demikernel/internal/catnip"
 	"demikernel/internal/core"
 	"demikernel/internal/dpdkdev"
+	"demikernel/internal/dtrace"
 	"demikernel/internal/sim"
 	"demikernel/internal/simnet"
 	"demikernel/internal/trace"
@@ -65,11 +71,14 @@ func record(replayRx []trace.Event) *trace.Log {
 }
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: demi-trace record|verify|dump")
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: demi-trace record|verify|dump|chain")
 		os.Exit(2)
 	}
 	switch os.Args[1] {
+	case "chain":
+		chainCmd(os.Args[2:])
+		return
 	case "record":
 		log := record(nil)
 		os.Stdout.Write(log.Encode())
@@ -95,8 +104,72 @@ func main() {
 		fmt.Printf("replay OK: %d egress frames reproduced byte-for-byte\n",
 			len(orig.Filter(trace.TX)))
 	default:
-		fmt.Fprintln(os.Stderr, "usage: demi-trace record|verify|dump")
+		fmt.Fprintln(os.Stderr, "usage: demi-trace record|verify|dump|chain")
 		os.Exit(2)
+	}
+}
+
+// chainCmd runs the distributed tracer over the three-stage service chain
+// and reports the slowest sampled requests with their critical paths.
+func chainCmd(argv []string) {
+	fs := flag.NewFlagSet("chain", flag.ExitOnError)
+	transport := fs.String("transport", "catmem", "transport: catmem or catloop")
+	rounds := fs.Int("rounds", 2000, "closed-loop rounds to drive")
+	sample := fs.Uint64("sample", 1, "sample every Nth request (0 disables tracing)")
+	slowest := fs.Int("slowest", 10, "how many of the slowest requests to report")
+	waterfall := fs.Bool("waterfall", false, "print a critical-path waterfall per reported request")
+	chrome := fs.String("chrome", "", "write Chrome trace_event JSON (chrome://tracing, Perfetto) to this file")
+	binOut := fs.String("bin", "", "write the deterministic binary trace to this file")
+	fs.Parse(argv)
+
+	cfg := dtrace.DefaultConfig()
+	cfg.SampleEvery = *sample
+	cfg.Events = 1 << 20
+	cfg.Recent = 1 << 12
+	cfg.Slowest = *slowest
+	res, err := bench.RunChainTraced(*transport, *rounds, cfg)
+	must(err)
+	tr := res.Tracer
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	fmt.Fprintf(out, "chain over %s: %d rounds, RTT avg %v p99 %v\n",
+		*transport, *rounds, res.Run.RTTAvg, res.Run.RTTP99)
+	fmt.Fprintf(out, "sampled: %d started, %d finished, %d events evicted\n",
+		tr.Started(), tr.Finished(), tr.Evicted())
+	for _, v := range res.Violations {
+		fmt.Fprintf(out, "CROSS-CHECK VIOLATION: %s\n", v)
+	}
+	views := tr.Assemble()
+	for i, r := range tr.Slowest(*slowest) {
+		v := views[r.Trace]
+		if v == nil {
+			fmt.Fprintf(out, "#%d trace %d: %v (events evicted; no waterfall)\n",
+				i+1, r.Trace, time.Duration(r.Dur()))
+			continue
+		}
+		hop, class, ns := v.GuiltyHop(tr)
+		fmt.Fprintf(out, "#%d trace %d: %v end-to-end, %.0f%% stitched; guilty: %s %s (%v)\n",
+			i+1, r.Trace, time.Duration(r.Dur()), 100*v.Coverage,
+			hop, class, time.Duration(ns))
+		if *waterfall {
+			v.WriteWaterfall(out, tr)
+		}
+	}
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		must(err)
+		must(tr.WriteChromeJSON(f))
+		must(f.Close())
+	}
+	if *binOut != "" {
+		f, err := os.Create(*binOut)
+		must(err)
+		must(tr.EncodeBinary(f))
+		must(f.Close())
+	}
+	if len(res.Violations) > 0 {
+		out.Flush()
+		os.Exit(1)
 	}
 }
 

@@ -78,17 +78,17 @@ func run(transport string) (chain.Result, error) {
 	// Listeners must be up before dialers: spawn back-to-front.
 	var kvSt, cacheSt, relaySt chain.Stats
 	eng.Spawn(nodes[0], func() {
-		if err := chain.KV(kv, addrs[2], handoff, nkeys, valSize, &kvSt); err != nil {
+		if err := chain.KV(kv, addrs[2], handoff, nkeys, valSize, &kvSt, chain.Trace{}); err != nil {
 			log.Fatalf("kv: %v", err)
 		}
 	})
 	eng.Spawn(nodes[1], func() {
-		if err := chain.Cache(cache, addrs[1], addrs[2], handoff, &cacheSt); err != nil {
+		if err := chain.Cache(cache, addrs[1], addrs[2], handoff, &cacheSt, chain.Trace{}); err != nil {
 			log.Fatalf("cache: %v", err)
 		}
 	})
 	eng.Spawn(nodes[2], func() {
-		if err := chain.Relay(relay, addrs[0], addrs[1], handoff, &relaySt); err != nil {
+		if err := chain.Relay(relay, addrs[0], addrs[1], handoff, &relaySt, chain.Trace{}); err != nil {
 			log.Fatalf("relay: %v", err)
 		}
 	})
@@ -96,7 +96,7 @@ func run(transport string) (chain.Result, error) {
 	var cliErr error
 	eng.Spawn(nodes[3], func() {
 		res, cliErr = chain.Client(cli, addrs[0], handoff,
-			rounds, warmup, nkeys, valSize, nodes[3])
+			rounds, warmup, nkeys, valSize, nodes[3], chain.Trace{})
 	})
 	eng.Run()
 	return res, cliErr

@@ -123,6 +123,14 @@ func TestNonAllocFixture(t *testing.T) {
 	runFixture(t, "nonallocfix", NonAllocAnalyzer())
 }
 
+// TestDTraceFixture pins the tracer record-path contract: arena events are
+// written in place, retention appends are capacity-guarded, and labels are
+// pre-interned ids — per-event map writes, appends, and string building are
+// findings.
+func TestDTraceFixture(t *testing.T) {
+	runFixture(t, "dtracefix", NonAllocAnalyzer())
+}
+
 // TestModuleClean is the acceptance gate: demi-vet with the checked-in
 // allowlist reports nothing on the module itself, and every allowlist
 // entry still earns its keep.

@@ -32,6 +32,7 @@ var defaultDeterministicPkgs = []string{
 	"/internal/cattree",
 	"/internal/core",
 	"/internal/memory",
+	"/internal/dtrace",
 	"/internal/devices",
 	"/internal/dpdkdev",
 	"/internal/rdmadev",

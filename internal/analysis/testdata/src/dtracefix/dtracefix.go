@@ -1,0 +1,62 @@
+// Package dtracefix seeds record-path violations shaped like the
+// distributed tracer for the analyzer tests: the event arena must be
+// written in place through &slice[i], retention must guard its appends,
+// and per-event labels must be pre-interned ids, never strings. The *OK
+// functions mirror what internal/dtrace actually does and must be clean.
+package dtracefix
+
+type event struct {
+	trace uint64
+	t0    int64
+	kind  uint8
+	label uint8
+}
+
+type tracer struct {
+	events []event
+	next   int
+	slow   []uint64
+	names  map[string]uint8
+}
+
+//demi:nonalloc the arena is preallocated; recording writes in place
+func recordOK(t *tracer, trace uint64, kind uint8, at int64) {
+	e := &t.events[t.next]
+	e.trace = trace
+	e.t0 = at
+	e.kind = kind
+	t.next++
+	if t.next == len(t.events) {
+		t.next = 0
+	}
+}
+
+//demi:nonalloc
+func recordByAppend(t *tracer, trace uint64, at int64) {
+	t.events = append(t.events, event{trace: trace, t0: at}) // want `append without a capacity guard`
+}
+
+//demi:nonalloc
+func retainOK(t *tracer, root uint64) {
+	if len(t.slow) < cap(t.slow) {
+		t.slow = append(t.slow, root)
+	}
+}
+
+//demi:nonalloc
+func labelPerEvent(t *tracer, name string) uint8 {
+	t.names[name] = uint8(len(t.names)) // want `map assignment may allocate`
+	return t.names[name]
+}
+
+//demi:nonalloc
+func labelConcat(hop, stage string) string {
+	return hop + "." + stage // want `string concatenation allocates`
+}
+
+//demi:nonalloc
+func eventsSnapshot(t *tracer) []event {
+	out := make([]event, t.next) // want `make allocates`
+	copy(out, t.events[:t.next])
+	return out
+}

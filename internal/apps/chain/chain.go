@@ -31,6 +31,7 @@ import (
 
 	"demikernel/internal/core"
 	"demikernel/internal/demi"
+	"demikernel/internal/dtrace"
 	"demikernel/internal/memory"
 	"demikernel/internal/sim"
 )
@@ -53,6 +54,23 @@ type Stats struct {
 	Replies  uint64 // frames forwarded upstream
 	Hits     uint64 // cache only
 	Misses   uint64 // cache only
+}
+
+// Trace wires one stage into the distributed tracer: the stage's recording
+// hop and the clock that timestamps its app spans. The zero value disables
+// tracing (every record call is a nil-receiver no-op). The Client's hop
+// additionally roots sampled requests (StartRequest/EndRequest).
+type Trace struct {
+	Hop   *dtrace.Hop
+	Clock sim.Clock
+}
+
+// now returns the trace timestamp, 0 with no clock.
+func (t Trace) now() int64 {
+	if t.Clock == nil {
+		return 0
+	}
+	return int64(t.Clock.Now())
 }
 
 // valueByte is the deterministic store content: value[i] of key.
@@ -145,6 +163,7 @@ type framer struct {
 	qd      core.QDesc
 	handoff bool
 	buf     []byte // stream accumulator (handoff=false only)
+	ctx     uint64 // trace context of the most recent traced pop (stream reframing)
 }
 
 // next returns the next whole frame, or ok=false on EOF. The returned SGA
@@ -175,6 +194,9 @@ func (f *framer) next() (core.SGArray, bool, error) {
 			// Message-preserving transport: one pop is one frame.
 			return ev.SGA, true, nil
 		}
+		if c := ev.SGA.TraceCtx(); c != 0 {
+			f.ctx = c // survive the reframing copy below
+		}
 		f.buf = append(f.buf, ev.SGA.Flatten()...)
 		ev.SGA.Free()
 	}
@@ -190,6 +212,7 @@ func (f *framer) reframe() (core.SGArray, bool) {
 		return core.SGArray{}, false
 	}
 	b := memory.CopyFrom(f.l.Heap(), f.buf[:lenPrefix+n])
+	b.SetTraceCtx(f.ctx)
 	f.buf = f.buf[lenPrefix+n:]
 	return core.SGA(b), true
 }
@@ -210,7 +233,7 @@ func parse(sga core.SGArray) (op byte, key uint32, val []byte, err error) {
 // Relay is the ingress stage: a pure bidirectional forwarder (sidecar
 // proxy shape). Under handoff it never touches the bytes — both
 // directions are pointer handoffs.
-func Relay(l demi.LibOS, lst, down core.Addr, handoff bool, stats *Stats) error {
+func Relay(l demi.LibOS, lst, down core.Addr, handoff bool, stats *Stats, tr Trace) error {
 	lqd, up, err := accept(l, lst)
 	if err != nil {
 		return err
@@ -219,6 +242,8 @@ func Relay(l demi.LibOS, lst, down core.Addr, handoff bool, stats *Stats) error 
 	if err != nil {
 		return err
 	}
+	fwd := tr.Hop.Label("relay.forward")
+	back := tr.Hop.Label("relay.return")
 	upF := &framer{l: l, qd: up, handoff: handoff}
 	dnF := &framer{l: l, qd: dn, handoff: handoff}
 	for {
@@ -229,9 +254,11 @@ func Relay(l demi.LibOS, lst, down core.Addr, handoff bool, stats *Stats) error 
 			l.Close(lqd)
 			return err
 		}
+		ctx, t0 := req.TraceCtx(), tr.now()
 		if err := send(l, dn, req, handoff); err != nil {
 			return err
 		}
+		tr.Hop.AppSpan(ctx, fwd, t0, tr.now())
 		stats.Requests++
 		rep, ok, err := dnF.next()
 		if err != nil || !ok {
@@ -240,9 +267,11 @@ func Relay(l demi.LibOS, lst, down core.Addr, handoff bool, stats *Stats) error 
 			l.Close(lqd)
 			return err
 		}
+		ctx, t0 = rep.TraceCtx(), tr.now()
 		if err := send(l, up, rep, handoff); err != nil {
 			return err
 		}
+		tr.Hop.AppSpan(ctx, back, t0, tr.now())
 		stats.Replies++
 	}
 }
@@ -250,7 +279,7 @@ func Relay(l demi.LibOS, lst, down core.Addr, handoff bool, stats *Stats) error 
 // Cache is the middle stage: a look-aside cache over the KV store. Hits
 // are served from memory; misses forward the request downstream
 // unmodified (zero-copy under handoff) and fill from the reply.
-func Cache(l demi.LibOS, lst, down core.Addr, handoff bool, stats *Stats) error {
+func Cache(l demi.LibOS, lst, down core.Addr, handoff bool, stats *Stats, tr Trace) error {
 	lqd, up, err := accept(l, lst)
 	if err != nil {
 		return err
@@ -259,6 +288,8 @@ func Cache(l demi.LibOS, lst, down core.Addr, handoff bool, stats *Stats) error 
 	if err != nil {
 		return err
 	}
+	hitLbl := tr.Hop.Label("cache.hit")
+	missLbl := tr.Hop.Label("cache.miss")
 	upF := &framer{l: l, qd: up, handoff: handoff}
 	dnF := &framer{l: l, qd: dn, handoff: handoff}
 	cache := make(map[uint32][]byte)
@@ -274,14 +305,17 @@ func Cache(l demi.LibOS, lst, down core.Addr, handoff bool, stats *Stats) error 
 		if err != nil {
 			return err
 		}
+		ctx, t0 := req.TraceCtx(), tr.now()
 		stats.Requests++
 		if val, hit := cache[key]; hit {
 			stats.Hits++
 			req.Free() // request consumed here; reply built fresh
 			rep := core.SGA(buildFrame(l.Heap(), OpReply, key, val))
+			rep.SetTraceCtx(ctx) // the fresh reply continues the request's trace
 			if err := send(l, up, rep, handoff); err != nil {
 				return err
 			}
+			tr.Hop.AppSpan(ctx, hitLbl, t0, tr.now())
 			stats.Replies++
 			continue
 		}
@@ -308,13 +342,14 @@ func Cache(l demi.LibOS, lst, down core.Addr, handoff bool, stats *Stats) error 
 		if err := send(l, up, rep, handoff); err != nil {
 			return err
 		}
+		tr.Hop.AppSpan(ctx, missLbl, t0, tr.now())
 		stats.Replies++
 	}
 }
 
 // KV is the terminal stage: a deterministic in-memory store of nkeys
 // values, valSize bytes each.
-func KV(l demi.LibOS, lst core.Addr, handoff bool, nkeys, valSize int, stats *Stats) error {
+func KV(l demi.LibOS, lst core.Addr, handoff bool, nkeys, valSize int, stats *Stats, tr Trace) error {
 	store := make(map[uint32][]byte, nkeys)
 	for k := 0; k < nkeys; k++ {
 		v := make([]byte, valSize)
@@ -327,6 +362,7 @@ func KV(l demi.LibOS, lst core.Addr, handoff bool, nkeys, valSize int, stats *St
 	if err != nil {
 		return err
 	}
+	serve := tr.Hop.Label("kv.serve")
 	upF := &framer{l: l, qd: up, handoff: handoff}
 	for {
 		req, ok, err := upF.next()
@@ -339,15 +375,18 @@ func KV(l demi.LibOS, lst core.Addr, handoff bool, nkeys, valSize int, stats *St
 		if err != nil {
 			return err
 		}
+		ctx, t0 := req.TraceCtx(), tr.now()
 		req.Free()
 		if op != OpGet {
 			return fmt.Errorf("chain: kv got opcode %d", op)
 		}
 		stats.Requests++
 		rep := core.SGA(buildFrame(l.Heap(), OpReply, key, store[key]))
+		rep.SetTraceCtx(ctx) // the fresh reply continues the request's trace
 		if err := send(l, up, rep, handoff); err != nil {
 			return err
 		}
+		tr.Hop.AppSpan(ctx, serve, t0, tr.now())
 		stats.Replies++
 	}
 }
@@ -361,7 +400,12 @@ type Result struct {
 // Client drives the chain closed-loop: one GET outstanding, the reply
 // verified byte-for-byte against the deterministic store content. Keys
 // cycle through [0, nkeys) so every key is a cache miss exactly once.
-func Client(l demi.LibOS, server core.Addr, handoff bool, rounds, warmup, nkeys, valSize int, clock sim.Clock) (Result, error) {
+//
+// With tracing attached, the client is where requests are rooted: the
+// head-based sampling decision is made per post-warmup request, the trace
+// context is stamped onto the outgoing frame, and the request's measured
+// interval becomes the trace's root span.
+func Client(l demi.LibOS, server core.Addr, handoff bool, rounds, warmup, nkeys, valSize int, clock sim.Clock, tr Trace) (Result, error) {
 	qd, err := dial(l, server)
 	if err != nil {
 		return Result{}, err
@@ -370,8 +414,15 @@ func Client(l demi.LibOS, server core.Addr, handoff bool, rounds, warmup, nkeys,
 	res := Result{RTTs: make([]time.Duration, 0, rounds)}
 	for r := 0; r < warmup+rounds; r++ {
 		key := uint32(r % nkeys)
+		var ctx uint64
+		if r >= warmup {
+			// Warmup rounds are unmeasured, so they are also unsampled —
+			// retained traces correspond one-to-one with reported RTTs.
+			ctx = tr.Hop.Tracer().StartRequest()
+		}
 		start := clock.Now()
 		req := core.SGA(buildFrame(l.Heap(), OpGet, key, nil))
+		req.SetTraceCtx(ctx)
 		if err := send(l, qd, req, handoff); err != nil {
 			return res, err
 		}
@@ -396,8 +447,10 @@ func Client(l demi.LibOS, server core.Addr, handoff bool, rounds, warmup, nkeys,
 		}
 		rep.Free()
 		if r >= warmup {
+			end := clock.Now()
 			res.Rounds++
-			res.RTTs = append(res.RTTs, clock.Now().Sub(start))
+			res.RTTs = append(res.RTTs, end.Sub(start))
+			tr.Hop.EndRequest(ctx, int64(start), int64(end))
 		}
 	}
 	l.Close(qd)

@@ -28,24 +28,24 @@ func TestChainOverCatmem(t *testing.T) {
 	relay := region.New(eng.NewNode("relay"))
 	cli := region.New(eng.NewNode("client"))
 	eng.Spawn(kv.Node(), func() {
-		if err := KV(kv, core.Addr{Port: 3}, true, nkeys, valSize, &kvSt); err != nil {
+		if err := KV(kv, core.Addr{Port: 3}, true, nkeys, valSize, &kvSt, Trace{}); err != nil {
 			t.Errorf("kv: %v", err)
 		}
 	})
 	eng.Spawn(cache.Node(), func() {
-		if err := Cache(cache, core.Addr{Port: 2}, core.Addr{Port: 3}, true, &cacheSt); err != nil {
+		if err := Cache(cache, core.Addr{Port: 2}, core.Addr{Port: 3}, true, &cacheSt, Trace{}); err != nil {
 			t.Errorf("cache: %v", err)
 		}
 	})
 	eng.Spawn(relay.Node(), func() {
-		if err := Relay(relay, core.Addr{Port: 1}, core.Addr{Port: 2}, true, &relaySt); err != nil {
+		if err := Relay(relay, core.Addr{Port: 1}, core.Addr{Port: 2}, true, &relaySt, Trace{}); err != nil {
 			t.Errorf("relay: %v", err)
 		}
 	})
 	var res Result
 	eng.Spawn(cli.Node(), func() {
 		var err error
-		res, err = Client(cli, core.Addr{Port: 1}, true, rounds, warmup, nkeys, valSize, cli.Node())
+		res, err = Client(cli, core.Addr{Port: 1}, true, rounds, warmup, nkeys, valSize, cli.Node(), Trace{})
 		if err != nil {
 			t.Errorf("client: %v", err)
 		}
@@ -71,24 +71,24 @@ func TestChainOverCatloop(t *testing.T) {
 	cli := catloop.New(hub, eng.NewNode("client"), ipCli)
 	var relaySt, cacheSt, kvSt Stats
 	eng.Spawn(kv.Node(), func() {
-		if err := KV(kv, core.Addr{IP: ipKV, Port: 3}, false, nkeys, valSize, &kvSt); err != nil {
+		if err := KV(kv, core.Addr{IP: ipKV, Port: 3}, false, nkeys, valSize, &kvSt, Trace{}); err != nil {
 			t.Errorf("kv: %v", err)
 		}
 	})
 	eng.Spawn(cache.Node(), func() {
-		if err := Cache(cache, core.Addr{IP: ipCache, Port: 2}, core.Addr{IP: ipKV, Port: 3}, false, &cacheSt); err != nil {
+		if err := Cache(cache, core.Addr{IP: ipCache, Port: 2}, core.Addr{IP: ipKV, Port: 3}, false, &cacheSt, Trace{}); err != nil {
 			t.Errorf("cache: %v", err)
 		}
 	})
 	eng.Spawn(relay.Node(), func() {
-		if err := Relay(relay, core.Addr{IP: ipRelay, Port: 1}, core.Addr{IP: ipCache, Port: 2}, false, &relaySt); err != nil {
+		if err := Relay(relay, core.Addr{IP: ipRelay, Port: 1}, core.Addr{IP: ipCache, Port: 2}, false, &relaySt, Trace{}); err != nil {
 			t.Errorf("relay: %v", err)
 		}
 	})
 	var res Result
 	eng.Spawn(cli.Node(), func() {
 		var err error
-		res, err = Client(cli, core.Addr{IP: ipRelay, Port: 1}, false, rounds, warmup, nkeys, valSize, cli.Node())
+		res, err = Client(cli, core.Addr{IP: ipRelay, Port: 1}, false, rounds, warmup, nkeys, valSize, cli.Node(), Trace{})
 		if err != nil {
 			t.Errorf("client: %v", err)
 		}

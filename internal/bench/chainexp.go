@@ -8,7 +8,9 @@ import (
 	"demikernel/internal/catloop"
 	"demikernel/internal/catmem"
 	"demikernel/internal/core"
+	"demikernel/internal/dtrace"
 	"demikernel/internal/sim"
+	"demikernel/internal/telemetry"
 	"demikernel/internal/wire"
 )
 
@@ -19,6 +21,9 @@ type chainResult struct {
 	// per-stage CPU ns per request (node busy time / requests served).
 	relayNs, cacheNs, kvNs float64
 	hitRate                float64
+	// hists maps hop name to that stage's qtoken latency histogram, for
+	// cross-checking traced spans against telemetry (traced runs only).
+	hists map[string]*telemetry.Histogram
 }
 
 // chainStacks carries the transport-specific pieces of one instantiated
@@ -35,8 +40,10 @@ const (
 )
 
 // runChain drives the relay -> cache -> kv chain once over the given
-// transport and returns its measurement.
-func runChain(transport string, rounds int) (chainResult, error) {
+// transport and returns its measurement. When tr is non-nil, every stage's
+// libOS records per-hop spans into it and the stages stamp app spans, so
+// sampled requests stitch into end-to-end waterfalls.
+func runChain(transport string, rounds int, tr *dtrace.Tracer) (chainResult, error) {
 	eng := sim.NewEngine(77)
 	var stacks chainStacks
 	var addrs [3]core.Addr // relay, cache, kv listen addresses
@@ -47,9 +54,13 @@ func runChain(transport string, rounds int) (chainResult, error) {
 		cache := region.New(eng.NewNode("cache"))
 		relay := region.New(eng.NewNode("relay"))
 		cli := region.New(eng.NewNode("client"))
+		kv.AttachDTrace(tr.Hop("kv"))
+		cache.AttachDTrace(tr.Hop("cache"))
+		relay.AttachDTrace(tr.Hop("relay"))
+		cli.AttachDTrace(tr.Hop("client"))
 		stacks = chainStacks{handoff: true, heapOf: region.Heap().LiveObjects}
 		addrs = [3]core.Addr{{Port: 1}, {Port: 2}, {Port: 3}}
-		return finishChain(eng, stacks, addrs, kv, cache, relay, cli, rounds)
+		return finishChain(eng, stacks, addrs, kv, cache, relay, cli, rounds, tr)
 	case "catloop":
 		hub := catloop.NewHub(eng)
 		ips := [4]wire.IPAddr{
@@ -59,6 +70,10 @@ func runChain(transport string, rounds int) (chainResult, error) {
 		cache := catloop.New(hub, eng.NewNode("cache"), ips[1])
 		relay := catloop.New(hub, eng.NewNode("relay"), ips[2])
 		cli := catloop.New(hub, eng.NewNode("client"), ips[3])
+		kv.AttachDTrace(tr.Hop("kv"))
+		cache.AttachDTrace(tr.Hop("cache"))
+		relay.AttachDTrace(tr.Hop("relay"))
+		cli.AttachDTrace(tr.Hop("client"))
 		stacks = chainStacks{
 			handoff: false,
 			heapOf: func() int {
@@ -69,7 +84,7 @@ func runChain(transport string, rounds int) (chainResult, error) {
 		addrs = [3]core.Addr{
 			{IP: ips[2], Port: 1}, {IP: ips[1], Port: 2}, {IP: ips[0], Port: 3},
 		}
-		return finishChain(eng, stacks, addrs, kv, cache, relay, cli, rounds)
+		return finishChain(eng, stacks, addrs, kv, cache, relay, cli, rounds, tr)
 	default:
 		return chainResult{}, fmt.Errorf("chain: unknown transport %q", transport)
 	}
@@ -81,10 +96,11 @@ type chainLibOS interface {
 	core.LibOS
 	PushTo(qd core.QDesc, sga core.SGArray, to core.Addr) (core.QToken, error)
 	Node() *sim.Node
+	Telemetry() *telemetry.Registry
 }
 
 func finishChain(eng *sim.Engine, stacks chainStacks, addrs [3]core.Addr,
-	kv, cache, relay, cli chainLibOS, rounds int) (chainResult, error) {
+	kv, cache, relay, cli chainLibOS, rounds int, tr *dtrace.Tracer) (chainResult, error) {
 	var kvSt, cacheSt, relaySt chain.Stats
 	var stageErr error
 	keep := func(err error) {
@@ -92,20 +108,24 @@ func finishChain(eng *sim.Engine, stacks chainStacks, addrs [3]core.Addr,
 			stageErr = err
 		}
 	}
+	kvTr := chain.Trace{Hop: tr.Hop("kv"), Clock: kv.Node()}
+	cacheTr := chain.Trace{Hop: tr.Hop("cache"), Clock: cache.Node()}
+	relayTr := chain.Trace{Hop: tr.Hop("relay"), Clock: relay.Node()}
+	cliTr := chain.Trace{Hop: tr.Hop("client"), Clock: cli.Node()}
 	eng.Spawn(kv.Node(), func() {
-		keep(chain.KV(kv, addrs[2], stacks.handoff, chainKeys, chainValSize, &kvSt))
+		keep(chain.KV(kv, addrs[2], stacks.handoff, chainKeys, chainValSize, &kvSt, kvTr))
 	})
 	eng.Spawn(cache.Node(), func() {
-		keep(chain.Cache(cache, addrs[1], addrs[2], stacks.handoff, &cacheSt))
+		keep(chain.Cache(cache, addrs[1], addrs[2], stacks.handoff, &cacheSt, cacheTr))
 	})
 	eng.Spawn(relay.Node(), func() {
-		keep(chain.Relay(relay, addrs[0], addrs[1], stacks.handoff, &relaySt))
+		keep(chain.Relay(relay, addrs[0], addrs[1], stacks.handoff, &relaySt, relayTr))
 	})
 	var res chain.Result
 	eng.Spawn(cli.Node(), func() {
 		var err error
 		res, err = chain.Client(cli, addrs[0], stacks.handoff,
-			rounds, chainWarmup, chainKeys, chainValSize, cli.Node())
+			rounds, chainWarmup, chainKeys, chainValSize, cli.Node(), cliTr)
 		keep(err)
 	})
 	eng.Run()
@@ -124,14 +144,23 @@ func finishChain(eng *sim.Engine, stacks chainStacks, addrs [3]core.Addr,
 	if !stacks.handoff {
 		name = "catloop"
 	}
-	return chainResult{
+	r := chainResult{
 		transport: name,
 		rtt:       h,
 		relayNs:   float64(relay.Node().Busy()) / total,
 		cacheNs:   float64(cache.Node().Busy()) / total,
 		kvNs:      float64(kv.Node().Busy()) / float64(kvSt.Requests),
 		hitRate:   100 * float64(cacheSt.Hits) / float64(cacheSt.Requests),
-	}, nil
+	}
+	if tr != nil {
+		r.hists = map[string]*telemetry.Histogram{
+			"kv":     kv.Telemetry().Histogram("core.qtoken_latency_ns"),
+			"cache":  cache.Telemetry().Histogram("core.qtoken_latency_ns"),
+			"relay":  relay.Telemetry().Histogram("core.qtoken_latency_ns"),
+			"client": cli.Telemetry().Histogram("core.qtoken_latency_ns"),
+		}
+	}
+	return r, nil
 }
 
 // ChainRun is one transport's headline numbers, exported for the root
@@ -144,7 +173,7 @@ type ChainRun struct {
 // RunChain drives the service chain once over the named transport
 // ("catmem" or "catloop").
 func RunChain(transport string, rounds int) (ChainRun, error) {
-	r, err := runChain(transport, rounds)
+	r, err := runChain(transport, rounds, nil)
 	if err != nil {
 		return ChainRun{}, err
 	}
@@ -169,7 +198,7 @@ func Chain() ([]*Table, error) {
 	}
 	const rounds = 2000
 	for _, transport := range []string{"catmem", "catloop"} {
-		r, err := runChain(transport, rounds)
+		r, err := runChain(transport, rounds, nil)
 		if err != nil {
 			return nil, fmt.Errorf("chain %s: %w", transport, err)
 		}
@@ -182,4 +211,3 @@ func Chain() ([]*Table, error) {
 	}
 	return []*Table{t}, nil
 }
-

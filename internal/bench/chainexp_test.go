@@ -7,11 +7,11 @@ import "testing"
 // RTT: that gap is the whole reason the shared-memory libOS exists.
 func TestChainSmoke(t *testing.T) {
 	const rounds = 200
-	shm, err := runChain("catmem", rounds)
+	shm, err := runChain("catmem", rounds, nil)
 	if err != nil {
 		t.Fatalf("catmem: %v", err)
 	}
-	tcp, err := runChain("catloop", rounds)
+	tcp, err := runChain("catloop", rounds, nil)
 	if err != nil {
 		t.Fatalf("catloop: %v", err)
 	}

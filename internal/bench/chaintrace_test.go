@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"demikernel/internal/apps/chain"
+	"demikernel/internal/catmem"
+	"demikernel/internal/core"
+	"demikernel/internal/dtrace"
+	"demikernel/internal/faults"
+	"demikernel/internal/sim"
+)
+
+// smokeCfg samples every request so the smoke test can demand that every
+// round produced a fully stitched trace.
+var smokeCfg = dtrace.Config{SampleEvery: 1, Events: 1 << 18, Recent: 4096, Slowest: 16}
+
+const smokeRounds = 256
+
+// TestTraceSmoke is the CI trace gate: the chain runs at 100% sampling over
+// both transports, and every sampled request must stitch into a waterfall
+// that explains (almost) all of its measured RTT, with per-hop spans
+// consistent with the telemetry histograms.
+func TestTraceSmoke(t *testing.T) {
+	for _, transport := range []string{"catmem", "catloop"} {
+		t.Run(transport, func(t *testing.T) {
+			res, err := RunChainTraced(transport, smokeRounds, smokeCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("cross-check: %s", v)
+			}
+			tr := res.Tracer
+			if tr.Started() != smokeRounds || tr.Finished() != smokeRounds {
+				t.Fatalf("sampled %d started / %d finished, want %d each",
+					tr.Started(), tr.Finished(), smokeRounds)
+			}
+			if tr.Evicted() != 0 {
+				t.Fatalf("arena evicted %d events; size the smoke arena up", tr.Evicted())
+			}
+			views := tr.Assemble()
+			if len(views) != smokeRounds {
+				t.Fatalf("stitched %d views, want %d", len(views), smokeRounds)
+			}
+			minHops := 4 // client, relay, cache; kv only on cache misses
+			for _, v := range views {
+				if v.Coverage < 0.95 {
+					t.Errorf("trace %d: coverage %.3f < 0.95 (gap %dns of %dns)",
+						v.Trace, v.Coverage, v.GapNs, v.Root.Dur())
+				}
+				if got := v.CritSum(); got != v.Root.Dur() {
+					t.Errorf("trace %d: critical path sums to %dns, root is %dns",
+						v.Trace, got, v.Root.Dur())
+				}
+				hops := map[uint8]bool{}
+				for _, r := range v.Rows {
+					hops[r.Hop] = true
+				}
+				if len(hops) < minHops-1 {
+					t.Errorf("trace %d: spans from only %d hops", v.Trace, len(hops))
+				}
+			}
+		})
+	}
+}
+
+// TestTraceFaultAnnotation: a chaos fault that hits a traced request must
+// appear inside that request's waterfall — both attributed (the catmem push
+// knows its context when the RingFull window stalls it) and via the global
+// observer path (un-attributed firings attach to every temporally
+// overlapping trace).
+func TestTraceFaultAnnotation(t *testing.T) {
+	const rounds, warmup = 128, 8
+	eng := sim.NewEngine(99)
+	region := catmem.NewRegion(eng)
+	kv := region.New(eng.NewNode("kv"))
+	cache := region.New(eng.NewNode("cache"))
+	relay := region.New(eng.NewNode("relay"))
+	cli := region.New(eng.NewNode("client"))
+	tr := dtrace.New(smokeCfg)
+	kv.AttachDTrace(tr.Hop("kv"))
+	cache.AttachDTrace(tr.Hop("cache"))
+	relay.AttachDTrace(tr.Hop("relay"))
+	cli.AttachDTrace(tr.Hop("client"))
+
+	plan := faults.NewPlan(5)
+	relay.SetFaults(catmem.Faults{
+		RingFull: plan.Site("catmem.ring_full",
+			faults.Spec{After: 3 * time.Microsecond, Every: 53, Duration: 300 * time.Nanosecond, Max: 3}),
+	})
+	obsHop := tr.Hop("faults")
+	obsSite := obsHop.Label("fault:catmem.ring_full")
+	plan.SetObserver(func(name string, at sim.Time) {
+		tr.FaultAt(obsSite, int64(at))
+	})
+
+	addrs := [3]core.Addr{{Port: 1}, {Port: 2}, {Port: 3}}
+	var kvSt, cacheSt, relaySt chain.Stats
+	eng.Spawn(kv.Node(), func() {
+		if err := chain.KV(kv, addrs[2], true, chainKeys, chainValSize, &kvSt,
+			chain.Trace{Hop: tr.Hop("kv"), Clock: kv.Node()}); err != nil {
+			t.Errorf("kv: %v", err)
+		}
+	})
+	eng.Spawn(cache.Node(), func() {
+		if err := chain.Cache(cache, addrs[1], addrs[2], true, &cacheSt,
+			chain.Trace{Hop: tr.Hop("cache"), Clock: cache.Node()}); err != nil {
+			t.Errorf("cache: %v", err)
+		}
+	})
+	eng.Spawn(relay.Node(), func() {
+		if err := chain.Relay(relay, addrs[0], addrs[1], true, &relaySt,
+			chain.Trace{Hop: tr.Hop("relay"), Clock: relay.Node()}); err != nil {
+			t.Errorf("relay: %v", err)
+		}
+	})
+	var res chain.Result
+	eng.Spawn(cli.Node(), func() {
+		var err error
+		res, err = chain.Client(cli, addrs[0], true, rounds, warmup,
+			chainKeys, chainValSize, cli.Node(),
+			chain.Trace{Hop: tr.Hop("client"), Clock: cli.Node()})
+		if err != nil {
+			t.Errorf("client: %v", err)
+		}
+	})
+	eng.Run()
+
+	if fired := plan.Fired("catmem.ring_full"); fired == 0 {
+		t.Fatal("fault site never fired; the test proved nothing")
+	}
+	if res.Rounds != rounds {
+		t.Fatalf("client completed %d rounds, want %d (faults must degrade, not lose requests)", res.Rounds, rounds)
+	}
+	views := tr.Assemble()
+	annotated := 0
+	for _, v := range views {
+		if len(v.Faults) > 0 {
+			annotated++
+		}
+	}
+	if annotated == 0 {
+		t.Fatalf("%d firings, %d views, none fault-annotated", plan.Fired("catmem.ring_full"), len(views))
+	}
+	t.Logf("%d firings annotated %d of %d traces", plan.Fired("catmem.ring_full"), annotated, len(views))
+}
+
+// TestTraceDeterminism re-runs the traced chain with the same seed and
+// demands byte-identical binary exports — the dtrace analogue of the
+// telemetry dump guarantee.
+func TestTraceDeterminism(t *testing.T) {
+	for _, transport := range []string{"catmem", "catloop"} {
+		t.Run(transport, func(t *testing.T) {
+			var dumps [2][]byte
+			for i := range dumps {
+				res, err := RunChainTraced(transport, smokeRounds, smokeCfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := res.Tracer.EncodeBinary(&buf); err != nil {
+					t.Fatal(err)
+				}
+				dumps[i] = buf.Bytes()
+			}
+			if !bytes.Equal(dumps[0], dumps[1]) {
+				t.Fatalf("same-seed traced runs produced different binary exports (%d vs %d bytes)",
+					len(dumps[0]), len(dumps[1]))
+			}
+		})
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"demikernel/internal/core"
 	"demikernel/internal/costmodel"
 	"demikernel/internal/demi"
+	"demikernel/internal/dtrace"
 	"demikernel/internal/faults"
 	"demikernel/internal/memory"
 	"demikernel/internal/sim"
@@ -109,6 +110,10 @@ type LibOS struct {
 	// stallWakeAt dedupes retry wakeups while a RingFull window holds
 	// pushes parked.
 	stallWakeAt sim.Time
+
+	dt            *dtrace.Hop // distributed-trace hop; nil when untraced
+	siteRingFull  uint8       // trace label for RingFull firings
+	sitePeerDeath uint8       // trace label for PeerDeath firings
 }
 
 // New attaches a libOS instance for node to the region.
@@ -137,6 +142,17 @@ func (r *Region) New(node *sim.Node) *LibOS {
 
 // SetFaults installs the injection sites (chaos harness hook).
 func (l *LibOS) SetFaults(f Faults) { l.flts = f }
+
+// AttachDTrace connects the instance to a distributed-trace hop: redeemed
+// qtoken spans, ring push/pop instants (the zero-copy handoff, since the
+// context rides the SGArray's buffer tags through the ring), and fault
+// annotations inside affected traces. A nil hop keeps the instance untraced.
+func (l *LibOS) AttachDTrace(h *dtrace.Hop) {
+	l.dt = h
+	l.tokens.SetDTrace(h)
+	l.siteRingFull = h.Label("fault:catmem.ring_full")
+	l.sitePeerDeath = h.Label("fault:catmem.peer_death")
+}
 
 // Tokens returns the qtoken table (flight-recorder attachment, leak
 // checks).
@@ -211,12 +227,15 @@ func (c *conn) wakePeer() {
 // ones by the queue.
 func (c *conn) push(op *core.Op, sga core.SGArray) {
 	l := c.lib
+	ctx := sga.TraceCtx()
+	op.Trace(ctx)
 	if c.dead || c.closed || c.peerClosed {
 		sga.Free()
 		op.Fail(c.qd, core.OpPush, core.ErrQueueClosed)
 		return
 	}
 	if l.flts.PeerDeath.Fire(l.node.Now()) {
+		l.dt.Fault(ctx, l.sitePeerDeath, int64(l.node.Now()))
 		c.killPair()
 		sga.Free()
 		op.Fail(c.qd, core.OpPush, core.ErrQueueClosed)
@@ -224,12 +243,16 @@ func (c *conn) push(op *core.Op, sga core.SGArray) {
 	}
 	l.node.Charge(costmodel.ShmRingOp)
 	if l.flts.RingFull.Active(l.node.Now()) || !c.tx.tryPush(sga) {
+		if l.flts.RingFull.Active(l.node.Now()) {
+			l.dt.Fault(ctx, l.siteRingFull, int64(l.node.Now()))
+		}
 		l.stats.Stalls++
 		c.pushes = append(c.pushes, pendingPush{op: op, sga: sga, parkedAt: l.node.Now()})
 		l.armStallRetry()
 		return
 	}
 	l.stats.Pushes++
+	l.dt.RingPush(ctx, int64(l.node.Now()))
 	op.Complete(core.QEvent{QD: c.qd, Op: core.OpPush})
 	c.wakePeer()
 }
@@ -241,6 +264,7 @@ func (c *conn) pop(op *core.Op) {
 	l.node.Charge(costmodel.ShmRingOp)
 	if sga, ok := c.rx.tryPop(); ok {
 		l.stats.Pops++
+		l.dt.RingPop(sga.TraceCtx(), int64(l.node.Now()))
 		op.Complete(core.QEvent{QD: c.qd, Op: core.OpPop, SGA: sga})
 		c.wakePeer() // freed a slot: peer may have parked pushes
 		return
@@ -271,6 +295,7 @@ func (c *conn) step() bool {
 		c.pops = c.pops[1:]
 		l.node.Charge(costmodel.ShmRingOp)
 		l.stats.Pops++
+		l.dt.RingPop(sga.TraceCtx(), int64(l.node.Now()))
 		op.Complete(core.QEvent{QD: c.qd, Op: core.OpPop, SGA: sga})
 		c.wakePeer()
 		progress = true
@@ -299,6 +324,7 @@ func (c *conn) step() bool {
 				c.pushes = c.pushes[1:]
 				l.node.Charge(costmodel.ShmRingOp)
 				l.stats.Pushes++
+				l.dt.RingPush(p.sga.TraceCtx(), int64(l.node.Now()))
 				l.stallHist.Observe(int64(l.node.Now().Sub(p.parkedAt)))
 				p.op.Complete(core.QEvent{QD: c.qd, Op: core.OpPush})
 				c.wakePeer()
@@ -635,6 +661,7 @@ func (l *LibOS) Push(qd core.QDesc, sga core.SGArray) (core.QToken, error) {
 		return op.Token(), nil
 	case *core.MemQueue:
 		op := l.tokens.New()
+		op.Trace(sga.TraceCtx())
 		s.Push(op, sga)
 		return op.Token(), nil
 	default:

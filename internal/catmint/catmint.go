@@ -13,6 +13,7 @@ import (
 
 	"demikernel/internal/core"
 	"demikernel/internal/costmodel"
+	"demikernel/internal/dtrace"
 	"demikernel/internal/memory"
 	"demikernel/internal/rdmadev"
 	"demikernel/internal/sched"
@@ -125,6 +126,7 @@ type LibOS struct {
 	nextConnID uint32
 	reg        *telemetry.Registry
 	stats      counters
+	dt         *dtrace.Hop // distributed-trace hop; nil when untraced
 }
 
 // New builds a Catmint libOS on an RDMA NIC. The application heap registers
@@ -188,6 +190,14 @@ func (l *LibOS) Stats() Stats {
 
 // Telemetry returns the libOS's metric registry.
 func (l *LibOS) Telemetry() *telemetry.Registry { return l.reg }
+
+// AttachDTrace connects the libOS to a distributed-trace hop: redeemed
+// qtoken spans carry trace contexts stamped from pushed SGArrays (and from
+// popped messages' buffer tags on the receive side).
+func (l *LibOS) AttachDTrace(h *dtrace.Hop) {
+	l.dt = h
+	l.tokens.SetDTrace(h)
+}
 
 // SchedStats returns the per-core coroutine scheduler's counters
 // (demikernel.SchedStatser) for utilization breakdowns.

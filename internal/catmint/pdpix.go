@@ -320,10 +320,12 @@ func (l *LibOS) Push(qd core.QDesc, sga core.SGArray) (core.QToken, error) {
 			return core.InvalidQToken, core.ErrNotBound
 		}
 		op := l.tokens.New()
+		op.Trace(sga.TraceCtx())
 		s.conn.push(op, sga)
 		return op.Token(), nil
 	case *core.MemQueue:
 		op := l.tokens.New()
+		op.Trace(sga.TraceCtx())
 		s.Push(op, sga)
 		return op.Token(), nil
 	default:

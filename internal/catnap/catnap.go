@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"demikernel/internal/core"
+	"demikernel/internal/dtrace"
 	"demikernel/internal/memory"
 	"demikernel/internal/sim"
 	"demikernel/internal/telemetry"
@@ -52,6 +53,7 @@ type LibOS struct {
 	dir   string // directory for storage log files
 	stats Stats
 	reg   *telemetry.Registry
+	dt    *dtrace.Hop // distributed-trace hop; nil when untraced
 }
 
 // New builds a Catnap libOS. dir is where storage logs live ("" disables
@@ -84,6 +86,15 @@ func New(dir string) *LibOS {
 
 // Tokens returns the qtoken table (for flight-recorder attachment).
 func (l *LibOS) Tokens() *core.TokenTable { return l.tokens }
+
+// AttachDTrace connects the libOS to a distributed-trace hop: redeemed
+// qtoken spans carry trace contexts stamped from pushed SGArrays. The
+// kernel path cannot carry the context across the wire (no trailer on
+// kernel sockets), so catnap traces are single-hop.
+func (l *LibOS) AttachDTrace(h *dtrace.Hop) {
+	l.dt = h
+	l.tokens.SetDTrace(h)
+}
 
 // Telemetry returns the libOS's metric registry. Timestamps here are
 // wall-clock (Catnap runs on the real OS), so dumps are not deterministic —
@@ -489,6 +500,7 @@ func (l *LibOS) pushTo(qd core.QDesc, sga core.SGArray, to core.Addr, explicit b
 		return core.InvalidQToken, core.ErrBadQDesc
 	}
 	op := l.tokens.New()
+	op.Trace(sga.TraceCtx())
 	data := sga.Flatten()
 	switch s := q.(type) {
 	case *tcpQueue:

@@ -43,6 +43,7 @@ type pendingSend struct {
 	proto     uint8
 	transport []byte
 	payload   []byte
+	ctx       uint64 // distributed-trace context riding with the deferred frame
 	done      func(error)
 }
 
@@ -90,9 +91,9 @@ func (a *arpCache) lookup(ip wire.IPAddr) (simnet.MAC, bool) {
 // otherwise queues it and kicks resolution. done (may be nil) is called
 // with nil once the packet is on the wire, or with ErrHostUnreachable if
 // resolution fails — synchronously on the warm-cache fast path.
-func (a *arpCache) sendOrQueue(dstIP wire.IPAddr, proto uint8, transport, payload []byte, done func(error)) {
+func (a *arpCache) sendOrQueue(dstIP wire.IPAddr, proto uint8, transport, payload []byte, ctx uint64, done func(error)) {
 	if mac, ok := a.entries[dstIP]; ok {
-		a.lib.sendIPv4(mac, dstIP, proto, transport, payload)
+		a.lib.sendIPv4(mac, dstIP, proto, transport, payload, ctx)
 		if done != nil {
 			done(nil)
 		}
@@ -111,7 +112,7 @@ func (a *arpCache) sendOrQueue(dstIP wire.IPAddr, proto uint8, transport, payloa
 		a.request(dstIP)
 		a.spawnRetrier(dstIP)
 	}
-	p.sends = append(p.sends, pendingSend{dstIP, proto, transport, payload, done})
+	p.sends = append(p.sends, pendingSend{dstIP, proto, transport, payload, ctx, done})
 }
 
 // waitResolved registers a coroutine waker to fire when ip resolves; it
@@ -223,7 +224,7 @@ func (a *arpCache) flush(ip wire.IPAddr, mac simnet.MAC) {
 	}
 	delete(a.pending, ip)
 	for _, s := range p.sends {
-		a.lib.sendIPv4(mac, s.dstIP, s.proto, s.transport, s.payload)
+		a.lib.sendIPv4(mac, s.dstIP, s.proto, s.transport, s.payload, s.ctx)
 		if s.done != nil {
 			s.done(nil)
 		}

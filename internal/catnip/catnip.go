@@ -20,6 +20,7 @@ import (
 	"demikernel/internal/core"
 	"demikernel/internal/costmodel"
 	"demikernel/internal/dpdkdev"
+	"demikernel/internal/dtrace"
 	"demikernel/internal/memory"
 	"demikernel/internal/sched"
 	"demikernel/internal/sim"
@@ -141,6 +142,9 @@ type LibOS struct {
 	reg     *telemetry.Registry
 	telCwnd *telemetry.Histogram // cwnd sampled at every ack arrival
 	telOOO  *telemetry.Histogram // OOO-queue depth sampled at every insert
+
+	dt    *dtrace.Hop // distributed-trace hop; nil when untraced
+	rxCtx uint64      // trace context of the frame currently being processed
 }
 
 // New builds a Catnip libOS on a DPDK port. The heap becomes DMA-capable
@@ -222,6 +226,14 @@ func (l *LibOS) initTelemetry() {
 	}
 
 	l.heap.PublishTelemetry(l.reg, "mem")
+}
+
+// AttachDTrace connects the stack to a distributed-trace hop: redeemed
+// qtoken spans, frame tx/rx instants, and the wire trailer carrying trace
+// contexts between stacks. A nil hop keeps the stack untraced.
+func (l *LibOS) AttachDTrace(h *dtrace.Hop) {
+	l.dt = h
+	l.tokens.SetDTrace(h)
 }
 
 // Telemetry returns the stack's metric registry.
@@ -320,6 +332,16 @@ func (l *LibOS) handleIPv4(eth wire.EthHeader, payload []byte) {
 	if ip.Dst != l.cfg.IP {
 		return
 	}
+	// A trace trailer (if any) sits past the IPv4 packet, outside TotalLen:
+	// the parser never sees it. Expose the context to the protocol handlers
+	// for the duration of this frame's processing.
+	if l.dt != nil && len(payload) >= int(ip.TotalLen)+traceTrailerLen {
+		if ctx := parseTraceTrailer(payload[ip.TotalLen:]); ctx != 0 {
+			l.rxCtx = ctx
+			l.dt.WireRx(ctx, int64(l.node.Now()))
+			defer func() { l.rxCtx = 0 }()
+		}
+	}
 	switch ip.Proto {
 	case wire.ProtoUDP:
 		l.stats.RxUDP++
@@ -335,11 +357,18 @@ func (l *LibOS) handleIPv4(eth wire.EthHeader, payload []byte) {
 // --- Egress helpers ---
 
 // sendIPv4 builds and transmits one IPv4 packet with the given transport
-// header bytes and payload, to the resolved MAC dst.
-func (l *LibOS) sendIPv4(dstMAC simnet.MAC, dstIP wire.IPAddr, proto uint8, transport, payload []byte) {
+// header bytes and payload, to the resolved MAC dst. A nonzero ctx appends
+// the distributed-trace trailer past the IPv4 packet — invisible to the
+// receiving stack's parser (which trims to TotalLen) but carried by the
+// frame, so the trace context crosses the wire with the request.
+func (l *LibOS) sendIPv4(dstMAC simnet.MAC, dstIP wire.IPAddr, proto uint8, transport, payload []byte, ctx uint64) {
 	l.ipID++
 	total := wire.IPv4HeaderLen + len(transport) + len(payload)
-	frame := make([]byte, wire.EthHeaderLen+total)
+	flen := wire.EthHeaderLen + total
+	if ctx != 0 {
+		flen += traceTrailerLen
+	}
+	frame := make([]byte, flen)
 	eth := wire.EthHeader{Dst: dstMAC, Src: l.port.MAC(), EtherType: wire.EtherTypeIPv4}
 	n := eth.Marshal(frame)
 	ip := wire.IPv4Header{
@@ -353,7 +382,11 @@ func (l *LibOS) sendIPv4(dstMAC simnet.MAC, dstIP wire.IPAddr, proto uint8, tran
 	}
 	n += ip.Marshal(frame[n:])
 	n += copy(frame[n:], transport)
-	copy(frame[n:], payload)
+	n += copy(frame[n:], payload)
+	if ctx != 0 {
+		putTraceTrailer(frame[n:], ctx)
+		l.dt.WireTx(ctx, int64(l.node.Now()))
+	}
 	l.txFrame(frame)
 }
 
@@ -547,6 +580,7 @@ func (l *LibOS) pushInternal(qd core.QDesc, sga core.SGArray, to core.Addr) (cor
 		return core.InvalidQToken, core.ErrBadQDesc
 	}
 	op := l.tokens.New()
+	op.Trace(sga.TraceCtx())
 	switch s := q.(type) {
 	case *udpSocket:
 		s.push(op, sga, to)

@@ -1,0 +1,35 @@
+package catnip
+
+import "encoding/binary"
+
+// The distributed-trace wire trailer rides after the IPv4 packet, in the
+// slack between TotalLen and the frame's end: [2 magic bytes][8-byte
+// big-endian trace ID]. Receivers that know about it (this stack) peel the
+// context off before protocol dispatch; receivers that don't (a parser
+// trimming to TotalLen) never see it. Ten bytes on sampled frames only —
+// unsampled requests send byte-identical frames to an untraced build.
+const (
+	traceMagic0     = 0xD7
+	traceMagic1     = 0xCE
+	traceTrailerLen = 10
+)
+
+// putTraceTrailer writes the trailer for ctx into b (len >= traceTrailerLen).
+//
+//demi:nonalloc
+func putTraceTrailer(b []byte, ctx uint64) {
+	b[0] = traceMagic0
+	b[1] = traceMagic1
+	binary.BigEndian.PutUint64(b[2:], ctx)
+}
+
+// parseTraceTrailer returns the trace context from b, or 0 when b does not
+// start with a trailer.
+//
+//demi:nonalloc
+func parseTraceTrailer(b []byte) uint64 {
+	if len(b) < traceTrailerLen || b[0] != traceMagic0 || b[1] != traceMagic1 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b[2:])
+}

@@ -73,7 +73,7 @@ func TestRxChecksumDrop(t *testing.T) {
 		hdr := make([]byte, wire.UDPHeaderLen)
 		h.Marshal(hdr, ipA, ipB, payload)
 		payload[3] ^= 0x10
-		la.sendIPv4(lb.port.MAC(), ipB, wire.ProtoUDP, hdr, payload)
+		la.sendIPv4(lb.port.MAC(), ipB, wire.ProtoUDP, hdr, payload, 0)
 	})
 	eng.Run()
 	if got := lb.Stats().RxChecksumDrops; got != 1 {

@@ -351,13 +351,15 @@ func (c *tcpConn) transmit(seg *segment) {
 		Opt:     opt,
 	}
 	var payload []byte
+	var ctx uint64
 	if seg.buf != nil {
 		payload = seg.buf.Bytes()[seg.off : seg.off+seg.length]
+		ctx = seg.buf.TraceCtx() // the pushed buffer's trace context rides the segment
 	}
 	hdr := make([]byte, h.MarshalLen())
 	h.Marshal(hdr, c.lib.cfg.IP, c.tuple.remoteIP, payload)
 	c.lib.node.Charge(c.lib.cfg.TCPEgressCost)
-	c.lib.sendIPv4(c.remoteMAC, c.tuple.remoteIP, wire.ProtoTCP, hdr, payload)
+	c.lib.sendIPv4(c.remoteMAC, c.tuple.remoteIP, wire.ProtoTCP, hdr, payload, ctx)
 	seg.sentAt = c.lib.node.Now()
 	c.ackPending = false // data segments carry the ack
 	c.segsSinceAck = 0
@@ -380,7 +382,7 @@ func (c *tcpConn) sendPureAck() {
 	hdr := make([]byte, h.MarshalLen())
 	h.Marshal(hdr, c.lib.cfg.IP, c.tuple.remoteIP, nil)
 	c.lib.node.Charge(c.lib.cfg.TCPEgressCost)
-	c.lib.sendIPv4(c.remoteMAC, c.tuple.remoteIP, wire.ProtoTCP, hdr, nil)
+	c.lib.sendIPv4(c.remoteMAC, c.tuple.remoteIP, wire.ProtoTCP, hdr, nil, 0)
 	c.lib.stats.PureAcks++
 	c.ackPending = false
 	c.segsSinceAck = 0

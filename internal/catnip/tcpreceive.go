@@ -53,7 +53,7 @@ func (l *LibOS) sendRST(eth wire.EthHeader, ip wire.IPv4Header, h wire.TCPHeader
 	}
 	hdr := make([]byte, rst.MarshalLen())
 	rst.Marshal(hdr, l.cfg.IP, ip.Src, nil)
-	l.sendIPv4(eth.Src, ip.Src, wire.ProtoTCP, hdr, nil)
+	l.sendIPv4(eth.Src, ip.Src, wire.ProtoTCP, hdr, nil, 0)
 }
 
 // handleSyn performs the passive open: create a SYN_RCVD connection and
@@ -288,6 +288,7 @@ func (c *tcpConn) deliver(payload []byte) {
 		c.lib.stats.RxAllocDrops++
 		return
 	}
+	buf.SetTraceCtx(c.lib.rxCtx) // the frame's trace context follows its data to the app
 	c.recvQ = append(c.recvQ, buf)
 	c.recvBytes += len(payload)
 	c.rcvNxt += uint32(len(payload))
@@ -383,7 +384,7 @@ func (c *tcpConn) abort(err error) {
 		}
 		hdr := make([]byte, rst.MarshalLen())
 		rst.Marshal(hdr, c.lib.cfg.IP, c.tuple.remoteIP, nil)
-		c.lib.sendIPv4(c.remoteMAC, c.tuple.remoteIP, wire.ProtoTCP, hdr, nil)
+		c.lib.sendIPv4(c.remoteMAC, c.tuple.remoteIP, wire.ProtoTCP, hdr, nil, 0)
 	}
 	c.teardown(err)
 }

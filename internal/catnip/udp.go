@@ -106,7 +106,7 @@ func (s *udpSocket) push(op *core.Op, sga core.SGArray, to core.Addr) {
 	// the callback runs synchronously (identical behavior), and when
 	// bounded-retry resolution gives up, the push fails with
 	// ErrHostUnreachable instead of silently dropping the datagram.
-	s.lib.arp.sendOrQueue(dst.IP, wire.ProtoUDP, hdr, payload, func(err error) {
+	s.lib.arp.sendOrQueue(dst.IP, wire.ProtoUDP, hdr, payload, sga.TraceCtx(), func(err error) {
 		if err != nil {
 			op.Fail(s.qd, core.OpPush, err)
 			return
@@ -179,5 +179,6 @@ func (l *LibOS) handleUDP(ip wire.IPv4Header, body []byte) {
 		l.stats.RxAllocDrops++
 		return
 	}
+	buf.SetTraceCtx(l.rxCtx) // the frame's trace context follows its data to the app
 	s.deliver(core.Addr{IP: ip.Src, Port: h.SrcPort}, buf)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"demikernel/internal/dtrace"
 	"demikernel/internal/sim"
 	"demikernel/internal/telemetry"
 )
@@ -15,7 +16,15 @@ type Op struct {
 	tbl         *TokenTable // owning table, for lifecycle timestamps
 	issuedAt    sim.Time
 	completedAt sim.Time
+	trace       uint64 // distributed-trace context stamped by the libOS at issue
 }
+
+// Trace stamps the operation with a distributed-trace context. LibOSes call
+// it on push when the SGArray carries a sampled request's tag; pops pick the
+// context up from the delivered SGA at redeem instead.
+//
+//demi:nonalloc
+func (o *Op) Trace(ctx uint64) { o.trace = ctx }
 
 // Token returns the operation's qtoken.
 func (o *Op) Token() QToken { return o.qt }
@@ -58,6 +67,7 @@ type TokenTable struct {
 	coreID int32
 	lat    *telemetry.Histogram
 	rec    *telemetry.FlightRecorder
+	dt     *dtrace.Hop
 }
 
 // NewTokenTable returns an empty table.
@@ -78,6 +88,11 @@ func (t *TokenTable) SetLatencyHist(h *telemetry.Histogram) { t.lat = h }
 
 // SetRecorder emits a flight-recorder span for every redeemed operation.
 func (t *TokenTable) SetRecorder(r *telemetry.FlightRecorder) { t.rec = r }
+
+// SetDTrace emits a distributed-trace op span for every redeemed operation
+// that carries a trace context (stamped via Op.Trace, or riding the popped
+// SGArray). A nil hop keeps the table untraced.
+func (t *TokenTable) SetDTrace(h *dtrace.Hop) { t.dt = h }
 
 // New allocates a fresh operation and its qtoken.
 func (t *TokenTable) New() *Op {
@@ -118,6 +133,14 @@ func (t *TokenTable) TryTake(qt QToken) (QEvent, bool, error) {
 			Completed: int64(op.completedAt),
 			Redeemed:  int64(t.clock.Now()),
 		})
+	}
+	if t.dt != nil && t.clock != nil {
+		ctx := op.trace
+		if ctx == 0 {
+			ctx = op.ev.SGA.TraceCtx() // pops learn the context from the delivered data
+		}
+		t.dt.OpSpan(ctx, uint64(qt), uint8(op.ev.Op), int32(op.ev.QD),
+			int64(op.issuedAt), int64(op.completedAt), int64(t.clock.Now()))
 	}
 	return op.ev, true, nil
 }

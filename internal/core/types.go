@@ -127,3 +127,26 @@ func (s SGArray) Free() {
 		b.Free()
 	}
 }
+
+// TraceCtx returns the distributed-trace context riding with the array (the
+// first segment's tag), 0 when untraced or empty.
+//
+//demi:nonalloc
+func (s SGArray) TraceCtx() uint64 {
+	if len(s.Segs) == 0 || s.Segs[0] == nil {
+		return 0
+	}
+	return s.Segs[0].TraceCtx()
+}
+
+// SetTraceCtx tags every segment with the distributed-trace context, so the
+// tag survives whichever segment a downstream hop inspects.
+//
+//demi:nonalloc
+func (s SGArray) SetTraceCtx(ctx uint64) {
+	for _, b := range s.Segs {
+		if b != nil {
+			b.SetTraceCtx(ctx)
+		}
+	}
+}

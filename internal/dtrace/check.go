@@ -1,0 +1,84 @@
+package dtrace
+
+import (
+	"fmt"
+	"sort"
+
+	"demikernel/internal/telemetry"
+)
+
+// OpStats aggregates one hop's traced qtoken spans: how many ops dtrace saw
+// and their summed issue→complete nanoseconds.
+type OpStats struct {
+	Count uint64
+	SumNs int64
+}
+
+// OpStats returns per-hop aggregates over every KOp event in the arena,
+// keyed by hop id. Export-time only.
+func (t *Tracer) OpStats() map[uint8]OpStats {
+	out := make(map[uint8]OpStats)
+	if t == nil {
+		return out
+	}
+	for _, e := range t.Events() {
+		if e.Kind != KOp {
+			continue
+		}
+		s := out[e.Hop]
+		s.Count++
+		s.SumNs += e.T1 - e.T0
+		out[e.Hop] = s
+	}
+	return out
+}
+
+// CrossCheck validates the tracer's per-hop op spans against the telemetry
+// latency histograms observing the same libOSes. The histogram sees every
+// operation's issue→complete latency; dtrace sees only the sampled subset —
+// so the traced count and summed nanoseconds must be subset bounds (<=) of
+// the histogram's, and no traced span may run backwards. Returns one
+// human-readable violation per inconsistency; empty means the trace's
+// critical-path accounting is consistent with telemetry.
+//
+// hists maps hop name (as registered with Tracer.Hop) to that libOS's
+// "core.qtoken_latency_ns" histogram; hops with no entry are skipped.
+func CrossCheck(t *Tracer, hists map[string]*telemetry.Histogram) []string {
+	var violations []string
+	if t == nil {
+		return violations
+	}
+	for _, e := range t.Events() {
+		if e.Kind == KOp && (e.T1 < e.T0 || e.T2 < e.T1) {
+			violations = append(violations,
+				fmt.Sprintf("hop %s trace %d token %d: op span runs backwards (issued=%d completed=%d redeemed=%d)",
+					t.Name(e.Hop), e.Trace, e.Token, e.T0, e.T1, e.T2))
+		}
+	}
+	stats := t.OpStats()
+	hops := make([]int, 0, len(stats))
+	for hop := range stats {
+		hops = append(hops, int(hop))
+	}
+	sort.Ints(hops)
+	for _, hi := range hops {
+		hop := uint8(hi)
+		name := t.Name(hop)
+		h, ok := hists[name]
+		if !ok || h == nil {
+			continue
+		}
+		s := stats[hop]
+		if s.Count > h.Count() {
+			violations = append(violations,
+				fmt.Sprintf("hop %s: dtrace saw %d op spans but telemetry observed only %d ops",
+					name, s.Count, h.Count()))
+		}
+		if s.SumNs > h.Sum() {
+			violations = append(violations,
+				fmt.Sprintf("hop %s: dtrace op-span sum %dns exceeds telemetry histogram sum %dns",
+					name, s.SumNs, h.Sum()))
+		}
+	}
+	return violations
+}

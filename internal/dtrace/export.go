@@ -1,0 +1,279 @@
+package dtrace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Binary trace format: a fixed header, the name registry, the counters,
+// then fixed-width event and root records, everything big-endian. The
+// encoding is a pure function of tracer state, and tracer state is a pure
+// function of the seed — so same-seed runs export byte-identical traces
+// (asserted by the CI trace smoke job).
+var binMagic = [5]byte{'D', 'T', 'R', 'C', 1}
+
+const (
+	binEventSize = 47 // 5*8 (Trace,Token,T0,T1,T2) + 4 (QD) + 3 (Kind,Hop,Label)
+	binRootSize  = 24 // Trace + Start + End
+)
+
+// EncodeBinary writes the tracer's retained state: names, counters, the
+// event arena in recording order, and the retention tables.
+func (t *Tracer) EncodeBinary(w io.Writer) error {
+	if _, err := w.Write(binMagic[:]); err != nil {
+		return err
+	}
+	var scratch [8]byte
+	u32 := func(v uint32) error {
+		binary.BigEndian.PutUint32(scratch[:4], v)
+		_, err := w.Write(scratch[:4])
+		return err
+	}
+	u64 := func(v uint64) error {
+		binary.BigEndian.PutUint64(scratch[:8], v)
+		_, err := w.Write(scratch[:8])
+		return err
+	}
+	if err := u32(uint32(len(t.names))); err != nil {
+		return err
+	}
+	for _, n := range t.names {
+		if err := u32(uint32(len(n))); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, n); err != nil {
+			return err
+		}
+	}
+	for _, v := range [5]uint64{t.sampleEvery, t.started, t.finished, t.evicted, t.lastID} {
+		if err := u64(v); err != nil {
+			return err
+		}
+	}
+	events := t.Events()
+	if err := u32(uint32(len(events))); err != nil {
+		return err
+	}
+	var rec [binEventSize]byte
+	for _, e := range events {
+		binary.BigEndian.PutUint64(rec[0:], e.Trace)
+		binary.BigEndian.PutUint64(rec[8:], e.Token)
+		binary.BigEndian.PutUint64(rec[16:], uint64(e.T0))
+		binary.BigEndian.PutUint64(rec[24:], uint64(e.T1))
+		binary.BigEndian.PutUint64(rec[32:], uint64(e.T2))
+		binary.BigEndian.PutUint32(rec[40:], uint32(e.QD))
+		rec[44] = e.Kind
+		rec[45] = e.Hop
+		rec[46] = e.Label
+		if _, err := w.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	writeRoots := func(roots []Root) error {
+		if err := u32(uint32(len(roots))); err != nil {
+			return err
+		}
+		var rr [binRootSize]byte
+		for _, r := range roots {
+			binary.BigEndian.PutUint64(rr[0:], r.Trace)
+			binary.BigEndian.PutUint64(rr[8:], uint64(r.Start))
+			binary.BigEndian.PutUint64(rr[16:], uint64(r.End))
+			if _, err := w.Write(rr[:]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := writeRoots(t.Recent()); err != nil {
+		return err
+	}
+	return writeRoots(t.Slowest(0))
+}
+
+// DecodeBinary reconstructs a tracer from EncodeBinary output, sufficient
+// for querying: Assemble, Name, Recent, Slowest all work on the result.
+func DecodeBinary(r io.Reader) (*Tracer, error) {
+	var magic [5]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("dtrace: reading magic: %w", err)
+	}
+	if magic != binMagic {
+		return nil, fmt.Errorf("dtrace: bad magic %q (version mismatch?)", magic[:])
+	}
+	var scratch [8]byte
+	u32 := func() (uint32, error) {
+		if _, err := io.ReadFull(r, scratch[:4]); err != nil {
+			return 0, err
+		}
+		return binary.BigEndian.Uint32(scratch[:4]), nil
+	}
+	u64 := func() (uint64, error) {
+		if _, err := io.ReadFull(r, scratch[:8]); err != nil {
+			return 0, err
+		}
+		return binary.BigEndian.Uint64(scratch[:8]), nil
+	}
+	nNames, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if nNames > 256 {
+		return nil, fmt.Errorf("dtrace: corrupt name count %d", nNames)
+	}
+	names := make([]string, 0, nNames)
+	for i := uint32(0); i < nNames; i++ {
+		ln, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		if ln > 4096 {
+			return nil, fmt.Errorf("dtrace: corrupt name length %d", ln)
+		}
+		b := make([]byte, ln)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, err
+		}
+		names = append(names, string(b))
+	}
+	t := &Tracer{names: names}
+	var ctrs [5]uint64
+	for i := range ctrs {
+		if ctrs[i], err = u64(); err != nil {
+			return nil, err
+		}
+	}
+	t.sampleEvery, t.started, t.finished, t.evicted, t.lastID = ctrs[0], ctrs[1], ctrs[2], ctrs[3], ctrs[4]
+	nEvents, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	t.events = make([]Event, nEvents)
+	var rec [binEventSize]byte
+	for i := uint32(0); i < nEvents; i++ {
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			return nil, err
+		}
+		e := &t.events[i]
+		e.Trace = binary.BigEndian.Uint64(rec[0:])
+		e.Token = binary.BigEndian.Uint64(rec[8:])
+		e.T0 = int64(binary.BigEndian.Uint64(rec[16:]))
+		e.T1 = int64(binary.BigEndian.Uint64(rec[24:]))
+		e.T2 = int64(binary.BigEndian.Uint64(rec[32:]))
+		e.QD = int32(binary.BigEndian.Uint32(rec[40:]))
+		e.Kind = rec[44]
+		e.Hop = rec[45]
+		e.Label = rec[46]
+	}
+	// Mark the arena as exactly full (next=0, wrapped) so Events() returns
+	// every decoded record in order; decoded tracers are read-only.
+	t.next = 0
+	t.wrapped = nEvents > 0
+	readRoots := func() ([]Root, error) {
+		n, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		roots := make([]Root, n)
+		var rr [binRootSize]byte
+		for i := uint32(0); i < n; i++ {
+			if _, err := io.ReadFull(r, rr[:]); err != nil {
+				return nil, err
+			}
+			roots[i].Trace = binary.BigEndian.Uint64(rr[0:])
+			roots[i].Start = int64(binary.BigEndian.Uint64(rr[8:]))
+			roots[i].End = int64(binary.BigEndian.Uint64(rr[16:]))
+		}
+		return roots, nil
+	}
+	recent, err := readRoots()
+	if err != nil {
+		return nil, err
+	}
+	t.recent = recent
+	t.rnext = 0
+	t.rwrapped = len(recent) > 0
+	slow, err := readRoots()
+	if err != nil {
+		return nil, err
+	}
+	t.slow = slow
+	return t, nil
+}
+
+// WriteChromeJSON exports every assembled view as Chrome trace_event JSON
+// (load in chrome://tracing or Perfetto): one process per trace, one
+// thread per hop, complete ("X") events for rows, instant ("i") events for
+// faults. Timestamps are microseconds relative to each trace's root start.
+// Output is deterministic: traces ascending, rows in stitched order.
+func (t *Tracer) WriteChromeJSON(w io.Writer) error {
+	views := t.Assemble()
+	ids := make([]uint64, 0, len(views))
+	for id := range views {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(format string, args ...any) error {
+		if !first {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	for _, id := range ids {
+		v := views[id]
+		if err := emit(`{"name":"process_name","ph":"M","pid":%d,"args":{"name":"trace %d (%s)"}}`,
+			id, id, t.Name(v.RootHop)); err != nil {
+			return err
+		}
+		named := make(map[uint8]bool)
+		nameThread := func(hop uint8) error {
+			if named[hop] {
+				return nil
+			}
+			named[hop] = true
+			return emit(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%q}}`,
+				id, hop, t.Name(hop))
+		}
+		if err := nameThread(v.RootHop); err != nil {
+			return err
+		}
+		if err := emit(`{"name":"request","cat":"root","ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d}`,
+			0.0, us(v.Root.Dur()), id, v.RootHop); err != nil {
+			return err
+		}
+		for _, r := range v.Rows {
+			if err := nameThread(r.Hop); err != nil {
+				return err
+			}
+			label := r.Label
+			if r.ToHop != r.Hop {
+				label = label + " to " + t.Name(r.ToHop)
+			}
+			if err := emit(`{"name":%q,"cat":%q,"ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d}`,
+				label, RowClassName(r.Class), us(r.From-v.Root.Start), us(r.Dur()), id, r.Hop); err != nil {
+				return err
+			}
+		}
+		for _, f := range v.Faults {
+			if err := nameThread(f.Hop); err != nil {
+				return err
+			}
+			if err := emit(`{"name":%q,"cat":"fault","ph":"i","s":"p","ts":%.3f,"pid":%d,"tid":%d}`,
+				t.Name(f.Site), us(f.At-v.Root.Start), id, f.Hop); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "\n]\n")
+	return err
+}

@@ -50,12 +50,18 @@ type Spec struct {
 	Duration time.Duration
 }
 
+// An Observer is notified of every site firing: the site's name and the
+// virtual-time instant. The distributed tracer hooks in here so chaos
+// faults appear inside the traces of the requests they hit.
+type Observer func(name string, at sim.Time)
+
 // A Plan is one seeded fault schedule: a namespace of sites plus the
 // telemetry registry that records, deterministically, how often each fired.
 type Plan struct {
 	seed  uint64
 	reg   *telemetry.Registry
 	sites map[string]*Site
+	obs   Observer
 }
 
 // NewPlan returns an empty plan. Every site minted from it derives its
@@ -87,9 +93,20 @@ func (p *Plan) Site(name string, spec Spec) *Site {
 		spec:  spec,
 		rng:   sim.NewRand(p.seed ^ hashName(name)),
 		fired: p.reg.Counter("faults." + name),
+		obs:   p.obs,
 	}
 	p.sites[name] = s
 	return s
+}
+
+// SetObserver installs fn on every current and future site of the plan.
+// Observation is passive — it never changes whether or when faults fire,
+// so an observed plan replays identically to an unobserved one.
+func (p *Plan) SetObserver(fn Observer) {
+	p.obs = fn
+	for _, s := range p.sites {
+		s.obs = fn
+	}
 }
 
 // Fired returns how many times the named site has fired (0 for unknown
@@ -119,6 +136,7 @@ type Site struct {
 	spec    Spec
 	rng     *sim.Rand
 	fired   *telemetry.Counter
+	obs     Observer
 	ops     uint64
 	count   uint64
 	openEnd sim.Time
@@ -186,6 +204,9 @@ func (s *Site) Fire(now sim.Time) bool {
 	if hit {
 		s.count++
 		s.fired.Inc()
+		if s.obs != nil {
+			s.obs(s.name, now)
+		}
 	}
 	return hit
 }

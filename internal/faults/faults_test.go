@@ -132,3 +132,49 @@ func TestTelemetryCounters(t *testing.T) {
 		t.Fatal("faults.rnic.qperr counter missing from snapshot")
 	}
 }
+
+// TestObserver: an installed observer sees every firing (name and instant),
+// reaches sites registered before and after installation, and never changes
+// whether or when faults fire — an observed plan replays identically to an
+// unobserved same-seed plan.
+func TestObserver(t *testing.T) {
+	run := func(observe bool) ([]bool, []sim.Time) {
+		p := NewPlan(11)
+		early := p.Site("dpdk.corrupt", Spec{Prob: 0.2})
+		var seen []sim.Time
+		if observe {
+			p.SetObserver(func(name string, at sim.Time) {
+				if name != "dpdk.corrupt" && name != "spdk.ioerr" {
+					t.Errorf("observer saw unknown site %q", name)
+				}
+				seen = append(seen, at)
+			})
+		}
+		late := p.Site("spdk.ioerr", Spec{Every: 5})
+		var seq []bool
+		for i := 0; i < 200; i++ {
+			seq = append(seq, early.Fire(sim.Time(i)))
+			seq = append(seq, late.Fire(sim.Time(i)))
+		}
+		return seq, seen
+	}
+	plain, _ := run(false)
+	observed, seen := run(true)
+	for i := range plain {
+		if plain[i] != observed[i] {
+			t.Fatalf("observation perturbed the firing sequence at op %d", i)
+		}
+	}
+	fired := 0
+	for _, f := range observed {
+		if f {
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Fatal("no faults fired; the test proved nothing")
+	}
+	if len(seen) != fired {
+		t.Fatalf("observer saw %d firings, sites fired %d", len(seen), fired)
+	}
+}

@@ -11,7 +11,23 @@ type Buf struct {
 	sb   *superblock
 	idx  int
 	data []byte
+	// trace is the distributed-trace context riding with the buffer: catmem
+	// hands it to the popper with the zero-copy ownership transfer, the
+	// network stacks echo it through a wire trailer. Zero means untraced.
+	// It is a plain uint64 (not a dtrace type) so memory stays importable
+	// from everywhere.
+	trace uint64
 }
+
+// SetTraceCtx tags the buffer with a distributed-trace context (0 clears).
+//
+//demi:nonalloc
+func (b *Buf) SetTraceCtx(ctx uint64) { b.trace = ctx }
+
+// TraceCtx returns the buffer's distributed-trace context, 0 if untraced.
+//
+//demi:nonalloc
+func (b *Buf) TraceCtx() uint64 { return b.trace }
 
 // Bytes returns the buffer's contents. The application must not modify a
 // buffer while it is pushed (UAF protection does not include

@@ -193,6 +193,7 @@ func (h *Heap) TryAlloc(size int) (*Buf, error) {
 	sb.appRef |= 1 << uint(idx)
 	b := &sb.bufs[idx]
 	b.data = sb.arena[idx*sb.class : idx*sb.class+size]
+	b.trace = 0 // slots are recycled; a stale trace tag must not leak across owners
 	h.stats.Live++
 	if sb.freeHead < 0 {
 		h.dropPartial(sb)

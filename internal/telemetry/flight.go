@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -186,4 +187,58 @@ func (f *FlightRecorder) WriteDump(w io.Writer) {
 			i+1, s.Token, s.Core, OpName(s.Op), s.QD,
 			micros(s.Issued), micros(s.InOS()), micros(s.RedeemDelay()), micros(s.Total()))
 	}
+}
+
+// jsonSpan is one span in the machine-readable dump: identity, raw
+// timestamps, and the derived per-stage split (all nanoseconds).
+type jsonSpan struct {
+	Token     uint64 `json:"token"`
+	Core      int32  `json:"core"`
+	Op        string `json:"op"`
+	QD        int32  `json:"qd"`
+	Issued    int64  `json:"issued_ns"`
+	Completed int64  `json:"completed_ns"`
+	Redeemed  int64  `json:"redeemed_ns"`
+	InOS      int64  `json:"in_os_ns"`
+	Redeem    int64  `json:"redeem_ns"`
+	Total     int64  `json:"total_ns"`
+}
+
+func toJSONSpan(s Span) jsonSpan {
+	return jsonSpan{
+		Token: s.Token, Core: s.Core, Op: OpName(s.Op), QD: s.QD,
+		Issued: s.Issued, Completed: s.Completed, Redeemed: s.Redeemed,
+		InOS: s.InOS(), Redeem: s.RedeemDelay(), Total: s.Total(),
+	}
+}
+
+// jsonFlight mirrors WriteDump's content as JSON.
+type jsonFlight struct {
+	Total    uint64     `json:"total_spans"`
+	Retained int        `json:"retained"`
+	Recent   []jsonSpan `json:"recent"`
+	Slowest  []jsonSpan `json:"slowest"`
+}
+
+// WriteDumpJSON renders the recorder as JSON: the retained recent spans in
+// recording order plus the slowest table, each span with its per-stage
+// split. Deterministic for deterministic inputs, like WriteDump.
+func (f *FlightRecorder) WriteDumpJSON(w io.Writer) error {
+	spans := f.Spans()
+	slow := f.Slowest()
+	out := jsonFlight{
+		Total:    f.total,
+		Retained: len(spans),
+		Recent:   make([]jsonSpan, 0, len(spans)),
+		Slowest:  make([]jsonSpan, 0, len(slow)),
+	}
+	for _, s := range spans {
+		out.Recent = append(out.Recent, toJSONSpan(s))
+	}
+	for _, s := range slow {
+		out.Slowest = append(out.Slowest, toJSONSpan(s))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }

@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// span builds a test span whose total latency is total ns.
+func span(token uint64, total int64) Span {
+	return Span{Token: token, Op: OpPop, Issued: 0, Completed: total / 2, Redeemed: total}
+}
+
+// TestSlowestTieBreaking: equal totals order by token ascending, so the
+// slowest table is deterministic regardless of recording order.
+func TestSlowestTieBreaking(t *testing.T) {
+	f := NewFlightRecorder(16, 4)
+	for _, tok := range []uint64{9, 3, 7, 5} {
+		f.Record(span(tok, 100))
+	}
+	slow := f.Slowest()
+	if len(slow) != 4 {
+		t.Fatalf("retained %d slowest, want 4", len(slow))
+	}
+	for i, want := range []uint64{3, 5, 7, 9} {
+		if slow[i].Token != want {
+			t.Errorf("slowest[%d].Token = %d, want %d", i, slow[i].Token, want)
+		}
+	}
+}
+
+// TestSlowestTiesKeepEarlier: once the top-k table is full, a later span
+// that merely ties the current minimum must not displace it (strict >).
+func TestSlowestTiesKeepEarlier(t *testing.T) {
+	f := NewFlightRecorder(16, 2)
+	f.Record(span(1, 300))
+	f.Record(span(2, 100)) // table full; current min is token 2 at 100ns
+	f.Record(span(3, 100)) // ties the min: must be dropped
+	slow := f.Slowest()
+	if len(slow) != 2 || slow[0].Token != 1 || slow[1].Token != 2 {
+		t.Fatalf("slowest = %+v, want tokens [1 2] (tie keeps the earlier span)", slow)
+	}
+	f.Record(span(4, 101)) // strictly slower: must evict token 2
+	slow = f.Slowest()
+	if len(slow) != 2 || slow[0].Token != 1 || slow[1].Token != 4 {
+		t.Fatalf("slowest = %+v, want tokens [1 4] after strict improvement", slow)
+	}
+}
+
+// TestRingWraparound: the recent ring keeps exactly the last capacity spans
+// in recording order after wrapping, and Total still counts everything.
+func TestRingWraparound(t *testing.T) {
+	const capacity = 4
+	f := NewFlightRecorder(capacity, 1)
+	for tok := uint64(1); tok <= 10; tok++ {
+		f.Record(span(tok, int64(tok)*10))
+	}
+	if f.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", f.Total())
+	}
+	spans := f.Spans()
+	if len(spans) != capacity {
+		t.Fatalf("retained %d spans, want %d", len(spans), capacity)
+	}
+	for i, want := range []uint64{7, 8, 9, 10} {
+		if spans[i].Token != want {
+			t.Errorf("spans[%d].Token = %d, want %d (oldest-first order)", i, spans[i].Token, want)
+		}
+	}
+}
+
+// TestRingExactFill: recording exactly capacity spans must not be confused
+// with an empty wrapped ring (next returns to 0 in both cases).
+func TestRingExactFill(t *testing.T) {
+	f := NewFlightRecorder(3, 1)
+	for tok := uint64(1); tok <= 3; tok++ {
+		f.Record(span(tok, 10))
+	}
+	spans := f.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("retained %d spans at exact fill, want 3", len(spans))
+	}
+	for i, want := range []uint64{1, 2, 3} {
+		if spans[i].Token != want {
+			t.Errorf("spans[%d].Token = %d, want %d", i, spans[i].Token, want)
+		}
+	}
+}
+
+// TestFlightDumpJSON: the JSON dump parses, carries the same counts as the
+// recorder, and is byte-identical across renders of the same state.
+func TestFlightDumpJSON(t *testing.T) {
+	f := NewFlightRecorder(8, 2)
+	for tok := uint64(1); tok <= 5; tok++ {
+		f.Record(span(tok, int64(tok)*100))
+	}
+	var a, b bytes.Buffer
+	if err := f.WriteDumpJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteDumpJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same-state JSON dumps differ")
+	}
+	var got struct {
+		Total    uint64 `json:"total_spans"`
+		Retained int    `json:"retained"`
+		Recent   []struct {
+			Token   uint64 `json:"token"`
+			Op      string `json:"op"`
+			TotalNs int64  `json:"total_ns"`
+		} `json:"recent"`
+		Slowest []struct {
+			Token uint64 `json:"token"`
+		} `json:"slowest"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &got); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if got.Total != 5 || got.Retained != 5 || len(got.Recent) != 5 {
+		t.Fatalf("JSON counts = %d/%d/%d, want 5 each", got.Total, got.Retained, len(got.Recent))
+	}
+	if len(got.Slowest) != 2 || got.Slowest[0].Token != 5 || got.Slowest[1].Token != 4 {
+		t.Fatalf("JSON slowest = %+v, want tokens [5 4]", got.Slowest)
+	}
+	if got.Recent[0].Op != "pop" || got.Recent[0].TotalNs != 100 {
+		t.Fatalf("JSON span fields = %+v", got.Recent[0])
+	}
+}

@@ -73,6 +73,11 @@ func (h *Histogram) Observe(v int64) {
 // Count returns the number of recorded values.
 func (h *Histogram) Count() uint64 { return h.count }
 
+// Sum returns the exact sum of recorded values (post-clamping). Exposed so
+// cross-checks (e.g. dtrace critical-path accounting vs telemetry) can
+// bound sampled sums against the full population.
+func (h *Histogram) Sum() int64 { return h.sum }
+
 // snapshot copies the histogram into its export form.
 func (h *Histogram) snapshot(name string) HistVal {
 	hv := HistVal{Name: name, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,

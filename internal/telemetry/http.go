@@ -8,6 +8,7 @@ import "net/http"
 //	/metrics       Prometheus text format
 //	/metrics.json  JSON snapshots
 //	/flight        flight-recorder dump (text)
+//	/flight.json   flight-recorder dump (JSON)
 //
 // snap is called per request to collect fresh snapshots; fr may be nil.
 // This is explicitly opt-in for real-OS servers: the handler reads metrics
@@ -33,6 +34,14 @@ func NewHandler(snap func() []*Snapshot, fr *FlightRecorder) http.Handler {
 			return
 		}
 		fr.WriteDump(w)
+	})
+	mux.HandleFunc("/flight.json", func(w http.ResponseWriter, r *http.Request) {
+		if fr == nil {
+			http.Error(w, "no flight recorder attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = fr.WriteDumpJSON(w)
 	})
 	return mux
 }
