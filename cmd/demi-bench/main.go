@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	demi-bench [-json] [-telemetry] table2|table3|fig5|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|fig12|chain|ablation|scaleout|chaos|all
+//	demi-bench [-json] [-telemetry] table2|table3|fig5|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|fig12|chain|ablation|scaleout|rack|chaos|all
 //
 // Flags may appear before or after the experiment name:
 //
@@ -51,6 +51,7 @@ func main() {
 		{"chain", bench.Chain},
 		{"ablation", bench.Ablations},
 		{"scaleout", bench.ScaleOut},
+		{"rack", bench.Rack},
 		{"chaos", bench.Chaos},
 	}
 	var jsonOut, telemetryOut bool

@@ -119,6 +119,13 @@ func TestDeterminismFixture(t *testing.T) {
 	runFixture(t, "determfix", DeterminismAnalyzer([]string{"determfix"}))
 }
 
+// TestRackFixture pins the determinism contract over the rack subsystem's
+// temptations: wall-clock placement stamps, math/rand tie breaking, and
+// map-ordered telemetry output.
+func TestRackFixture(t *testing.T) {
+	runFixture(t, "rackfix", DeterminismAnalyzer([]string{"rackfix"}))
+}
+
 func TestNonAllocFixture(t *testing.T) {
 	runFixture(t, "nonallocfix", NonAllocAnalyzer())
 }

@@ -37,6 +37,8 @@ var defaultDeterministicPkgs = []string{
 	"/internal/dpdkdev",
 	"/internal/rdmadev",
 	"/internal/spdkdev",
+	"/internal/multicore",
+	"/internal/rack",
 }
 
 // bannedTimeFuncs are the time-package entry points that read or depend on

@@ -1,0 +1,38 @@
+// Package rackfix seeds the determinism violations a rack-scale scheduler
+// is most tempted by: wall-clock placement timestamps, math/rand tie
+// breaking, and map-ordered telemetry dumps (run with a DeterminismConfig
+// that includes "rackfix").
+package rackfix
+
+import (
+	"fmt"
+	"time"
+)
+
+// placements tracks per-server request counts, keyed by server name.
+var placements = map[string]int{}
+
+func placeAt() int64 {
+	return time.Now().UnixNano() // want `sim-world code calls time.Now`
+}
+
+func decideAfter() {
+	time.Sleep(50 * time.Microsecond) // want `sim-world code calls time.Sleep`
+}
+
+func dumpPlacements() {
+	for s, n := range placements { // want `map iteration order feeds fmt.Printf`
+		fmt.Printf("%s=%d\n", s, n)
+	}
+}
+
+func totalPlacedOK() int {
+	total := 0
+	for _, n := range placements {
+		total += n // order-independent aggregation is fine
+	}
+	return total
+}
+
+// trackedLoadOK mirrors the real ToR: deterministic state, no clock reads.
+func trackedLoadOK(tracked []uint32, s int) uint32 { return tracked[s] }

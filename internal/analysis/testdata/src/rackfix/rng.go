@@ -1,0 +1,6 @@
+package rackfix
+
+import "math/rand" // want `sim-world package imports math/rand`
+
+// tieBreak is the classic nondeterministic power-of-k mistake.
+func tieBreak(n int) int { return rand.Intn(n) }

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"demikernel/internal/rack"
+	"demikernel/internal/reqsched"
+)
+
+// smokeRackOpts is a topology small enough for -race CI.
+func smokeRackOpts(seed uint64) RackOpts {
+	return RackOpts{
+		Servers:        4,
+		CoresPerServer: 2,
+		Clients:        8,
+		Requests:       50,
+		MeanThink:      2 * time.Microsecond,
+		MaxSize:        32 << 10,
+		Reserved:       1,
+		Seed:           seed,
+	}
+}
+
+// TestRackSmoke drives the two-layer rack at small scale across three
+// seeds, and asserts replay byte-identity: the same seed reruns to the
+// same telemetry text and the same latency stream.
+func TestRackSmoke(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		opts := smokeRackOpts(seed)
+		a, err := runRack(opts, rack.PowerOfK{K: 2}, reqsched.DARC{Reserved: opts.Reserved})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		total := opts.Clients * opts.Requests
+		if got := len(a.ShortLats) + len(a.LongLats); got != total {
+			t.Fatalf("seed %d: completed %d of %d requests", seed, got, total)
+		}
+		if a.Resyncs == 0 {
+			t.Fatalf("seed %d: ToR absorbed no load trailers", seed)
+		}
+		b, err := runRack(opts, rack.PowerOfK{K: 2}, reqsched.DARC{Reserved: opts.Reserved})
+		if err != nil {
+			t.Fatalf("seed %d replay: %v", seed, err)
+		}
+		if a.TelemetryText != b.TelemetryText {
+			t.Errorf("seed %d: replay telemetry not byte-identical", seed)
+		}
+		if len(a.ShortLats) != len(b.ShortLats) {
+			t.Fatalf("seed %d: replay diverged in request accounting", seed)
+		}
+		for i := range a.ShortLats {
+			if a.ShortLats[i] != b.ShortLats[i] {
+				t.Fatalf("seed %d: replay diverged at short latency %d", seed, i)
+			}
+		}
+	}
+}
+
+// TestRackTablesRender: the full sweep produces both tables with a row per
+// policy-matrix cell.
+func TestRackTablesRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full rack sweep in -short mode")
+	}
+	tables, err := Rack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("Rack() returned %d tables, want 2", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) != 6 {
+			t.Errorf("table %q has %d rows, want 6", tb.Title, len(tb.Rows))
+		}
+	}
+}

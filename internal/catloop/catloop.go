@@ -31,12 +31,19 @@ type Hub struct {
 	latency time.Duration
 	devs    []*loopDev
 	libs    []*LibOS
+	tap     func(frame []byte)
 }
 
 // NewHub returns an empty loopback hub on eng.
 func NewHub(eng *sim.Engine) *Hub {
 	return &Hub{eng: eng, latency: costmodel.LoopbackWire}
 }
+
+// SetTap installs fn to observe every frame at the instant the hub delivers
+// it to a peer's receive queue — the loopback wire's equivalent of a port
+// mirror. Tests use it to assert what actually crosses the wire (e.g. that
+// load/trace trailers survive the hop intact). A nil fn removes the tap.
+func (h *Hub) SetTap(fn func(frame []byte)) { h.tap = fn }
 
 // loopDev adapts the hub to catnip.Device: one rx queue of raw frames,
 // filled by peers' TxBursts.
@@ -104,6 +111,9 @@ func (d *loopDev) TxBurst(frames [][]byte) int {
 func (p *loopDev) deliver(frame []byte) {
 	h := p.hub
 	h.eng.At(h.eng.Now().Add(h.latency), p.node, func() {
+		if h.tap != nil {
+			h.tap(frame)
+		}
 		p.rxq = append(p.rxq, frame)
 	})
 }

@@ -145,7 +145,15 @@ type LibOS struct {
 
 	dt    *dtrace.Hop // distributed-trace hop; nil when untraced
 	rxCtx uint64      // trace context of the frame currently being processed
+
+	loadProbe LoadProbe // nil unless this stack piggybacks load (rack servers)
 }
+
+// A LoadProbe supplies the RackSched-style load signal a server stack
+// piggybacks on every frame it transmits: the server's identity and its
+// instantaneous outstanding-request count. The stack calls it at frame-build
+// time, so the trailer always carries the load at the moment the reply left.
+type LoadProbe func() (server uint16, outstanding uint32)
 
 // New builds a Catnip libOS on a DPDK port. The heap becomes DMA-capable
 // for the port (the DPDK mempool model: registration is a no-op cookie).
@@ -235,6 +243,12 @@ func (l *LibOS) AttachDTrace(h *dtrace.Hop) {
 	l.dt = h
 	l.tokens.SetDTrace(h)
 }
+
+// SetLoadProbe makes the stack append the load-tracking wire trailer
+// (wire.PutLoadTrailer) to every IPv4 frame it transmits. Rack servers
+// install one so the ToR switch model reads their instantaneous load off
+// reply frames; a nil probe (the default) keeps frames trailer-free.
+func (l *LibOS) SetLoadProbe(p LoadProbe) { l.loadProbe = p }
 
 // Telemetry returns the stack's metric registry.
 func (l *LibOS) Telemetry() *telemetry.Registry { return l.reg }
@@ -335,8 +349,8 @@ func (l *LibOS) handleIPv4(eth wire.EthHeader, payload []byte) {
 	// A trace trailer (if any) sits past the IPv4 packet, outside TotalLen:
 	// the parser never sees it. Expose the context to the protocol handlers
 	// for the duration of this frame's processing.
-	if l.dt != nil && len(payload) >= int(ip.TotalLen)+traceTrailerLen {
-		if ctx := parseTraceTrailer(payload[ip.TotalLen:]); ctx != 0 {
+	if l.dt != nil && len(payload) >= int(ip.TotalLen)+wire.TraceTrailerLen {
+		if ctx := wire.ParseTraceTrailer(payload[ip.TotalLen:]); ctx != 0 {
 			l.rxCtx = ctx
 			l.dt.WireRx(ctx, int64(l.node.Now()))
 			defer func() { l.rxCtx = 0 }()
@@ -366,7 +380,10 @@ func (l *LibOS) sendIPv4(dstMAC simnet.MAC, dstIP wire.IPAddr, proto uint8, tran
 	total := wire.IPv4HeaderLen + len(transport) + len(payload)
 	flen := wire.EthHeaderLen + total
 	if ctx != 0 {
-		flen += traceTrailerLen
+		flen += wire.TraceTrailerLen
+	}
+	if l.loadProbe != nil {
+		flen += wire.LoadTrailerLen
 	}
 	frame := make([]byte, flen)
 	eth := wire.EthHeader{Dst: dstMAC, Src: l.port.MAC(), EtherType: wire.EtherTypeIPv4}
@@ -384,8 +401,13 @@ func (l *LibOS) sendIPv4(dstMAC simnet.MAC, dstIP wire.IPAddr, proto uint8, tran
 	n += copy(frame[n:], transport)
 	n += copy(frame[n:], payload)
 	if ctx != 0 {
-		putTraceTrailer(frame[n:], ctx)
+		wire.PutTraceTrailer(frame[n:], ctx)
 		l.dt.WireTx(ctx, int64(l.node.Now()))
+		n += wire.TraceTrailerLen
+	}
+	if l.loadProbe != nil {
+		id, load := l.loadProbe()
+		wire.PutLoadTrailer(frame[n:], id, load)
 	}
 	l.txFrame(frame)
 }

@@ -181,6 +181,10 @@ func (p *Port) MAC() simnet.MAC { return p.net.MAC() }
 // Node returns the simulated host the port is attached to.
 func (p *Port) Node() *sim.Node { return p.net.Node() }
 
+// NetPort returns the underlying fabric attachment — rack harnesses hand it
+// to the ToR hook so placement can steer frames to this port directly.
+func (p *Port) NetPort() *simnet.Port { return p.net }
+
 // Pool returns the port's shared mbuf pool.
 func (p *Port) Pool() *MbufPool { return p.pool }
 

@@ -25,10 +25,11 @@ const (
 	KRingPop                   // SGArray left a shared-memory ring at T0
 	KApp                       // application stage: T0..T1, Op = stage label id
 	KFault                     // fault fired at T0, Op = site label id; Trace may be 0
+	KSwitch                    // frame traversed a switch at T0, QD = chosen egress server
 )
 
 // kindNames renders event kinds for exports.
-var kindNames = [...]string{"", "root", "op", "wire_tx", "wire_rx", "ring_push", "ring_pop", "app", "fault"}
+var kindNames = [...]string{"", "root", "op", "wire_tx", "wire_rx", "ring_push", "ring_pop", "app", "fault", "switch"}
 
 // KindName returns the mnemonic for an event kind byte.
 func KindName(k uint8) string {
@@ -402,6 +403,19 @@ func (h *Hop) RingPop(ctx uint64, at int64) {
 		return
 	}
 	h.t.record(ctx, 0, KRingPop, h.id, 0, 0, at, at, 0)
+}
+
+// Switch records a traced frame traversing a switch (the ToR hop) at the
+// instant, with the egress server index the switch chose in QD — the
+// placement decision lands in the waterfall, so a request's tail can be
+// read back to "the ToR steered it to a loaded server".
+//
+//demi:nonalloc
+func (h *Hop) Switch(ctx uint64, at int64, server int32) {
+	if h == nil || ctx == 0 {
+		return
+	}
+	h.t.record(ctx, 0, KSwitch, h.id, 0, server, at, at, 0)
 }
 
 // AppSpan records one application stage interval (label from Label).

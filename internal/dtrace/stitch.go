@@ -136,6 +136,13 @@ func (t *Tracer) buildView(id uint64, evs []Event) *View {
 		case KApp:
 			v.Rows = append(v.Rows,
 				Row{Hop: e.Hop, ToHop: e.Hop, Class: RowApp, Label: t.Name(e.Label), From: e.T0, To: e.T1})
+		case KSwitch:
+			// A switch traversal is an instant, not an interval: the frame's
+			// in-flight time already belongs to the surrounding wire row, so
+			// a zero-length row marks the hop (and the placement decision in
+			// QD) without ever claiming critical path.
+			v.Rows = append(v.Rows,
+				Row{Hop: e.Hop, ToHop: e.Hop, Class: RowWire, Label: switchLabel(e.QD), From: e.T0, To: e.T0})
 		case KFault:
 			v.Faults = append(v.Faults, Mark{Hop: e.Hop, Site: e.Label, At: e.T0})
 		}
@@ -157,6 +164,14 @@ func (t *Tracer) buildView(id uint64, evs []Event) *View {
 	})
 	v.finish()
 	return v
+}
+
+// switchLabel renders a KSwitch row's label with its placement decision.
+func switchLabel(server int32) string {
+	if server < 0 {
+		return "switch"
+	}
+	return fmt.Sprintf("switch>s%d", server)
 }
 
 // pairTransits matches each departure with the earliest later (or

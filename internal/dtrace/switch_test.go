@@ -1,0 +1,79 @@
+package dtrace
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSwitchHop: a KSwitch event stitches into a zero-length wire-class row
+// carrying the placement decision, never claims critical path, and renders
+// in the waterfall.
+func TestSwitchHop(t *testing.T) {
+	tr := New(Config{SampleEvery: 1, Events: 64, Recent: 8, Slowest: 4})
+	cl := tr.Hop("client")
+	tor := tr.Hop("tor")
+	sv := tr.Hop("server")
+
+	ctx := tr.StartRequest()
+	cl.WireTx(ctx, 5)
+	tor.Switch(ctx, 12, 3) // ToR steers the request to server 3 mid-flight
+	sv.WireRx(ctx, 20)
+	sv.OpSpan(ctx, 2, 2, 1, 0, 20, 25)
+	sv.WireTx(ctx, 25)
+	tor.Switch(ctx, 32, -1) // reply path: no placement decision
+	cl.WireRx(ctx, 40)
+	cl.OpSpan(ctx, 4, 2, 1, 5, 40, 100)
+	cl.EndRequest(ctx, 0, 100)
+
+	v := tr.Assemble()[ctx]
+	if v == nil {
+		t.Fatal("no view assembled")
+	}
+	var steered, bare bool
+	for _, r := range v.Rows {
+		if r.Class != RowWire || r.Dur() != 0 {
+			continue
+		}
+		switch r.Label {
+		case "switch>s3":
+			steered = true
+			if r.From != 12 || r.Hop != 2 {
+				t.Errorf("steered switch row at %d on hop %d, want 12 on tor", r.From, r.Hop)
+			}
+		case "switch":
+			bare = true
+		}
+	}
+	if !steered || !bare {
+		t.Fatalf("switch rows: steered=%v bare=%v, want both", steered, bare)
+	}
+	// Zero-length rows must never appear in critical-path attribution.
+	for _, c := range v.Crit {
+		if strings.HasPrefix(c.Label, "switch") {
+			t.Errorf("switch row claimed %dns of critical path", c.Ns)
+		}
+	}
+	if v.CritSum() != v.Root.Dur() {
+		t.Fatalf("critical path sums to %d, root is %d", v.CritSum(), v.Root.Dur())
+	}
+
+	var w strings.Builder
+	v.WriteWaterfall(&w, tr)
+	if !strings.Contains(w.String(), "switch>s3") {
+		t.Error("waterfall does not render the ToR placement row")
+	}
+	if KindName(KSwitch) != "switch" {
+		t.Errorf("KindName(KSwitch) = %q", KindName(KSwitch))
+	}
+}
+
+// TestSwitchNilSafety: nil hops and zero contexts record nothing.
+func TestSwitchNilSafety(t *testing.T) {
+	var h *Hop
+	h.Switch(1, 10, 0) // must not panic
+	tr := New(Config{SampleEvery: 1, Events: 8, Recent: 1, Slowest: 1})
+	tr.Hop("tor").Switch(0, 10, 0) // unsampled: no event
+	if n := len(tr.Events()); n != 0 {
+		t.Errorf("recorded %d events for zero context", n)
+	}
+}

@@ -151,6 +151,16 @@ func (g *Group) SeedARP(ip wire.IPAddr, mac simnet.MAC) {
 	}
 }
 
+// AttachLoadProbe installs the same load probe on every core's stack, so
+// each reply frame from any core carries the node's current outstanding
+// count — the piggyback signal the rack ToR reads (the probe typically
+// closes over a host-wide reqsched.Dispatcher).
+func (g *Group) AttachLoadProbe(p catnip.LoadProbe) {
+	for _, c := range g.Cores {
+		c.OS.SetLoadProbe(p)
+	}
+}
+
 // Spawn starts fn once per core, each on its own virtual CPU — the
 // SO_REUSEPORT-style sharded server: fn typically binds the same
 // (addr, port) on every core's stack and serves the connections RSS

@@ -1,0 +1,73 @@
+package rack
+
+import (
+	"fmt"
+
+	"demikernel/internal/sim"
+)
+
+// A Placer is the ToR's inter-server placement policy: given the switch's
+// tracked per-server outstanding counts, pick the egress server for one
+// request. Placers may keep state (round-robin) and draw from the fabric's
+// seeded rng (power-of-k), so same-seed runs place identically.
+type Placer interface {
+	// Pick returns a server index in [0, len(loads)).
+	Pick(loads []uint32, rng *sim.Rand) int
+	// Name labels the policy in results.
+	Name() string
+}
+
+// Random places each request on a uniformly random server — the baseline
+// that ignores load entirely.
+type Random struct{}
+
+// Pick implements Placer.
+func (Random) Pick(loads []uint32, rng *sim.Rand) int { return rng.Intn(len(loads)) }
+
+// Name implements Placer.
+func (Random) Name() string { return "random" }
+
+// RoundRobin cycles through servers in order — equal request counts, blind
+// to the unequal work behind them.
+type RoundRobin struct{ next int }
+
+// Pick implements Placer.
+func (r *RoundRobin) Pick(loads []uint32, _ *sim.Rand) int {
+	s := r.next % len(loads)
+	r.next = s + 1
+	return s
+}
+
+// Name implements Placer.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// PowerOfK samples K servers with replacement and places on the one with
+// the lowest tracked outstanding count (first sampled wins ties) — the
+// RackSched-style d-choices policy. K = 2 captures most of the benefit;
+// K = len(loads) degenerates to join-the-shortest-queue on tracked state.
+type PowerOfK struct{ K int }
+
+// Pick implements Placer.
+func (p PowerOfK) Pick(loads []uint32, rng *sim.Rand) int {
+	k := p.K
+	if k < 1 {
+		k = 2
+	}
+	best := rng.Intn(len(loads))
+	for i := 1; i < k; i++ {
+		c := rng.Intn(len(loads))
+		if loads[c] < loads[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// Name implements Placer.
+func (p PowerOfK) Name() string {
+	k := p.K
+	if k < 1 {
+		k = 2
+	}
+	return fmt.Sprintf("power-of-%d", k)
+}

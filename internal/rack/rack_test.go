@@ -1,0 +1,192 @@
+package rack
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"demikernel/internal/reqsched"
+)
+
+// smallConfig is a rack small enough for -race CI runs but big enough that
+// placement decisions matter.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Servers = 4
+	cfg.CoresPerServer = 2
+	cfg.Clients = 8
+	cfg.Workload.Requests = 60
+	return cfg
+}
+
+func TestRackRunCompletes(t *testing.T) {
+	cfg := smallConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := cfg.Clients * cfg.Workload.Requests
+	if got := len(res.ShortLats) + len(res.LongLats); got != total {
+		t.Fatalf("completed %d of %d requests", got, total)
+	}
+	if len(res.LongLats) == 0 {
+		t.Fatal("heavy-tailed workload produced no Long requests")
+	}
+	var placed uint64
+	for _, p := range res.Placements {
+		placed += p
+	}
+	if placed != uint64(total) {
+		t.Errorf("ToR placed %d requests, want %d", placed, total)
+	}
+	// Every reply resyncs the tracked table from its load trailer.
+	if res.Resyncs != uint64(total) {
+		t.Errorf("resyncs = %d, want %d (one per reply)", res.Resyncs, total)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("no virtual time elapsed")
+	}
+	for i, ml := range res.MaxLoads {
+		if ml < 0 {
+			t.Errorf("server %d peak load %d", i, ml)
+		}
+	}
+}
+
+// TestRackDeterministic: same seed, same config → identical latencies and
+// byte-identical telemetry text.
+func TestRackDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.ShortLats) != len(b.ShortLats) || len(a.LongLats) != len(b.LongLats) {
+		t.Fatalf("request counts diverged across same-seed runs")
+	}
+	for i := range a.ShortLats {
+		if a.ShortLats[i] != b.ShortLats[i] {
+			t.Fatalf("short latency %d diverged: %v vs %v", i, a.ShortLats[i], b.ShortLats[i])
+		}
+	}
+	if a.TelemetryText != b.TelemetryText {
+		t.Fatal("same-seed telemetry text not byte-identical")
+	}
+	if a.TelemetryText == "" {
+		t.Fatal("telemetry text empty")
+	}
+}
+
+// TestRackPlacementSpread: round-robin places exactly evenly; random does
+// not (with this workload size); power-of-k avoids the most loaded server
+// enough that its placement spread stays bounded.
+func TestRackPlacementSpread(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Placer = &RoundRobin{}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(cfg.Clients*cfg.Workload.Requests) / uint64(cfg.Servers)
+	for i, p := range res.Placements {
+		if p != want {
+			t.Errorf("round-robin placed %d on server %d, want %d", p, i, want)
+		}
+	}
+}
+
+// TestRackTwoLayerTail pins the headline qualitative result under load:
+// load-aware ToR placement (power-of-2) beats load-blind random placement
+// on the short-request p99, and composing it with host-side DARC beats the
+// ToR layer alone. Deterministic seeds make the ordering assertion
+// CI-stable; the full policy matrix runs in demi-bench rack.
+func TestRackTwoLayerTail(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Clients = 24
+	cfg.Workload.Requests = 150
+	cfg.Workload.MeanThink = time.Microsecond
+	cfg.Workload.MaxSize = 64 << 10
+
+	run := func(p Placer, hp reqsched.Policy) *Result {
+		c := cfg
+		c.Placer, c.HostPolicy = p, hp
+		res, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	rand := run(Random{}, reqsched.FCFS{})
+	pok := run(PowerOfK{K: 2}, reqsched.FCFS{})
+	both := run(PowerOfK{K: 2}, reqsched.DARC{Reserved: 1})
+
+	rp, kp, bp := Quantile(rand.ShortLats, 0.99), Quantile(pok.ShortLats, 0.99), Quantile(both.ShortLats, 0.99)
+	t.Logf("short p99: random=%v power-of-2=%v power-of-2+DARC=%v", rp, kp, bp)
+	if kp >= rp {
+		t.Errorf("power-of-2 did not improve short p99 over random: %v vs %v", kp, rp)
+	}
+	if bp >= kp {
+		t.Errorf("adding DARC did not improve the short tail: %v vs %v", bp, kp)
+	}
+	// The reservation is a trade-off: longs queue more under DARC.
+	if lb, lk := Quantile(both.LongLats, 0.99), Quantile(pok.LongLats, 0.99); lb < lk {
+		t.Errorf("long p99 improved under DARC (%v < %v); reservation should cost longs", lb, lk)
+	}
+}
+
+// TestRackTraceAcrossToR: sampled requests record a KSwitch hop with the
+// placement decision, and the stitched waterfall renders it.
+func TestRackTraceAcrossToR(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Clients = 4
+	cfg.Workload.Requests = 40
+	cfg.Trace = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tracer == nil || res.Tracer.Finished() == 0 {
+		t.Fatal("tracing enabled but no sampled requests finished")
+	}
+	views := res.Tracer.Assemble()
+	sawSwitch := false
+	for _, v := range views {
+		for _, r := range v.Rows {
+			if strings.HasPrefix(r.Label, "switch>s") {
+				sawSwitch = true
+			}
+		}
+	}
+	if !sawSwitch {
+		t.Error("no stitched view contains the ToR placement row")
+	}
+}
+
+func TestSizeTableHeavyTail(t *testing.T) {
+	w := DefaultWorkload()
+	sizes := w.SizeTable(7)
+	longs := 0
+	for _, s := range sizes {
+		if s < w.MinSize || s > w.MaxSize {
+			t.Fatalf("size %d outside [%d, %d]", s, w.MinSize, w.MaxSize)
+		}
+		if w.ClassFor(s) == reqsched.Long {
+			longs++
+		}
+	}
+	frac := float64(longs) / float64(len(sizes))
+	if frac <= 0 || frac > 0.2 {
+		t.Errorf("long fraction = %.3f, want a small heavy tail", frac)
+	}
+	// Deterministic: same seed, same table.
+	again := w.SizeTable(7)
+	for i := range sizes {
+		if sizes[i] != again[i] {
+			t.Fatal("size table not deterministic")
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package rack
+
+import (
+	"encoding/binary"
+	"math"
+	"time"
+
+	"demikernel/internal/reqsched"
+	"demikernel/internal/sim"
+)
+
+// RackPort is the UDP service port every rack server core binds.
+const RackPort = uint16(7300)
+
+// Service-time model: a request for an S-byte value costs a fixed store
+// lookup plus a per-byte serialization charge on a worker — so the bounded
+// Pareto size distribution below translates directly into the highly
+// dispersed service times that make tail-aware scheduling matter.
+const (
+	StoreBase = 500 * time.Nanosecond
+	PerByte   = 1 * time.Nanosecond
+)
+
+// Workload shapes the replicated-KV request stream.
+type Workload struct {
+	// Requests is the per-client closed-loop request count.
+	Requests int
+	// MeanThink is the mean exponential client think time between requests.
+	MeanThink time.Duration
+	// MinSize/MaxSize bound the Pareto value-size distribution (bytes).
+	MinSize, MaxSize int
+	// Alpha is the Pareto shape; near 1 the tail is heavy.
+	Alpha float64
+	// LongThreshold classifies requests: value size >= threshold is Long
+	// (the class DARC reserves cores against).
+	LongThreshold int
+	// TableSize is the shared value-size table length.
+	TableSize int
+}
+
+// DefaultWorkload is a heavy-tailed KV read mix: most values are a few
+// hundred bytes, the tail reaches 32 KiB — a ~40x service-time dispersion
+// with roughly 3-4% of requests classed Long.
+func DefaultWorkload() Workload {
+	return Workload{
+		Requests:      400,
+		MeanThink:     4 * time.Microsecond,
+		MinSize:       256,
+		MaxSize:       32 << 10,
+		Alpha:         1.1,
+		LongThreshold: 4 << 10,
+		TableSize:     1 << 12,
+	}
+}
+
+// SizeTable materializes the value-size distribution once from its own
+// seeded stream. Clients index it deterministically (client, request) →
+// size, so every policy comparison replays byte-for-byte the same offered
+// load and both ends of a request agree on its class without negotiation.
+func (w Workload) SizeTable(seed uint64) []int {
+	rng := sim.NewRand(seed)
+	n := w.TableSize
+	if n < 1 {
+		n = 1
+	}
+	sizes := make([]int, n)
+	lo, hi := float64(w.MinSize), float64(w.MaxSize)
+	a := w.Alpha
+	ratio := math.Pow(lo/hi, a)
+	for i := range sizes {
+		u := rng.Float64()
+		// Bounded Pareto inverse CDF.
+		x := lo / math.Pow(1-u*(1-ratio), 1/a)
+		if x > hi {
+			x = hi
+		}
+		sizes[i] = int(x)
+	}
+	return sizes
+}
+
+// ServiceFor returns the worker time an S-byte value costs.
+func ServiceFor(size int) time.Duration {
+	return StoreBase + time.Duration(size)*PerByte
+}
+
+// ClassFor classifies a request by its value size.
+func (w Workload) ClassFor(size int) reqsched.Class {
+	if size >= w.LongThreshold {
+		return reqsched.Long
+	}
+	return reqsched.Short
+}
+
+// Request codec: a GET is [reqID u64][size u32]; the reply echoes the id
+// followed by the (synthetic) value bytes, so reply frames load the fabric
+// in proportion to the size distribution.
+const reqLen = 12
+
+func encodeReq(b []byte, id uint64, size int) {
+	binary.BigEndian.PutUint64(b[0:8], id)
+	binary.BigEndian.PutUint32(b[8:12], uint32(size))
+}
+
+func decodeReq(b []byte) (id uint64, size int, ok bool) {
+	if len(b) < reqLen {
+		return 0, 0, false
+	}
+	return binary.BigEndian.Uint64(b[0:8]), int(binary.BigEndian.Uint32(b[8:12])), true
+}
+
+func encodeRep(b []byte, id uint64) {
+	binary.BigEndian.PutUint64(b[0:8], id)
+}
+
+func decodeRep(b []byte) (id uint64, ok bool) {
+	if len(b) < 8 {
+		return 0, false
+	}
+	return binary.BigEndian.Uint64(b[0:8]), true
+}

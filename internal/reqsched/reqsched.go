@@ -34,9 +34,9 @@ const (
 	Long
 )
 
-// dispatchCost is the cross-core handoff charged per request (a shared
+// DispatchCost is the cross-core handoff charged per request (a shared
 // memory queue hop; Perséphone's dispatcher is similarly lightweight).
-const dispatchCost = 100 * time.Nanosecond
+const DispatchCost = 100 * time.Nanosecond
 
 // Request is one unit of work.
 type Request struct {
@@ -100,7 +100,7 @@ func HighDispersion(count int, load float64, workers int) Workload {
 		Count:        count,
 	}
 	// Effective per-request worker occupancy includes the dispatch hop.
-	mean := 0.995*float64(w.ShortService+dispatchCost) + 0.005*float64(w.LongService+dispatchCost)
+	mean := 0.995*float64(w.ShortService+DispatchCost) + 0.005*float64(w.LongService+DispatchCost)
 	w.Interarrival = time.Duration(mean / (load * float64(workers)))
 	return w
 }
@@ -113,67 +113,14 @@ type Result struct {
 }
 
 // Run simulates the server: an open-loop arrival process feeding a
-// dispatcher that hands requests to idle workers under the policy.
+// Dispatcher that hands requests to idle workers under the policy.
 // Requests that find the queue above queueCap are dropped (overload
 // control is out of scope; Perséphone pairs with Breakwater for that).
 func Run(seed uint64, workers int, policy Policy, w Workload, queueCap int) Result {
 	eng := sim.NewEngine(seed)
 	rng := eng.Rand().Fork()
 	res := Result{Policy: policy.Name()}
-
-	dispatcher := eng.NewNode("dispatcher")
-	workerNodes := make([]*sim.Node, workers)
-	workerBusy := make([]bool, workers)
-	for i := range workerNodes {
-		workerNodes[i] = eng.NewNode("worker")
-	}
-
-	var queue []Request
-	var dispatch func()
-
-	// finish records a completed request and re-dispatches.
-	finish := func(r Request, at sim.Time) {
-		lat := at.Sub(r.arrived)
-		if r.Class == Short {
-			res.ShortLats = append(res.ShortLats, lat)
-		} else {
-			res.LongLats = append(res.LongLats, lat)
-		}
-	}
-
-	// dispatch assigns queued requests to idle, admissible workers. It
-	// runs on the dispatcher's event context.
-	dispatch = func() {
-		for i := 0; i < len(queue); {
-			r := queue[i]
-			assigned := -1
-			for wi := 0; wi < workers; wi++ {
-				if !workerBusy[wi] && policy.Admit(wi, r.Class) {
-					assigned = wi
-					break
-				}
-			}
-			if assigned < 0 {
-				// FCFS semantics within a class-admissible scan: skip this
-				// request only if *no* worker may ever take... all workers
-				// busy for it now; try the next queued request (long
-				// requests must not block shorts bound for reserved cores).
-				i++
-				continue
-			}
-			queue = append(queue[:i], queue[i+1:]...)
-			wi := assigned
-			workerBusy[wi] = true
-			// Cross-core handoff, then service, then completion.
-			start := eng.Now().Add(dispatchCost)
-			done := start.Add(r.Service)
-			eng.At(done, nil, func() {
-				workerBusy[wi] = false
-				finish(r, eng.Now())
-				dispatch()
-			})
-		}
-	}
+	d := NewDispatcher(eng, workers, policy, queueCap)
 
 	// Arrival process.
 	var arrive func(i int, at sim.Time)
@@ -187,11 +134,15 @@ func Run(seed uint64, workers int, policy Policy, w Workload, queueCap int) Resu
 				r.Class = Long
 				r.Service = w.LongService
 			}
-			if len(queue) >= queueCap {
+			if !d.Submit(r.Class, r.Service, func(_, end sim.Time) {
+				lat := end.Sub(r.arrived)
+				if r.Class == Short {
+					res.ShortLats = append(res.ShortLats, lat)
+				} else {
+					res.LongLats = append(res.LongLats, lat)
+				}
+			}) {
 				res.Dropped++
-			} else {
-				queue = append(queue, r)
-				dispatch()
 			}
 			// Exponential interarrival via inverse transform.
 			gap := expDuration(rng, w.Interarrival)
@@ -199,8 +150,6 @@ func Run(seed uint64, workers int, policy Policy, w Workload, queueCap int) Resu
 		})
 	}
 	arrive(0, 0)
-	_ = dispatcher
-	_ = workerNodes
 	eng.Run()
 	return res
 }

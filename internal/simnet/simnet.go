@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"demikernel/internal/sim"
+	"demikernel/internal/telemetry"
 )
 
 // MAC is a 48-bit Ethernet address.
@@ -125,6 +126,8 @@ type PortStats struct {
 	TxFrames, RxFrames uint64
 	TxBytes, RxBytes   uint64
 	RxDropped          uint64 // dropped because the rx ring was full
+	EgressDrops        uint64 // dropped because the switch-side egress queue was full
+	EgressPeak         int    // deepest the egress queue ever got
 }
 
 // An RxSink takes over receive-side delivery from the port's default rx
@@ -141,11 +144,19 @@ type RxSink interface {
 // rdmadev) wrap a Port; received frames accumulate in a bounded rx ring the
 // device polls.
 type Port struct {
-	sw   *Switch
-	node *sim.Node
-	mac  MAC
-	up   direction // port -> switch
-	down direction // switch -> port
+	sw    *Switch
+	node  *sim.Node
+	mac   MAC
+	index int       // attach order on the switch
+	up    direction // port -> switch
+	down  direction // switch -> port
+
+	// eq holds the serialization-end times of frames occupying this port's
+	// switch-side egress queue, oldest first. txEnd is nondecreasing per
+	// port (the down link serializes in order), so pruning entries at or
+	// before "now" from the front yields the instantaneous queue depth
+	// without per-frame drain events.
+	eq []sim.Time
 
 	rx      []Frame
 	rxLimit int
@@ -156,6 +167,30 @@ type Port struct {
 
 // MAC returns the port's Ethernet address.
 func (p *Port) MAC() MAC { return p.mac }
+
+// Index returns the port's attach order on its switch — the stable port
+// number used in telemetry names and by switch hooks (the rack ToR) to
+// identify servers.
+func (p *Port) Index() int { return p.index }
+
+// EgressDepth returns the number of frames occupying the port's switch-side
+// egress queue at virtual time now: frames admitted but not yet fully
+// serialized onto the down link.
+func (p *Port) EgressDepth(now sim.Time) int {
+	p.pruneEgress(now)
+	return len(p.eq)
+}
+
+// pruneEgress drops queue entries whose serialization finished by now.
+func (p *Port) pruneEgress(now sim.Time) {
+	i := 0
+	for i < len(p.eq) && p.eq[i] <= now {
+		i++
+	}
+	if i > 0 {
+		p.eq = p.eq[i:]
+	}
+}
 
 // Node returns the simulated host the port belongs to.
 func (p *Port) Node() *sim.Node { return p.node }
@@ -247,11 +282,27 @@ func (p *Port) RxPending() int { return len(p.rx) }
 type SwitchParams struct {
 	// Latency is the minimum switching (store-and-forward) delay.
 	Latency time.Duration
+	// TxQueueCap bounds each port's egress queue in frames (0 means
+	// unbounded). A frame arriving for a port whose queue is full is
+	// dropped and counted in that port's EgressDrops — the ToR hotspot
+	// signal rack experiments watch.
+	TxQueueCap int
 }
 
 // DefaultSwitch models the paper's Arista 7060CX: 450 ns minimum latency.
 func DefaultSwitch() SwitchParams {
 	return SwitchParams{Latency: 450 * time.Nanosecond}
+}
+
+// A ForwardHook intercepts every frame at switch ingress, before the MAC
+// table runs. It may rewrite or trim the frame (e.g. strip a tracking
+// trailer) and choose its egress port — the extension point the rack ToR
+// model uses for inter-server load balancing. It returns the (possibly
+// modified) frame, an explicit egress port or nil, and whether the frame
+// should still be forwarded: (f, port, _) steers to port; (f, nil, true)
+// falls back to normal MAC forwarding; (f, nil, false) consumes the frame.
+type ForwardHook interface {
+	Forward(f Frame, from *Port) (out Frame, to *Port, forward bool)
 }
 
 // A Switch joins ports and forwards frames by destination MAC, flooding
@@ -263,12 +314,34 @@ type Switch struct {
 	ports  []*Port
 	byMAC  map[MAC]*Port
 	macSeq uint64
+	hook   ForwardHook
+
+	reg          *telemetry.Registry
+	forwarded    *telemetry.Counter // frames sent out exactly one port
+	flooded      *telemetry.Counter // broadcast/unknown-unicast copies
+	hookConsumed *telemetry.Counter // frames a hook absorbed
 }
 
 // NewSwitch creates a switch on the engine's fabric.
 func NewSwitch(eng *sim.Engine, params SwitchParams) *Switch {
-	return &Switch{eng: eng, params: params, byMAC: make(map[MAC]*Port)}
+	s := &Switch{eng: eng, params: params, byMAC: make(map[MAC]*Port)}
+	s.reg = telemetry.NewRegistry("simnet/switch")
+	s.forwarded = s.reg.Counter("switch.frames_forwarded")
+	s.flooded = s.reg.Counter("switch.frames_flooded")
+	s.hookConsumed = s.reg.Counter("switch.frames_hook_consumed")
+	return s
 }
+
+// Telemetry returns the switch's metric registry: aggregate forwarding
+// counters plus, per port, egress queue-depth gauges (sampled at snapshot
+// time), peak depth, and drop counters.
+func (s *Switch) Telemetry() *telemetry.Registry { return s.reg }
+
+// SetHook installs a forwarding hook (nil removes it).
+func (s *Switch) SetHook(h ForwardHook) { s.hook = h }
+
+// Ports returns the attached ports in attach order.
+func (s *Switch) Ports() []*Port { return s.ports }
 
 // NextMAC allocates a locally administered unicast MAC unique on this
 // switch.
@@ -287,44 +360,78 @@ func (s *Switch) Attach(node *sim.Node, params LinkParams, rxRing int) *Port {
 		sw:      s,
 		node:    node,
 		mac:     s.NextMAC(),
+		index:   len(s.ports),
 		rxLimit: rxRing,
 	}
 	p.up = direction{params: params, rng: rng}
 	p.down = direction{params: params, rng: rng.Fork()}
 	s.ports = append(s.ports, p)
 	s.byMAC[p.mac] = p
+	name := fmt.Sprintf("switch.port%02d.", p.index)
+	s.reg.Sample(name+"eq_depth", func() int64 { return int64(p.EgressDepth(s.eng.Now())) })
+	s.reg.Sample(name+"eq_peak", func() int64 { return int64(p.stats.EgressPeak) })
+	s.reg.Sample(name+"egress_drops", func() int64 { return int64(p.stats.EgressDrops) })
+	s.reg.Sample(name+"tx_frames", func() int64 { return int64(p.stats.TxFrames) })
+	s.reg.Sample(name+"rx_frames", func() int64 { return int64(p.stats.RxFrames) })
 	return p
 }
 
 // forward runs at the instant a frame arrives at the switch ingress and
 // schedules egress deliveries.
 func (s *Switch) forward(f Frame, from *Port) {
+	if s.hook != nil {
+		var to *Port
+		var fwd bool
+		f, to, fwd = s.hook.Forward(f, from)
+		if to != nil {
+			s.forwarded.Inc()
+			s.egress(f, to)
+			return
+		}
+		if !fwd {
+			s.hookConsumed.Inc()
+			return
+		}
+	}
 	dst := f.Dst()
 	if dst.IsBroadcast() {
 		for _, p := range s.ports {
 			if p != from {
+				s.flooded.Inc()
 				s.egress(f, p)
 			}
 		}
 		return
 	}
 	if p, ok := s.byMAC[dst]; ok {
+		s.forwarded.Inc()
 		s.egress(f, p)
 		return
 	}
 	// Unknown unicast: flood, and promiscuous ports may claim it.
 	for _, p := range s.ports {
 		if p != from && p.promisc {
+			s.flooded.Inc()
 			s.egress(f, p)
 		}
 	}
 }
 
-// egress sends a frame out one port, applying switch latency and the down
-// link's serialization/loss models, then waking the destination node.
+// egress sends a frame out one port, applying switch latency, the bounded
+// egress queue, and the down link's serialization/loss models, then waking
+// the destination node.
 func (s *Switch) egress(f Frame, to *Port) {
 	t := s.eng.Now().Add(s.params.Latency)
+	to.pruneEgress(t)
+	if s.params.TxQueueCap > 0 && len(to.eq) >= s.params.TxQueueCap {
+		to.stats.EgressDrops++
+		return
+	}
 	txEnd := to.down.transmitDelay(t, len(f.Data))
+	to.eq = append(to.eq, txEnd)
+	if d := len(to.eq); d > to.stats.EgressPeak {
+		to.stats.EgressPeak = d
+	}
 	at, dup, ok := to.down.arrival(txEnd, len(f.Data))
 	if !ok {
 		return

@@ -1,0 +1,59 @@
+package wire
+
+import "testing"
+
+func TestTraceTrailerRoundTrip(t *testing.T) {
+	b := make([]byte, TraceTrailerLen)
+	PutTraceTrailer(b, 0xDEADBEEFCAFE)
+	if got := ParseTraceTrailer(b); got != 0xDEADBEEFCAFE {
+		t.Fatalf("ParseTraceTrailer = %#x", got)
+	}
+	if got := ParseTraceTrailer(b[:9]); got != 0 {
+		t.Errorf("short buffer parsed as %#x", got)
+	}
+	b[0] ^= 0xFF
+	if got := ParseTraceTrailer(b); got != 0 {
+		t.Errorf("bad magic parsed as %#x", got)
+	}
+}
+
+func TestLoadTrailerRoundTrip(t *testing.T) {
+	frame := make([]byte, 64+LoadTrailerLen)
+	for i := 0; i < 64; i++ {
+		frame[i] = byte(i)
+	}
+	PutLoadTrailer(frame[64:], 7, 4096)
+	srv, load, ok := ParseLoadTrailer(frame)
+	if !ok || srv != 7 || load != 4096 {
+		t.Fatalf("ParseLoadTrailer = (%d, %d, %v)", srv, load, ok)
+	}
+	stripped, had := StripLoadTrailer(frame)
+	if !had || len(stripped) != 64 {
+		t.Fatalf("StripLoadTrailer: had=%v len=%d", had, len(stripped))
+	}
+	if _, _, ok := ParseLoadTrailer(stripped); ok {
+		t.Error("stripped frame still parses a load trailer")
+	}
+	// Stripping an untrailed frame is a no-op.
+	again, had := StripLoadTrailer(stripped)
+	if had || len(again) != 64 {
+		t.Errorf("second strip: had=%v len=%d", had, len(again))
+	}
+}
+
+// TestTrailerStacking pins the combined layout [packet][trace][load]: the
+// trace trailer parses at the fixed past-TotalLen offset and the load
+// trailer strips off the end without disturbing it.
+func TestTrailerStacking(t *testing.T) {
+	const pkt = 40 // stand-in for an IPv4 packet of TotalLen 40
+	frame := make([]byte, pkt+TraceTrailerLen+LoadTrailerLen)
+	PutTraceTrailer(frame[pkt:], 99)
+	PutLoadTrailer(frame[pkt+TraceTrailerLen:], 3, 12)
+	if srv, load, ok := ParseLoadTrailer(frame); !ok || srv != 3 || load != 12 {
+		t.Fatalf("load = (%d,%d,%v)", srv, load, ok)
+	}
+	stripped, _ := StripLoadTrailer(frame)
+	if got := ParseTraceTrailer(stripped[pkt:]); got != 99 {
+		t.Fatalf("trace context after strip = %d", got)
+	}
+}
