@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	demi-bench [-json] [-telemetry] table2|table3|fig5|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|fig12|chain|ablation|scaleout|rack|chaos|all
+//	demi-bench [-json] [-telemetry] table2|table3|fig5|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|fig12|chain|ablation|scaleout|rack|chaos|tenantchaos|all
 //
 // Flags may appear before or after the experiment name:
 //
@@ -54,6 +54,14 @@ func main() {
 		{"rack", bench.Rack},
 		{"chaos", bench.Chaos},
 	}
+	// Soak-only runners are selectable by name but excluded from `all`:
+	// their tables are isolation-gate evidence, not paper artifacts, so
+	// keeping them out of `all` keeps the committed BENCH_results.json
+	// stable.
+	soak := []runner{
+		{"tenantchaos", bench.TenantChaos},
+	}
+	known := append(append([]runner{}, runners...), soak...)
 	var jsonOut, telemetryOut bool
 	var want string
 	for _, arg := range os.Args[1:] {
@@ -64,26 +72,26 @@ func main() {
 			telemetryOut = true
 		default:
 			if want != "" {
-				usage(runners)
+				usage(known)
 			}
 			want = arg
 		}
 	}
 	if want == "" {
-		usage(runners)
+		usage(known)
 	}
 	var selected []runner
 	if want == "all" {
 		selected = runners
 	} else {
-		for _, r := range runners {
+		for _, r := range known {
 			if r.name == want {
 				selected = []runner{r}
 			}
 		}
 	}
 	if len(selected) == 0 {
-		usage(runners)
+		usage(known)
 	}
 	if telemetryOut {
 		bench.SetTelemetrySink(os.Stdout)

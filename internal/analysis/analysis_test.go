@@ -68,14 +68,14 @@ func parseWants(t *testing.T, m *Module, pkg *Package) []*want {
 
 // runFixture analyzes one testdata package with one analyzer and checks
 // the findings against its want comments, both directions.
-func runFixture(t *testing.T, fixture string, a *Analyzer) {
+func runFixture(t *testing.T, fixture string, as ...*Analyzer) {
 	t.Helper()
 	m, _ := loadSharedModule(t)
 	pkg, err := m.LoadDir(filepath.Join("testdata", "src", fixture))
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", fixture, err)
 	}
-	findings := Run(m, []*Package{pkg}, []*Analyzer{a})
+	findings := Run(m, []*Package{pkg}, as)
 	wants := parseWants(t, m, pkg)
 	if len(wants) == 0 {
 		t.Fatalf("fixture %s has no want comments", fixture)
@@ -113,6 +113,15 @@ func TestOwnershipFixture(t *testing.T) {
 // immutable to the pusher.
 func TestCatmemOwnershipFixture(t *testing.T) {
 	runFixture(t, "catmemfix", OwnershipAnalyzer())
+}
+
+// TestTenantFixture pins the multi-tenant error-path contracts: a
+// quota-rejected Push (ErrTenantQuota) leaves buffer ownership with the
+// caller, and a forged-token rejection (ErrBadQToken) consumes nothing —
+// the caller's own outstanding tokens must still be redeemed. The fixture
+// mixes ownership and qtoken findings, so both analyzers run over it.
+func TestTenantFixture(t *testing.T) {
+	runFixture(t, "tenantfix", OwnershipAnalyzer(), QTokenAnalyzer())
 }
 
 func TestDeterminismFixture(t *testing.T) {

@@ -39,6 +39,7 @@ var defaultDeterministicPkgs = []string{
 	"/internal/spdkdev",
 	"/internal/multicore",
 	"/internal/rack",
+	"/internal/tenant",
 }
 
 // bannedTimeFuncs are the time-package entry points that read or depend on

@@ -1,0 +1,117 @@
+// Package tenantfix seeds the multi-tenant error-path contracts for the
+// analyzer tests: a quota-rejected Push is a call-level error and must
+// leave buffer ownership with the caller (complete-or-error), and a
+// forged-token probe that fails with ErrBadQToken consumes nothing — the
+// caller's own legitimate qtokens are still outstanding and must still be
+// redeemed. Each `want` comment is a regexp one of the analyzers must
+// match on that line.
+package tenantfix
+
+import (
+	"demikernel/internal/core"
+	"demikernel/internal/memory"
+)
+
+// view stands in for a tenant.View: Push/PushTo return core.ErrTenantQuota
+// when the tenant's push rate, token budget, or flow budget is exhausted,
+// and Wait returns core.ErrBadQToken for tokens minted by another tenant.
+type view struct{}
+
+func (view) Push(qd core.QDesc, sga core.SGArray) (core.QToken, error)       { return 1, nil }
+func (view) PushTo(core.QDesc, core.SGArray, core.Addr) (core.QToken, error) { return 1, nil }
+func (view) Pop(qd core.QDesc) (core.QToken, error)                          { return 2, nil }
+func (view) Wait(qt core.QToken) error                                       { return nil }
+
+// A quota rejection surfaces as a Push error: no op was enqueued, so the
+// buffer is still owned by the caller. Returning without freeing leaks it.
+func leakOnQuotaReject(v view, qd core.QDesc, h *memory.Heap) error {
+	b := h.Alloc(64)
+	qt, err := v.Push(qd, core.SGA(b)) // want `buffer "b" leaks when v.Push fails`
+	if err != nil {
+		return err // ErrTenantQuota path: b is still ours and never freed
+	}
+	if werr := v.Wait(qt); werr != nil {
+		return werr
+	}
+	b.Free()
+	return nil
+}
+
+// The correct shape: a quota-rejected push frees (or retains) the buffer
+// on the error path before surfacing the error.
+func quotaRejectFreedOK(v view, qd core.QDesc, h *memory.Heap) error {
+	b := h.Alloc(64)
+	qt, err := v.Push(qd, core.SGA(b))
+	if err != nil {
+		b.Free() // complete-or-error: rejection left ownership with us
+		return err
+	}
+	if werr := v.Wait(qt); werr != nil {
+		return werr
+	}
+	b.Free()
+	return nil
+}
+
+// Rate-limited PushTo follows the same contract on the datagram path.
+func leakOnRateLimitedPushTo(v view, qd core.QDesc, h *memory.Heap, to core.Addr) {
+	b := h.Alloc(64)
+	if qt, err := v.PushTo(qd, core.SGA(b), to); err == nil { // want `buffer "b" leaks when v.PushTo fails`
+		v.Wait(qt)
+		b.Free()
+	}
+}
+
+func rateLimitedPushToFreedOK(v view, qd core.QDesc, h *memory.Heap, to core.Addr) {
+	b := h.Alloc(64)
+	if qt, err := v.PushTo(qd, core.SGA(b), to); err == nil {
+		v.Wait(qt)
+		b.Free()
+	} else {
+		b.Free()
+	}
+}
+
+// A forged-token probe fails without consuming any op. Bailing out when
+// the probe is rejected abandons the caller's own live pop token: the op
+// it names stays outstanding forever.
+func forgedProbeAbandonsPop(v view, qd core.QDesc, forged core.QToken) {
+	qt, _ := v.Pop(qd) // want `qtoken "qt" returned by v.Pop is never waited, returned, or stored`
+	if v.Wait(forged) == core.ErrBadQToken {
+		return // the forgery was rejected, but our real token leaks with it
+	}
+	_ = qt
+}
+
+// The correct shape: ErrBadQToken from a foreign token is a verdict on
+// that token alone; the legitimate token must still be redeemed.
+func forgedProbeGuardedOK(v view, qd core.QDesc, forged core.QToken) error {
+	qt, err := v.Pop(qd)
+	if err != nil {
+		return err
+	}
+	if werr := v.Wait(forged); werr != core.ErrBadQToken && werr != nil {
+		return werr
+	}
+	return v.Wait(qt)
+}
+
+// An attacker-style scan that mints a real op of its own and then drops
+// the token while probing guesses strands its own completion.
+func scanDropsOwnToken(v view, qd core.QDesc, guesses []core.QToken) {
+	v.Pop(qd) // want `qtoken returned by v.Pop is dropped`
+	for _, g := range guesses {
+		v.Wait(g)
+	}
+}
+
+func scanKeepsOwnTokenOK(v view, qd core.QDesc, guesses []core.QToken) error {
+	qt, err := v.Pop(qd)
+	if err != nil {
+		return err
+	}
+	for _, g := range guesses {
+		v.Wait(g)
+	}
+	return v.Wait(qt)
+}

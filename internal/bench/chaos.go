@@ -15,6 +15,8 @@ package bench
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -144,9 +146,17 @@ func RunChaos(opts ChaosOpts) (*ChaosReport, error) {
 		echo.Server(echoSrv.OS, echo.ServerConfig{Addr: echoAddr})
 	})
 	kvAddr := core.Addr{IP: kvSrv.IP, Port: 6379}
+	// The AOF lives under a per-run temp dir, removed on completion, so
+	// concurrent or aborted soaks can't collide or litter the repo. The
+	// name stays out of telemetry, so replay byte-identity is unaffected.
+	aofName, aofCleanup, err := tempAOF()
+	if err != nil {
+		return nil, err
+	}
+	defer aofCleanup()
 	var kvStats kv.ServerStats
 	tb.Eng.Spawn(kvSrv.Node, func() {
-		kv.Server(kvSrv.OS, kv.ServerConfig{Addr: kvAddr, AOFName: "chaos.aof"}, &kvStats)
+		kv.Server(kvSrv.OS, kv.ServerConfig{Addr: kvAddr, AOFName: aofName}, &kvStats)
 	})
 	mintAddr := core.Addr{IP: mintSrv.IP, Port: 7200}
 	tb.Eng.Spawn(mintSrv.Node, func() {
@@ -358,6 +368,18 @@ func chaosShmClient(l *catmem.LibOS, server core.Addr, rounds, size int) (ok, er
 	}
 	l.Close(conn)
 	return ok, errs, nil
+}
+
+// tempAOF returns a per-run AOF path in a fresh temp dir and the cleanup
+// that removes it. The storage stack is simulated, so the name is only a
+// namespace key — but a unique path keeps concurrent soaks collision-free
+// and nothing behind on abort.
+func tempAOF() (string, func(), error) {
+	dir, err := os.MkdirTemp("", "demi-chaos-")
+	if err != nil {
+		return "", nil, fmt.Errorf("chaos: aof temp dir: %w", err)
+	}
+	return filepath.Join(dir, "chaos.aof"), func() { os.RemoveAll(dir) }, nil
 }
 
 // stackTelemetry digs the telemetry registry out of a libOS (unwrapping the

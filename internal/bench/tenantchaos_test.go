@@ -1,0 +1,35 @@
+package bench
+
+// The adversarial-tenant soak is the multi-tenant isolation acceptance
+// test (ISSUE 9's analogue of the PR 4 chaos gate): a hostile tenant
+// attacks a shared stack while echo/kv victims run, and the run must end
+// with every attack rejected by its documented sentinel, zero victim loss
+// or leaks, the victim p99 within TenantP99Bound of the solo baseline,
+// and byte-identical telemetry on same-seed replay. CI runs this under
+// -race across the pinned seeds.
+
+import "testing"
+
+func TestTenantSoak(t *testing.T) {
+	for _, seed := range TenantChaosSeeds {
+		opts := DefaultTenantChaosOpts()
+		opts.Seed = seed
+		r1, err := RunTenantChaos(opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Determinism: the same seed must replay byte-for-byte.
+		r2, err := RunTenantChaos(opts)
+		if err != nil {
+			t.Fatalf("seed %d replay: %v", seed, err)
+		}
+		if r1.Telemetry != r2.Telemetry {
+			t.Errorf("seed %d: telemetry diverged between identical runs", seed)
+		}
+		t.Logf("seed %d: victim %d/%d kv %d/%d attacks flood=%d forge=%d alloc=%d dfree=%d ffree=%d rate=%d p99 %v->%v",
+			seed, r1.VictimOK, r1.VictimErrs, r1.KVOK, r1.KVErrs,
+			r1.FloodRejects, r1.ForgeryRejects, r1.AllocRejects,
+			r1.DoubleFreeRejects, r1.ForeignFreeRejects, r1.RateRejects,
+			r1.SoloP99, r1.ContendedP99)
+	}
+}

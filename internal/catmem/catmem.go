@@ -105,6 +105,8 @@ type LibOS struct {
 
 	conns     []*conn     // creation order: Step scans deterministically
 	listens   []*listener // ditto
+	curTenant uint32      // principal for the current EnterTenant bracket
+	tstats    map[uint32]*tenantStats
 	reg       *telemetry.Registry
 	stallHist *telemetry.Histogram
 	// stallWakeAt dedupes retry wakeups while a RingFull window holds
@@ -123,6 +125,7 @@ func (r *Region) New(node *sim.Node) *LibOS {
 		node:   node,
 		tokens: core.NewTokenTable(),
 		qds:    core.NewQDescTable(),
+		tstats: make(map[uint32]*tenantStats),
 	}
 	l.waiter = core.Waiter{Table: l.tokens, Runner: l}
 	l.reg = telemetry.NewRegistry(node.Name() + "/catmem")
@@ -174,8 +177,9 @@ func (l *LibOS) Stats() Stats { return l.stats }
 
 // sockQueue is an unconnected socket placeholder created by Socket.
 type sockQueue struct {
-	port  uint16
-	bound bool
+	port   uint16
+	bound  bool
+	tenant uint32 // owning principal, captured at Socket
 }
 
 // listener accepts rendezvous connections on a region port.
@@ -183,6 +187,7 @@ type listener struct {
 	lib     *LibOS
 	qd      core.QDesc
 	port    uint16
+	tenant  uint32  // accepted endpoints inherit the listener's principal
 	backlog []*conn // server-side endpoints awaiting accept
 	accepts []*core.Op
 	closed  bool
@@ -200,6 +205,7 @@ type pendingPush struct {
 type conn struct {
 	lib    *LibOS
 	qd     core.QDesc
+	tenant uint32 // owning principal (0 = host)
 	rx, tx *ring
 	peer   *conn
 	pops   []*core.Op
@@ -252,6 +258,7 @@ func (c *conn) push(op *core.Op, sga core.SGArray) {
 		return
 	}
 	l.stats.Pushes++
+	l.bumpPush(c.tenant)
 	l.dt.RingPush(ctx, int64(l.node.Now()))
 	op.Complete(core.QEvent{QD: c.qd, Op: core.OpPush})
 	c.wakePeer()
@@ -264,6 +271,7 @@ func (c *conn) pop(op *core.Op) {
 	l.node.Charge(costmodel.ShmRingOp)
 	if sga, ok := c.rx.tryPop(); ok {
 		l.stats.Pops++
+		l.bumpPop(c.tenant)
 		l.dt.RingPop(sga.TraceCtx(), int64(l.node.Now()))
 		op.Complete(core.QEvent{QD: c.qd, Op: core.OpPop, SGA: sga})
 		c.wakePeer() // freed a slot: peer may have parked pushes
@@ -295,6 +303,7 @@ func (c *conn) step() bool {
 		c.pops = c.pops[1:]
 		l.node.Charge(costmodel.ShmRingOp)
 		l.stats.Pops++
+		l.bumpPop(c.tenant)
 		l.dt.RingPop(sga.TraceCtx(), int64(l.node.Now()))
 		op.Complete(core.QEvent{QD: c.qd, Op: core.OpPop, SGA: sga})
 		c.wakePeer()
@@ -324,6 +333,7 @@ func (c *conn) step() bool {
 				c.pushes = c.pushes[1:]
 				l.node.Charge(costmodel.ShmRingOp)
 				l.stats.Pushes++
+				l.bumpPush(c.tenant)
 				l.dt.RingPush(p.sga.TraceCtx(), int64(l.node.Now()))
 				l.stallHist.Observe(int64(l.node.Now().Sub(p.parkedAt)))
 				p.op.Complete(core.QEvent{QD: c.qd, Op: core.OpPush})
@@ -478,7 +488,7 @@ func (l *LibOS) Socket(t core.SockType) (core.QDesc, error) {
 	if t != core.SockStream {
 		return core.InvalidQD, core.ErrNotSupported
 	}
-	return l.qds.Insert(&sockQueue{}), nil
+	return l.qds.Insert(&sockQueue{tenant: l.curTenant}), nil
 }
 
 // Queue creates an in-memory queue bounded at the region's ring capacity.
@@ -534,7 +544,7 @@ func (l *LibOS) Listen(qd core.QDesc, backlog int) error {
 	if _, used := l.region.listeners[s.port]; used {
 		return core.ErrInUse
 	}
-	ln := &listener{lib: l, qd: qd, port: s.port}
+	ln := &listener{lib: l, qd: qd, port: s.port, tenant: s.tenant}
 	l.qds.Restore(qd, ln)
 	l.region.listeners[s.port] = ln
 	l.listens = append(l.listens, ln)
@@ -591,7 +601,8 @@ func (l *LibOS) Connect(qd core.QDesc, addr core.Addr) (core.QToken, error) {
 	if !ok {
 		return core.InvalidQToken, core.ErrBadQDesc
 	}
-	if _, ok := q.(*sockQueue); !ok {
+	sq, ok := q.(*sockQueue)
+	if !ok {
 		return core.InvalidQToken, core.ErrNotSupported
 	}
 	op := l.tokens.New()
@@ -602,8 +613,8 @@ func (l *LibOS) Connect(qd core.QDesc, addr core.Addr) (core.QToken, error) {
 	}
 	c2s := newRing(l.region.slots)
 	s2c := newRing(l.region.slots)
-	cli := &conn{lib: l, qd: qd, rx: s2c, tx: c2s}
-	srv := &conn{lib: ln.lib, rx: c2s, tx: s2c}
+	cli := &conn{lib: l, qd: qd, tenant: sq.tenant, rx: s2c, tx: c2s}
+	srv := &conn{lib: ln.lib, tenant: ln.tenant, rx: c2s, tx: s2c}
 	cli.peer = srv
 	srv.peer = cli
 	l.qds.Restore(qd, cli)

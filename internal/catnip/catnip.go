@@ -147,6 +147,13 @@ type LibOS struct {
 	rxCtx uint64      // trace context of the frame currently being processed
 
 	loadProbe LoadProbe // nil unless this stack piggybacks load (rack servers)
+
+	// Tenant bracketing (tenant.go): curTenant tags sockets created while
+	// a tenant.View call is in flight; tenantIdx maps tenant ids to the
+	// scheduler's dense WFQ indices.
+	curTenant uint32
+	curTIdx   uint8
+	tenantIdx map[uint32]uint8
 }
 
 // A LoadProbe supplies the RackSched-style load signal a server stack
@@ -455,11 +462,11 @@ func (l *LibOS) Socket(t core.SockType) (core.QDesc, error) {
 	l.node.Charge(costmodel.Libcall)
 	switch t {
 	case core.SockStream:
-		s := &tcpSocket{lib: l}
+		s := &tcpSocket{lib: l, tenant: l.curTenant, tidx: l.curTIdx}
 		s.qd = l.qds.Insert(s)
 		return s.qd, nil
 	case core.SockDgram:
-		s := &udpSocket{lib: l}
+		s := &udpSocket{lib: l, tenant: l.curTenant, theap: l.tenantHeapFor(l.curTenant)}
 		s.qd = l.qds.Insert(s)
 		return s.qd, nil
 	default:

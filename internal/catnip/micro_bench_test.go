@@ -25,7 +25,7 @@ func BenchmarkCatnipIngress(b *testing.B) {
 
 	// Hand-build an established connection.
 	tuple := fourTuple{localPort: 80, remoteIP: wire.IPAddr{10, 0, 0, 2}, remotePort: 9999}
-	c := newTCPConn(l, 1, tuple)
+	c := newTCPConn(l, 1, tuple, 0, 0)
 	c.state = stateEstablished
 	c.macKnown = true
 	c.remoteMAC = simnet.MAC{2, 2, 2, 2, 2, 2}
@@ -73,7 +73,7 @@ func BenchmarkCatnipEgress(b *testing.B) {
 	port := dpdkdev.Attach(sw, node, simnet.DefaultLink(), 1024, 0)
 	l := New(node, port, DefaultConfig(wire.IPAddr{10, 0, 0, 1}))
 	tuple := fourTuple{localPort: 80, remoteIP: wire.IPAddr{10, 0, 0, 2}, remotePort: 9999}
-	c := newTCPConn(l, 1, tuple)
+	c := newTCPConn(l, 1, tuple, 0, 0)
 	c.state = stateEstablished
 	c.macKnown = true
 	c.remoteMAC = simnet.MAC{2, 2, 2, 2, 2, 2}

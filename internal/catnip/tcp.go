@@ -43,6 +43,10 @@ type tcpSocket struct {
 	bound     bool
 	listener  *tcpListener
 	conn      *tcpConn
+	// tenant is the owning principal (0 = host); tidx its dense scheduler
+	// index. Accepted connections inherit the listener socket's tenant.
+	tenant uint32
+	tidx   uint8
 }
 
 func (s *tcpSocket) bind(addr core.Addr) error {
@@ -93,7 +97,7 @@ func (s *tcpSocket) connect(addr core.Addr) (core.QToken, error) {
 		return core.InvalidQToken, core.ErrInUse
 	}
 	op := s.lib.tokens.New()
-	c := newTCPConn(s.lib, s.qd, tuple)
+	c := newTCPConn(s.lib, s.qd, tuple, s.tenant, s.tidx)
 	c.state = stateSynSent
 	c.connectOp = op
 	s.conn = c
@@ -142,7 +146,8 @@ func (ln *tcpListener) accept(op *core.Op) {
 // complete wraps an established connection in a fresh socket queue and
 // finishes the accept op.
 func (ln *tcpListener) complete(op *core.Op, c *tcpConn) {
-	s := &tcpSocket{lib: ln.lib, localPort: ln.port, bound: true, conn: c}
+	s := &tcpSocket{lib: ln.lib, localPort: ln.port, bound: true, conn: c,
+		tenant: ln.sock.tenant, tidx: ln.sock.tidx}
 	s.qd = ln.lib.qds.Insert(s)
 	c.qd = s.qd
 	op.Complete(core.QEvent{QD: ln.sock.qd, Op: core.OpAccept, NewQD: s.qd})
@@ -232,6 +237,12 @@ type tcpConn struct {
 	macKnown  bool
 	state     tcpState
 	listener  *tcpListener // non-nil while passive-opening
+
+	// tenant owns the connection; theap (nil for the host) charges its rx
+	// allocations; tidx schedules its coroutines under WFQ.
+	tenant uint32
+	tidx   uint8
+	theap  *memory.TenantHeap
 
 	// Send state (RFC 793 §3.2 names).
 	iss, sndUna, sndNxt uint32

@@ -23,14 +23,20 @@ const rcvWndScaleShift = 7
 const maxSegsPerPop = 16
 
 // newTCPConn builds a connection in stateClosed with sequence state
-// initialized; callers set the state and fire the handshake.
-func newTCPConn(l *LibOS, qd core.QDesc, tuple fourTuple) *tcpConn {
+// initialized; callers set the state and fire the handshake. tenant is
+// the owning principal (active opens: the socket's; passive opens: the
+// listener's) — rx allocations are charged to it and its coroutines are
+// scheduled under its WFQ index.
+func newTCPConn(l *LibOS, qd core.QDesc, tuple fourTuple, tenant uint32, tidx uint8) *tcpConn {
 	c := &tcpConn{
-		lib:   l,
-		qd:    qd,
-		tuple: tuple,
-		mss:   l.cfg.MSS,
-		iss:   uint32(l.rng.Uint64()),
+		lib:    l,
+		qd:     qd,
+		tuple:  tuple,
+		mss:    l.cfg.MSS,
+		iss:    uint32(l.rng.Uint64()),
+		tenant: tenant,
+		tidx:   tidx,
+		theap:  l.tenantHeapFor(tenant),
 	}
 	c.sndUna = c.iss
 	c.sndNxt = c.iss + 1 // SYN consumes one sequence number
@@ -89,7 +95,7 @@ func (c *tcpConn) startConnect() {
 		c.sendSyn()
 		return
 	}
-	c.lib.sched.Spawn(sched.Background, sched.Func(func(ctx *sched.Context) sched.Poll {
+	c.lib.sched.SpawnTenant(sched.Background, c.tidx, sched.Func(func(ctx *sched.Context) sched.Poll {
 		if mac, ok := c.lib.arp.lookup(c.tuple.remoteIP); ok {
 			c.remoteMAC = mac
 			c.macKnown = true
@@ -119,10 +125,10 @@ func (c *tcpConn) sendSyn() {
 // spawnCoroutines starts the connection's four background coroutines
 // (paper §6.3): sender, retransmitter, pure-ack sender, close manager.
 func (c *tcpConn) spawnCoroutines() {
-	c.senderH = c.lib.sched.Spawn(sched.Background, sched.Func(c.pollSender))
-	c.retransH = c.lib.sched.Spawn(sched.Background, sched.Func(c.pollRetransmit))
-	c.ackH = c.lib.sched.Spawn(sched.Background, sched.Func(c.pollAck))
-	c.closerH = c.lib.sched.Spawn(sched.Background, sched.Func(c.pollCloser))
+	c.senderH = c.lib.sched.SpawnTenant(sched.Background, c.tidx, sched.Func(c.pollSender))
+	c.retransH = c.lib.sched.SpawnTenant(sched.Background, c.tidx, sched.Func(c.pollRetransmit))
+	c.ackH = c.lib.sched.SpawnTenant(sched.Background, c.tidx, sched.Func(c.pollAck))
+	c.closerH = c.lib.sched.SpawnTenant(sched.Background, c.tidx, sched.Func(c.pollCloser))
 }
 
 // --- Application-facing operations ---

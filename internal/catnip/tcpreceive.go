@@ -4,7 +4,6 @@ import (
 	"time"
 
 	"demikernel/internal/core"
-	"demikernel/internal/memory"
 	"demikernel/internal/sched"
 	"demikernel/internal/wire"
 )
@@ -63,7 +62,7 @@ func (ln *tcpListener) handleSyn(eth wire.EthHeader, ip wire.IPv4Header, h wire.
 		return // SYN backlog full: drop, the client retries
 	}
 	tuple := fourTuple{localPort: h.DstPort, remoteIP: ip.Src, remotePort: h.SrcPort}
-	c := newTCPConn(ln.lib, core.InvalidQD, tuple)
+	c := newTCPConn(ln.lib, core.InvalidQD, tuple, ln.sock.tenant, ln.sock.tidx)
 	c.listener = ln
 	c.state = stateSynRcvd
 	c.remoteMAC = eth.Src
@@ -283,7 +282,7 @@ func (c *tcpConn) processPayload(seq uint32, payload []byte) {
 // segment is dropped without advancing rcvNxt: no ack covers it, so the
 // peer retransmits once memory frees up.
 func (c *tcpConn) deliver(payload []byte) {
-	buf, err := memory.TryCopyFrom(c.lib.heap, payload)
+	buf, err := c.copyIn(payload) // charged to the connection's tenant
 	if err != nil {
 		c.lib.stats.RxAllocDrops++
 		return

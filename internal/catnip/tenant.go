@@ -1,0 +1,71 @@
+package catnip
+
+import (
+	"demikernel/internal/memory"
+	"demikernel/internal/sched"
+)
+
+// Multi-tenant plumbing: the stack itself stays principal-agnostic — it
+// tags sockets, connections, coroutine spawns and rx allocations with
+// whatever tenant is entered, and the tenant.View enforces the quotas.
+// Tenant 0 is the host: untagged, unweighted, the original fast path.
+
+// RegisterTenant assigns tenant tid a dense scheduler index and its
+// weighted-fair share of poll cycles (tenant.Registrar).
+func (l *LibOS) RegisterTenant(tid uint32, weight uint32) {
+	if tid == 0 {
+		return
+	}
+	if l.tenantIdx == nil {
+		l.tenantIdx = make(map[uint32]uint8)
+	}
+	idx, ok := l.tenantIdx[tid]
+	if !ok {
+		if len(l.tenantIdx)+1 >= sched.MaxTenants {
+			panic("catnip: too many tenants for one stack")
+		}
+		idx = uint8(len(l.tenantIdx) + 1)
+		l.tenantIdx[tid] = idx
+	}
+	l.sched.SetTenantWeight(int(idx), weight)
+}
+
+// EnterTenant brackets the start of a tenant's libcall: sockets created
+// and connections opened until ExitTenant belong to tid (tenant.Enterer).
+func (l *LibOS) EnterTenant(tid uint32) {
+	l.curTenant = tid
+	l.curTIdx = l.tenantIdx[tid] // 0 for the host and unregistered tenants
+}
+
+// ExitTenant restores the host principal.
+func (l *LibOS) ExitTenant() {
+	l.curTenant = 0
+	l.curTIdx = 0
+}
+
+// tenantHeapFor returns the tenant-charged heap capability, nil for the
+// host (which allocates on the shared heap directly).
+func (l *LibOS) tenantHeapFor(tid uint32) *memory.TenantHeap {
+	if tid == 0 {
+		return nil
+	}
+	return l.heap.Tenant(tid)
+}
+
+// copyIn copies an rx payload into the connection's owning tenant's heap
+// region, so an inbound flood exhausts the flooded tenant's quota — and
+// only it. The caller handles ErrNoMem by dropping without state advance.
+func (c *tcpConn) copyIn(p []byte) (*memory.Buf, error) {
+	if c.theap != nil {
+		return c.theap.TryCopyFrom(p)
+	}
+	return memory.TryCopyFrom(c.lib.heap, p)
+}
+
+// copyIn is the datagram analogue of tcpConn.copyIn.
+func (s *udpSocket) copyIn(p []byte) (*memory.Buf, error) {
+	if s.theap != nil {
+		return s.theap.TryCopyFrom(p)
+	}
+	return memory.TryCopyFrom(s.lib.heap, p)
+}

@@ -28,6 +28,10 @@ type udpSocket struct {
 	recvQ     []datagram
 	pops      []*core.Op
 	closed    bool
+	// tenant owns the socket; theap (nil for the host) charges its rx
+	// allocations.
+	tenant uint32
+	theap  *memory.TenantHeap
 }
 
 func (s *udpSocket) bind(addr core.Addr) error {
@@ -174,7 +178,7 @@ func (l *LibOS) handleUDP(ip wire.IPv4Header, body []byte) {
 	// The NIC DMA-writes into the DMA-capable heap: no CPU copy charged.
 	// With the heap exhausted the datagram is dropped (UDP is lossy; the
 	// application's retry recovers) rather than panicking the stack.
-	buf, err := memory.TryCopyFrom(l.heap, payload)
+	buf, err := s.copyIn(payload) // charged to the socket's tenant
 	if err != nil {
 		l.stats.RxAllocDrops++
 		return

@@ -32,4 +32,9 @@ var (
 	// ErrHostUnreachable means link-layer resolution of the remote host
 	// failed (ARP gave up) — the POSIX EHOSTUNREACH analogue.
 	ErrHostUnreachable = errors.New("pdpix: host unreachable")
+	// ErrTenantQuota means a per-tenant resource cap (flow-table entries,
+	// in-flight qtokens, push rate) rejected the operation. The rejection
+	// is complete-or-error at the call site: nothing is left outstanding
+	// and buffer ownership stays with the caller.
+	ErrTenantQuota = errors.New("pdpix: tenant quota exceeded")
 )

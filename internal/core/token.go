@@ -17,7 +17,11 @@ type Op struct {
 	issuedAt    sim.Time
 	completedAt sim.Time
 	trace       uint64 // distributed-trace context stamped by the libOS at issue
+	tenant      uint32 // issuing tenant principal (0 = the host/infra tenant)
 }
+
+// Tenant returns the principal the operation was minted for.
+func (o *Op) Tenant() uint32 { return o.tenant }
 
 // Trace stamps the operation with a distributed-trace context. LibOSes call
 // it on push when the SGArray carries a sampled request's tag; pops pick the
@@ -68,6 +72,13 @@ type TokenTable struct {
 	lat    *telemetry.Histogram
 	rec    *telemetry.FlightRecorder
 	dt     *dtrace.Hop
+	// issuer is the tenant principal stamped on ops minted while it is set
+	// (EnterTenant/ExitTenant bracket each tenant's libcalls). forgeries
+	// counts cross-tenant redemption attempts rejected by TryTakeAs; the
+	// optional hook lets harnesses attribute them per tenant.
+	issuer    uint32
+	forgeries uint64
+	onForgery func(issuer, redeemer uint32)
 }
 
 // NewTokenTable returns an empty table.
@@ -94,10 +105,27 @@ func (t *TokenTable) SetRecorder(r *telemetry.FlightRecorder) { t.rec = r }
 // SGArray). A nil hop keeps the table untraced.
 func (t *TokenTable) SetDTrace(h *dtrace.Hop) { t.dt = h }
 
+// SetIssuer sets the tenant principal stamped on subsequently minted ops.
+// Library OSes bracket each tenant's libcalls with SetIssuer(id) /
+// SetIssuer(0); ops minted outside any bracket belong to the host tenant 0.
+func (t *TokenTable) SetIssuer(tenant uint32) { t.issuer = tenant }
+
+// Issuer returns the currently stamped tenant principal.
+func (t *TokenTable) Issuer() uint32 { return t.issuer }
+
+// SetForgeryHook installs a callback invoked on every cross-tenant
+// redemption attempt rejected by TryTakeAs, with the op's issuing tenant
+// and the principal that tried to redeem it.
+func (t *TokenTable) SetForgeryHook(fn func(issuer, redeemer uint32)) { t.onForgery = fn }
+
+// Forgeries returns the number of cross-tenant redemption attempts the
+// table has rejected.
+func (t *TokenTable) Forgeries() uint64 { return t.forgeries }
+
 // New allocates a fresh operation and its qtoken.
 func (t *TokenTable) New() *Op {
 	t.next++
-	op := &Op{qt: t.next, tbl: t}
+	op := &Op{qt: t.next, tbl: t, tenant: t.issuer}
 	if t.clock != nil {
 		op.issuedAt = t.clock.Now()
 	}
@@ -113,12 +141,40 @@ func (t *TokenTable) Lookup(qt QToken) (*Op, bool) {
 
 // TryTake redeems qt if its operation has completed, removing it from the
 // table. ok reports completion; a false ok with a nil error means the
-// operation is still outstanding.
+// operation is still outstanding. TryTake does not check the principal —
+// it is the trusted-driver path (demi.Combined, bench drivers); tenant
+// code goes through TryTakeAs.
 func (t *TokenTable) TryTake(qt QToken) (QEvent, bool, error) {
 	op, exists := t.ops[qt]
 	if !exists {
 		return QEvent{}, false, ErrBadQToken
 	}
+	return t.take(qt, op)
+}
+
+// TryTakeAs redeems qt on behalf of tenant principal tid. A token minted
+// for a different tenant is rejected with ErrBadQToken *without consuming
+// the operation*: qtokens are capabilities, and a forged or guessed token
+// must never let one tenant steal or cancel another's completion. The
+// rejection is indistinguishable from an unknown token, so probing leaks
+// nothing about the victim's outstanding ops.
+func (t *TokenTable) TryTakeAs(qt QToken, tid uint32) (QEvent, bool, error) {
+	op, exists := t.ops[qt]
+	if !exists {
+		return QEvent{}, false, ErrBadQToken
+	}
+	if op.tenant != tid {
+		t.forgeries++
+		if t.onForgery != nil {
+			t.onForgery(op.tenant, tid)
+		}
+		return QEvent{}, false, ErrBadQToken
+	}
+	return t.take(qt, op)
+}
+
+// take finishes a redemption whose principal check already passed.
+func (t *TokenTable) take(qt QToken, op *Op) (QEvent, bool, error) {
 	if !op.done {
 		return QEvent{}, false, nil
 	}
@@ -159,6 +215,18 @@ func (t *TokenTable) Outstanding() int {
 	n := 0
 	for _, op := range t.ops {
 		if !op.done {
+			n++
+		}
+	}
+	return n
+}
+
+// OutstandingFor returns the number of incomplete operations minted for
+// one tenant principal.
+func (t *TokenTable) OutstandingFor(tid uint32) int {
+	n := 0
+	for _, op := range t.ops {
+		if !op.done && op.tenant == tid {
 			n++
 		}
 	}

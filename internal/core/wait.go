@@ -14,6 +14,12 @@ import (
 type Waiter struct {
 	Table  *TokenTable
 	Runner Runner
+	// Tenant is the principal redeeming through this waiter. Every
+	// redemption goes through TryTakeAs, so a token minted for another
+	// tenant fails with ErrBadQToken without consuming the victim's op.
+	// The zero value is the host tenant, which redeems only host-minted
+	// tokens — tenancy is strict equality, never a wildcard.
+	Tenant uint32
 	// rr rotates WaitAny's scan start across calls so a busy low-index
 	// token cannot starve the rest. A server holding one pop per
 	// connection in a single wait set would otherwise serve only the
@@ -41,7 +47,7 @@ func (w *Waiter) WaitAny(qts []QToken, timeout time.Duration) (int, QEvent, erro
 	for {
 		for k := range qts {
 			i := (w.rr + k) % len(qts)
-			ev, done, err := w.Table.TryTake(qts[i])
+			ev, done, err := w.Table.TryTakeAs(qts[i], w.Tenant)
 			if err != nil {
 				return -1, QEvent{}, err
 			}
@@ -83,7 +89,7 @@ func (w *Waiter) WaitAll(qts []QToken, timeout time.Duration) ([]QEvent, error) 
 			if got[i] {
 				continue
 			}
-			ev, done, err := w.Table.TryTake(qt)
+			ev, done, err := w.Table.TryTakeAs(qt, w.Tenant)
 			if err != nil {
 				return events, err
 			}

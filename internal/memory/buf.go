@@ -72,6 +72,22 @@ func (b *Buf) Free() {
 	b.sb.recycle(b.idx)
 }
 
+// TryFree is Free with the double-free invariant reported as ErrDoubleFree
+// instead of a panic. Trusted datapaths keep Free — a double free there is
+// a bug worth crashing on; tenant-facing paths use TryFree so a hostile
+// application's abuse is contained to an error it receives itself.
+func (b *Buf) TryFree() error {
+	if !b.AppOwned() {
+		return ErrDoubleFree
+	}
+	b.Free()
+	return nil
+}
+
+// Tenant returns the id of the tenant region the buffer was allocated
+// from (0 = the host tenant).
+func (b *Buf) Tenant() uint32 { return b.sb.tenant }
+
 // IORef takes a library-OS reference on the buffer. The first reference
 // sets the bitmap bit; further concurrent references spill to the
 // superblock's reference table.

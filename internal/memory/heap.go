@@ -21,9 +21,20 @@ import (
 )
 
 // ErrNoMem is returned by TryAlloc when the heap cannot satisfy the request
-// (today only via an injected pool-exhaustion fault; a real mempool returns
-// it when the DMA arena is full).
+// (an injected pool-exhaustion fault, or a tenant's byte quota; a real
+// mempool returns it when the DMA arena is full).
 var ErrNoMem = errors.New("memory: out of buffers")
+
+// ErrDoubleFree is returned by TryFree when the application reference is
+// already gone. It is the non-panicking sibling of Free's invariant panic,
+// for paths where the "application" is an untrusted tenant whose bugs (or
+// attacks) must be errors, not crashes.
+var ErrDoubleFree = errors.New("memory: double free")
+
+// ErrForeignBuf is returned by TenantHeap.TryFree when the buffer belongs
+// to a different tenant's region: buffers are capabilities scoped to the
+// region that allocated them.
+var ErrForeignBuf = errors.New("memory: buffer belongs to another tenant")
 
 // ZeroCopyThreshold is the smallest buffer size worth transmitting
 // zero-copy (paper §5.3); smaller buffers are copied by the I/O stacks.
@@ -75,6 +86,14 @@ type superblock struct {
 	freeHead int // LIFO free list threaded through nextFree
 	nextFree []int
 
+	// tenant scopes the whole superblock to one tenant's region (0 = the
+	// host tenant): tenants never share an arena, so one tenant's
+	// allocation pattern cannot fragment or exhaust another's slots.
+	// charged records the bytes billed to the tenant per live slot, so
+	// recycling credits exactly what TryAlloc debited.
+	tenant  uint32
+	charged []int64
+
 	// appRef and ioRef are the per-object reference bitmaps (paper §5.3):
 	// one bit for the application's reference, one for the library OS's.
 	// Additional concurrent libOS references (e.g. a buffer in flight on
@@ -93,9 +112,16 @@ type Heap struct {
 	// register is the device hook for DMA registration; nil means the
 	// device needs none (e.g. Catnap's kernel path).
 	register RegisterFunc
-	partial  [][]*superblock // per class: superblocks with free slots
+	partial  [][]*superblock // per class: host-tenant superblocks with free slots
 	stats    Stats
 	rkeySeq  uint32
+
+	// tpartial holds nonzero tenants' partial lists, keyed tenant<<8|class
+	// (maps are keyed-access only, never ranged — determinism). tenants
+	// holds the per-tenant byte accounts; tenant 0 (the host) is never
+	// accounted and keeps the original fast path above.
+	tpartial map[uint64][]*superblock
+	tenants  map[uint32]*tenantAcct
 
 	// allocFault, when set, is consulted by TryAlloc; returning true makes
 	// the allocation fail with ErrNoMem. It is a plain callback (not a
@@ -163,6 +189,15 @@ func (h *Heap) Alloc(size int) *Buf {
 // panic, so datapaths can drop-with-counter rather than die. The backing
 // slot is from a size-class superblock (or a dedicated one for huge sizes).
 func (h *Heap) TryAlloc(size int) (*Buf, error) {
+	return h.TryAllocTenant(0, size)
+}
+
+// TryAllocTenant allocates from one tenant's region of the heap. Tenants
+// never share superblocks, and a tenant with a byte quota is denied with
+// ErrNoMem once its live bytes would exceed it — its alloc flood exhausts
+// its own region, never a victim's. Tenant 0 is the host: unaccounted,
+// unlimited, the original fast path.
+func (h *Heap) TryAllocTenant(tid uint32, size int) (*Buf, error) {
 	if size <= 0 {
 		panic("memory: Alloc with non-positive size")
 	}
@@ -170,18 +205,38 @@ func (h *Heap) TryAlloc(size int) (*Buf, error) {
 		h.stats.AllocFailures++
 		return nil, ErrNoMem
 	}
+	var acct *tenantAcct
+	if tid != 0 {
+		acct = h.acct(tid)
+		if acct.quota > 0 && acct.used+int64(size) > acct.quota {
+			acct.rejects++
+			h.stats.AllocFailures++
+			return nil, ErrNoMem
+		}
+	}
 	h.stats.Allocs++
 	h.stats.BytesRequested += uint64(size)
 	ci := classFor(size)
 	var sb *superblock
 	if ci < 0 {
 		sb = h.newSuperblock(size, 1)
+		sb.tenant = tid
 		h.stats.HugeAllocs++
-	} else {
+	} else if tid == 0 {
 		list := h.partial[ci]
 		if len(list) == 0 {
 			h.partial[ci] = append(h.partial[ci], h.newSuperblock(sizeClasses[ci], objectsPerSuperblock))
 			list = h.partial[ci]
+		}
+		sb = list[len(list)-1]
+	} else {
+		key := tkey(tid, ci)
+		list := h.tpartial[key]
+		if len(list) == 0 {
+			nsb := h.newSuperblock(sizeClasses[ci], objectsPerSuperblock)
+			nsb.tenant = tid
+			h.tpartial[key] = append(list, nsb)
+			list = h.tpartial[key]
 		}
 		sb = list[len(list)-1]
 	}
@@ -195,10 +250,33 @@ func (h *Heap) TryAlloc(size int) (*Buf, error) {
 	b.data = sb.arena[idx*sb.class : idx*sb.class+size]
 	b.trace = 0 // slots are recycled; a stale trace tag must not leak across owners
 	h.stats.Live++
+	if acct != nil {
+		acct.used += int64(size)
+		acct.allocs++
+		sb.charged[idx] = int64(size)
+	}
 	if sb.freeHead < 0 {
 		h.dropPartial(sb)
 	}
 	return b, nil
+}
+
+// tkey packs a tenant id and size class into one tpartial map key.
+func tkey(tid uint32, ci int) uint64 { return uint64(tid)<<8 | uint64(ci) }
+
+// acct returns (creating on first use) the byte account for a nonzero
+// tenant. A fresh account has no quota: accounting without limits.
+func (h *Heap) acct(tid uint32) *tenantAcct {
+	if h.tenants == nil {
+		h.tenants = make(map[uint32]*tenantAcct)
+		h.tpartial = make(map[uint64][]*superblock)
+	}
+	a := h.tenants[tid]
+	if a == nil {
+		a = &tenantAcct{}
+		h.tenants[tid] = a
+	}
+	return a
 }
 
 // newSuperblock carves a fresh arena of count objects of the given size.
@@ -209,6 +287,7 @@ func (h *Heap) newSuperblock(objSize, count int) *superblock {
 		arena:    make([]byte, objSize*count),
 		bufs:     make([]Buf, count),
 		nextFree: make([]int, count),
+		charged:  make([]int64, count),
 		ioExtra:  make(map[int]int),
 	}
 	for i := range sb.bufs {
@@ -228,25 +307,48 @@ func (h *Heap) dropPartial(sb *superblock) {
 		return // huge superblocks are never on partial lists
 	}
 	list := h.partial[ci]
+	if sb.tenant != 0 {
+		list = h.tpartial[tkey(sb.tenant, ci)]
+	}
 	for i, s := range list {
 		if s == sb {
 			list[i] = list[len(list)-1]
-			h.partial[ci] = list[:len(list)-1]
+			if sb.tenant != 0 {
+				h.tpartial[tkey(sb.tenant, ci)] = list[:len(list)-1]
+			} else {
+				h.partial[ci] = list[:len(list)-1]
+			}
 			return
 		}
 	}
 }
 
-// recycle returns a fully released slot to the free list.
+// recycle returns a fully released slot to the free list, crediting the
+// owning tenant's byte account. The credit goes to the superblock's tenant
+// regardless of who dropped the last reference: under zero-copy handoff
+// (catmem) the consumer's free shrinks the *producer's* footprint, which
+// is whose quota the bytes were debited from.
 func (sb *superblock) recycle(idx int) {
 	wasFull := sb.freeHead < 0
 	sb.nextFree[idx] = sb.freeHead
 	sb.freeHead = idx
 	sb.heap.stats.Live--
 	sb.heap.stats.Frees++
+	if sb.tenant != 0 {
+		if a := sb.heap.tenants[sb.tenant]; a != nil {
+			a.used -= sb.charged[idx]
+			a.frees++
+		}
+		sb.charged[idx] = 0
+	}
 	if wasFull {
 		if ci := classFor(sb.class); ci >= 0 && sizeClasses[ci] == sb.class {
-			sb.heap.partial[ci] = append(sb.heap.partial[ci], sb)
+			if sb.tenant != 0 {
+				key := tkey(sb.tenant, ci)
+				sb.heap.tpartial[key] = append(sb.heap.tpartial[key], sb)
+			} else {
+				sb.heap.partial[ci] = append(sb.heap.partial[ci], sb)
+			}
 		}
 	}
 }

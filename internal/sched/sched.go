@@ -94,10 +94,12 @@ func (w Waker) Wake() {
 
 // wakerBlock holds readiness for up to 64 coroutines of one class, plus
 // their contexts. ready and occupied are the bitsets the scheduler scans.
+// tens tags each slot with its tenant index for weighted-fair picking.
 type wakerBlock struct {
 	ready    uint64
 	occupied uint64
 	gens     [64]uint32
+	tens     [64]uint8
 	cos      [64]Coroutine
 	ctxs     [64]Context
 }
@@ -134,12 +136,28 @@ type Stats struct {
 	PollsByClass       [NumClasses]uint64 // per-class share of Polls
 }
 
+// MaxTenants is the number of dense tenant indices the scheduler's
+// weighted-fair state is sized for (index 0 is the host tenant). Fixed
+// arrays, not maps: runClass is //demi:nonalloc.
+const MaxTenants = 16
+
 // Scheduler runs one core's coroutines. It is single-threaded by design.
 type Scheduler struct {
 	classes [numClasses][]*wakerBlock
 	cursor  [numClasses]int // round-robin start block per class
 	count   [numClasses]int
 	stats   Stats
+
+	// Weighted-fair queuing across tenants (ROADMAP multi-tenant item):
+	// within a class, the ready tenant with the smallest virtual time
+	// (polls charged / weight) runs next, so a flooding tenant's ready
+	// swarm cannot monopolize poll cycles. wfq stays false until a
+	// nonzero tenant appears, keeping the single-tenant path bit-exact.
+	wfq     bool
+	weights [MaxTenants]uint32 // 0 means weight 1
+	tpolls  [MaxTenants]uint64 // polls charged per tenant (the virtual clock)
+	tlive   [MaxTenants]int    // live coroutines per tenant
+	tcursor [numClasses][MaxTenants]int
 }
 
 // New returns an empty scheduler.
@@ -173,9 +191,65 @@ func (s *Scheduler) Ready(c Class) int {
 	return n
 }
 
+// SetTenantWeight sets a tenant's weighted-fair share (default 1). Any
+// nonzero tenant index arms WFQ picking for every class.
+func (s *Scheduler) SetTenantWeight(tenant int, weight uint32) {
+	if tenant < 0 || tenant >= MaxTenants {
+		panic("sched: tenant index out of range")
+	}
+	s.weights[tenant] = weight
+	if tenant != 0 {
+		s.wfq = true
+	}
+}
+
+// TenantPolls returns the polls charged to a tenant index so far.
+func (s *Scheduler) TenantPolls(tenant int) uint64 { return s.tpolls[tenant] }
+
+// weightOf returns a tenant's effective weight (unset = 1).
+func (s *Scheduler) weightOf(tenant int) uint64 {
+	if w := s.weights[tenant]; w != 0 {
+		return uint64(w)
+	}
+	return 1
+}
+
 // Spawn adds a coroutine in the given class, initially runnable, and
-// returns its handle.
+// returns its handle. The coroutine belongs to the host tenant.
 func (s *Scheduler) Spawn(c Class, co Coroutine) Handle {
+	return s.SpawnTenant(c, 0, co)
+}
+
+// SpawnTenant is Spawn with the coroutine charged to a tenant index. A
+// tenant going from idle to active has its virtual clock clamped forward
+// to the lightest active tenant's, so banked idle time cannot be spent as
+// a monopolizing burst.
+func (s *Scheduler) SpawnTenant(c Class, tenant uint8, co Coroutine) Handle {
+	if int(tenant) >= MaxTenants {
+		panic("sched: tenant index out of range")
+	}
+	if tenant != 0 {
+		s.wfq = true
+	}
+	if s.wfq && s.tlive[tenant] == 0 {
+		minV := uint64(0)
+		found := false
+		for t := 0; t < MaxTenants; t++ {
+			if t == int(tenant) || s.tlive[t] == 0 {
+				continue
+			}
+			v := s.tpolls[t] / s.weightOf(t)
+			if !found || v < minV {
+				minV, found = v, true
+			}
+		}
+		if found {
+			if floor := minV * s.weightOf(int(tenant)); s.tpolls[tenant] < floor {
+				s.tpolls[tenant] = floor
+			}
+		}
+	}
+	s.tlive[tenant]++
 	blocks := s.classes[c]
 	var blk *wakerBlock
 	var slot uint
@@ -194,6 +268,7 @@ func (s *Scheduler) Spawn(c Class, co Coroutine) Handle {
 	blk.occupied |= 1 << slot
 	blk.ready |= 1 << slot
 	blk.gens[slot]++
+	blk.tens[slot] = tenant
 	blk.cos[slot] = co
 	w := Waker{block: blk, slot: slot, gen: blk.gens[slot]}
 	blk.ctxs[slot] = Context{waker: w}
@@ -224,6 +299,9 @@ func (s *Scheduler) RunOne() bool {
 //
 //demi:nonalloc the waker-block iteration is the scheduler's innermost loop
 func (s *Scheduler) runClass(c Class) bool {
+	if s.wfq {
+		return s.runClassWFQ(c)
+	}
 	blocks := s.classes[c]
 	n := len(blocks)
 	if n == 0 {
@@ -253,6 +331,70 @@ func (s *Scheduler) runClass(c Class) bool {
 	return false
 }
 
+// runClassWFQ is runClass under weighted-fair queuing: among tenants with
+// a ready coroutine in the class, pick the one with the smallest virtual
+// time (polls/weight, compared by cross-multiplication — no division or
+// floats on the hot path), then round-robin within that tenant via its own
+// cursor. Ties go to the lower tenant index, deterministically.
+//
+//demi:nonalloc same innermost loop as runClass, fixed arrays only
+func (s *Scheduler) runClassWFQ(c Class) bool {
+	blocks := s.classes[c]
+	n := len(blocks)
+	if n == 0 {
+		return false
+	}
+	// Pass 1: which tenants have a ready coroutine in this class?
+	var readyT [MaxTenants]bool
+	any := false
+	for _, blk := range blocks {
+		ready := blk.ready & blk.occupied
+		for ready != 0 {
+			slot := uint(bits.TrailingZeros64(ready))
+			ready &^= 1 << slot
+			readyT[blk.tens[slot]] = true
+			any = true
+		}
+	}
+	if !any {
+		return false
+	}
+	// Pass 2: smallest virtual time among ready tenants.
+	best := -1
+	for t := 0; t < MaxTenants; t++ {
+		if !readyT[t] {
+			continue
+		}
+		if best < 0 || s.tpolls[t]*s.weightOf(best) < s.tpolls[best]*s.weightOf(t) {
+			best = t
+		}
+	}
+	// Pass 3: round-robin within the chosen tenant, per-tenant cursor.
+	start := s.tcursor[c][best] % (n * 64)
+	startBlock, startSlot := start/64, uint(start%64)
+	for off := 0; off <= n; off++ {
+		bi := (startBlock + off) % n
+		blk := blocks[bi]
+		ready := blk.ready & blk.occupied
+		if off == 0 {
+			ready &^= (uint64(1) << startSlot) - 1
+		} else if off == n {
+			ready &= (uint64(1) << startSlot) - 1
+		}
+		for ready != 0 {
+			slot := uint(bits.TrailingZeros64(ready))
+			ready &^= 1 << slot
+			if int(blk.tens[slot]) != best {
+				continue
+			}
+			s.tcursor[c][best] = bi*64 + int(slot) + 1
+			s.poll(c, blk, slot)
+			return true
+		}
+	}
+	return false
+}
+
 // poll runs one coroutine slot and applies its result. The Coroutine.Poll
 // dispatch is the one dynamic call on the path; the allowlist carries it
 // (every Poll implementation is audited by the alloc-guard benchmark).
@@ -263,6 +405,7 @@ func (s *Scheduler) poll(c Class, blk *wakerBlock, slot uint) {
 	blk.ready &^= bit // clear before polling: wakes during poll are kept
 	s.stats.Polls++
 	s.stats.PollsByClass[c]++
+	s.tpolls[blk.tens[slot]]++
 	switch blk.cos[slot].Poll(&blk.ctxs[slot]) {
 	case Yield:
 		blk.ready |= bit
@@ -271,6 +414,7 @@ func (s *Scheduler) poll(c Class, blk *wakerBlock, slot uint) {
 		blk.ready &^= bit
 		blk.cos[slot] = nil
 		s.count[c]--
+		s.tlive[blk.tens[slot]]--
 		s.stats.Completed++
 	case Pending:
 		// Readiness bit stays as the coroutine's waker left it: if an
