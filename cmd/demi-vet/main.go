@@ -1,25 +1,33 @@
 // Command demi-vet runs the repository's static analyzers over the module:
-// qtoken discipline, buffer ownership, sim-world determinism, and
-// //demi:nonalloc hot-path allocation checks. It is built exclusively on
-// the standard library's go/parser, go/ast and go/types.
+// qtoken discipline, buffer ownership, sim-world determinism,
+// //demi:nonalloc hot-path allocation checks, //demi:stateguard
+// complete-or-error mutation, poll-path blocking discipline, capability
+// escape confinement, and //demi:budget static cost gates. It is built
+// exclusively on the standard library's go/parser, go/ast and go/types.
 //
 // Usage:
 //
 //	go run ./cmd/demi-vet ./...
 //	go run ./cmd/demi-vet -time ./internal/apps/... ./examples/...
+//	go run ./cmd/demi-vet -json ./...           # machine-readable findings
+//	go run ./cmd/demi-vet -github ./...         # GitHub workflow annotations
+//	go run ./cmd/demi-vet -budget 25s ./...     # fail if the run exceeds 25s
+//	go run ./cmd/demi-vet -costs ./...          # cost estimates, for budgets
 //
-// Exit status: 0 no findings, 1 findings (or stale allowlist entries), 2
-// usage or load errors. Audited exceptions live in analysis.allow at the
-// module root (override with -allow).
+// Exit status: 0 no findings, 1 findings (or stale allowlist entries, or
+// -budget exceeded), 2 usage or load errors. Audited exceptions live in
+// analysis.allow at the module root (override with -allow).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"demikernel/internal/analysis"
 )
@@ -29,9 +37,14 @@ func main() {
 }
 
 func run(args []string) int {
+	start := time.Now()
 	fs := flag.NewFlagSet("demi-vet", flag.ContinueOnError)
 	allowPath := fs.String("allow", "", "allowlist file (default <module-root>/analysis.allow)")
-	timing := fs.Bool("time", false, "print per-analyzer wall time")
+	timing := fs.Bool("time", false, "print per-analyzer compute time")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	github := fs.Bool("github", false, "emit findings as GitHub workflow ::error annotations")
+	budget := fs.Duration("budget", 0, "fail (exit 1) if the whole run exceeds this wall time")
+	costs := fs.Bool("costs", false, "print per-function static cost estimates and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -70,11 +83,28 @@ func run(args []string) int {
 		return 2
 	}
 
+	if *costs {
+		printCosts(mod, pkgs)
+		return 0
+	}
+
 	findings, elapsed := analysis.RunTimed(mod, pkgs, analysis.DefaultAnalyzers())
 	findings = allow.Filter(findings)
 
-	for _, f := range findings {
-		fmt.Println(f)
+	switch {
+	case *jsonOut:
+		if err := printJSON(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "demi-vet:", err)
+			return 2
+		}
+	case *github:
+		for _, f := range findings {
+			printGitHub(f)
+		}
+	default:
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	status := 0
 	if len(findings) > 0 {
@@ -97,10 +127,84 @@ func run(args []string) int {
 		}
 		sort.Strings(names)
 		for _, n := range names {
-			fmt.Fprintf(os.Stderr, "demi-vet: %-12s %s\n", n, elapsed[n].Round(1e6))
+			fmt.Fprintf(os.Stderr, "demi-vet: %-16s %s\n", n, elapsed[n].Round(1e6))
+		}
+	}
+	// The wall-clock regression gate: CI runs with -budget so that analysis
+	// slowdowns (a summary blow-up, an accidental quadratic walk) fail the
+	// lint job instead of silently eating the CI budget.
+	if *budget > 0 {
+		if wall := time.Since(start); wall > *budget {
+			fmt.Fprintf(os.Stderr, "demi-vet: run took %s, over the -budget of %s\n",
+				wall.Round(1e6), *budget)
+			status = 1
 		}
 	}
 	return status
+}
+
+// jsonFinding is the -json wire shape of one finding, stable for tooling.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+	Hint     string `json:"hint,omitempty"`
+}
+
+func printJSON(findings []analysis.Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			Analyzer: f.Analyzer,
+			File:     f.File,
+			Line:     f.Pos.Line,
+			Column:   f.Pos.Column,
+			Message:  f.Message,
+			Hint:     f.Hint,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// printGitHub emits one finding as a GitHub Actions workflow command, so
+// CI findings annotate the diff view directly. Newlines and percents in
+// the message must be escaped per the workflow-command grammar.
+func printGitHub(f analysis.Finding) {
+	msg := fmt.Sprintf("[%s] %s", f.Analyzer, f.Message)
+	if f.Hint != "" {
+		msg += " (fix: " + f.Hint + ")"
+	}
+	esc := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A").Replace(msg)
+	fmt.Printf("::error file=%s,line=%d,col=%d,title=demi-vet %s::%s\n",
+		f.File, f.Pos.Line, f.Pos.Column, f.Analyzer, esc)
+}
+
+// printCosts lists the static worst-case estimate of every function in the
+// selected packages, most expensive first — the input for choosing
+// //demi:budget values with real headroom.
+func printCosts(mod *analysis.Module, pkgs []*analysis.Package) {
+	selected := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		selected[p.Path] = true
+	}
+	for _, e := range mod.CostReport() {
+		if !selected[e.Pkg] {
+			continue
+		}
+		cost := "unbounded"
+		if e.Cost != analysis.CostUnbounded {
+			cost = e.Cost.Duration().String()
+		}
+		line := fmt.Sprintf("%-12s %s.%s", cost, strings.TrimPrefix(e.Pkg, mod.Path+"/"), e.Func)
+		if e.Budget > 0 {
+			line += fmt.Sprintf("  (budget %s)", e.Budget.Duration())
+		}
+		fmt.Println(line)
+	}
 }
 
 // selectPackages resolves the command-line patterns against the loaded

@@ -15,6 +15,23 @@
 //   - nonalloc: functions annotated //demi:nonalloc are rejected if they
 //     contain allocating constructs or call into code that may allocate
 //     (nonalloc.go).
+//   - stateguard: struct fields annotated //demi:stateguard may not be
+//     written on any path that returns a non-nil error (stateguard.go).
+//   - polldiscipline: coroutine Poll methods and //demi:nonalloc functions
+//     may not, transitively, touch channels, acquire mutexes, spawn
+//     goroutines, or spin in unbounded loops (polldiscipline.go).
+//   - capescape: tracked capabilities (*memory.Buf, core.QToken,
+//     *tenant.View) may not escape to package variables, exported
+//     non-//demi:carrier struct fields, or closures that outlive the call
+//     (capescape.go).
+//   - cyclebudget: //demi:budget=<duration> functions must fit the static
+//     worst-case cost estimate (cyclebudget.go).
+//
+// The qtoken, ownership, stateguard and capescape rules sit on a shared
+// dataflow core: a per-function control-flow graph (cfg.go) and an
+// interprocedural summary engine (summary.go) that fixpoints parameter
+// ownership modes, owned results, poll facts and cost estimates over the
+// module call graph.
 //
 // The analyzer is built exclusively on the standard library's go/parser,
 // go/ast and go/types (with the source importer for the standard library),
@@ -25,7 +42,9 @@ import (
 	"fmt"
 	"go/token"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -80,7 +99,7 @@ func (p *Pass) Reportf(pos token.Pos, hint, format string, args ...any) {
 	})
 }
 
-// DefaultAnalyzers returns the four demi-vet analyzers with their default
+// DefaultAnalyzers returns the eight demi-vet analyzers with their default
 // configuration.
 func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
@@ -88,6 +107,10 @@ func DefaultAnalyzers() []*Analyzer {
 		OwnershipAnalyzer(),
 		DeterminismAnalyzer(nil),
 		NonAllocAnalyzer(),
+		StateguardAnalyzer(),
+		PolldisciplineAnalyzer(),
+		CapescapeAnalyzer(),
+		CyclebudgetAnalyzer(),
 	}
 }
 
@@ -98,18 +121,59 @@ func Run(mod *Module, pkgs []*Package, analyzers []*Analyzer) []Finding {
 	return fs
 }
 
-// RunTimed is Run, also reporting per-analyzer wall time so CI can keep
-// the lint budget honest.
+// RunTimed is Run, also reporting per-analyzer time so CI can keep the
+// lint budget honest. Summaries are precomputed single-threaded, then the
+// per-package passes run on a worker pool (the summary memos are frozen
+// and read-only by then); per-analyzer durations are summed across
+// workers, so they report aggregate compute, not wall time.
 func RunTimed(mod *Module, pkgs []*Package, analyzers []*Analyzer) ([]Finding, map[string]time.Duration) {
+	mod.Precompute()
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	type shard struct {
+		findings []Finding
+		elapsed  map[string]time.Duration
+	}
+	shards := make([]shard, workers)
+	jobs := make(chan *Package)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			sh.elapsed = make(map[string]time.Duration)
+			for pkg := range jobs {
+				for _, a := range analyzers {
+					start := time.Now()
+					pass := &Pass{Mod: mod, Pkg: pkg, analyzer: a, sink: &sh.findings}
+					a.Run(pass)
+					sh.elapsed[a.Name] += time.Since(start)
+				}
+			}
+		}(&shards[w])
+	}
+	for _, pkg := range pkgs {
+		jobs <- pkg
+	}
+	close(jobs)
+	wg.Wait()
+
 	var findings []Finding
 	elapsed := make(map[string]time.Duration)
 	for _, a := range analyzers {
-		start := time.Now()
-		for _, pkg := range pkgs {
-			pass := &Pass{Mod: mod, Pkg: pkg, analyzer: a, sink: &findings}
-			a.Run(pass)
+		elapsed[a.Name] = 0
+	}
+	for _, sh := range shards {
+		findings = append(findings, sh.findings...)
+		for n, d := range sh.elapsed {
+			elapsed[n] += d
 		}
-		elapsed[a.Name] += time.Since(start)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		if findings[i].File != findings[j].File {
@@ -120,6 +184,9 @@ func RunTimed(mod *Module, pkgs []*Package, analyzers []*Analyzer) ([]Finding, m
 		}
 		if findings[i].Pos.Column != findings[j].Pos.Column {
 			return findings[i].Pos.Column < findings[j].Pos.Column
+		}
+		if findings[i].Analyzer != findings[j].Analyzer {
+			return findings[i].Analyzer < findings[j].Analyzer
 		}
 		return findings[i].Message < findings[j].Message
 	})

@@ -1,0 +1,325 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CapescapeAnalyzer enforces capability confinement (paper §3.1, §6):
+// *memory.Buf, core.QToken, and *tenant.View values are capabilities — a
+// buffer names a DMA-pinned slot, a token names an outstanding op owned by
+// a tenant, a view IS a tenant's entire datapath authority. A capability
+// that escapes its owning call's scope outlives the checks that minted it:
+//
+//   - stored in a package-level variable (any goroutine can now replay it);
+//   - stored through an exported struct field of a type NOT annotated
+//     //demi:carrier (exported fields are API surface; only audited
+//     transfer records like SGArray/QEvent/CQE may carry capabilities);
+//   - captured by a closure that outlives the call — one that is returned,
+//     stored in a package variable or struct field, or launched with go.
+//
+// The memory, core, and tenant packages themselves are exempt: they are
+// the authorities that mint and redeem these capabilities.
+func CapescapeAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "capescape",
+		Doc:  "tracked capabilities must not escape to package vars, exported non-carrier fields, or escaping closures",
+	}
+	a.Run = func(p *Pass) { runCapescape(p) }
+	return a
+}
+
+const capescapeHint = "keep capabilities function-scoped; for a sanctioned transfer record, annotate the carrying struct //demi:carrier with a rationale"
+
+// capExemptSuffixes are the capability authorities: the packages that
+// implement the tracked types manage their lifetime by design.
+var capExemptSuffixes = []string{"internal/memory", "internal/core", "internal/tenant"}
+
+func runCapescape(p *Pass) {
+	for _, sfx := range capExemptSuffixes {
+		if strings.HasSuffix(p.Pkg.Path, sfx) {
+			return
+		}
+	}
+	c := &capChecker{p: p, view: p.Mod.LookupNamed("internal/tenant", "View")}
+	if s := p.Mod.summaryState(); s.trackedNamed[trackBuf] == nil && s.trackedNamed[trackQTok] == nil && c.view == nil {
+		return
+	}
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		walkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				c.checkAssign(x)
+			case *ast.CompositeLit:
+				c.checkCompositeLit(x)
+			case *ast.FuncLit:
+				c.checkFuncLit(x, stack)
+			}
+			_ = info
+			return true
+		})
+	}
+}
+
+type capChecker struct {
+	p    *Pass
+	view *types.Named
+}
+
+// capKind labels a capability type, or returns "".
+func (c *capChecker) capKind(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	s := c.p.Mod.summaryState()
+	if k, ok := s.trackedKind(t); ok {
+		if k == trackBuf {
+			return "buffer"
+		}
+		return "qtoken"
+	}
+	if ptr, ok := t.(*types.Pointer); ok && c.view != nil {
+		if n, ok := ptr.Elem().(*types.Named); ok && n.Obj() == c.view.Obj() {
+			return "tenant view"
+		}
+	}
+	return ""
+}
+
+// exprCapKind labels the capability an expression evaluates to, looking
+// through append(dst, caps...) which stores its arguments.
+func (c *capChecker) exprCapKind(e ast.Expr) string {
+	info := c.p.Pkg.Info
+	if tv, ok := info.Types[e]; ok {
+		if kind := c.capKind(tv.Type); kind != "" {
+			return kind
+		}
+	}
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+				for _, arg := range call.Args[1:] {
+					if tv, ok := info.Types[arg]; ok {
+						if kind := c.capKind(tv.Type); kind != "" {
+							return kind
+						}
+					}
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// rootObject resolves the base identifier of an lvalue chain
+// (pkgvar.field[i] -> pkgvar).
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if o := info.Uses[x]; o != nil {
+				return o
+			}
+			return info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isPackageLevel(o types.Object) bool {
+	v, ok := o.(*types.Var)
+	return ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+func (c *capChecker) checkAssign(as *ast.AssignStmt) {
+	info := c.p.Pkg.Info
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) && len(as.Rhs) != 1 {
+			break
+		}
+		rhs := as.Rhs[min(i, len(as.Rhs)-1)]
+		kind := c.exprCapKind(rhs)
+		if kind == "" {
+			continue
+		}
+		// Rule 1: stored under a package-level variable.
+		if root := rootObject(info, lhs); root != nil && isPackageLevel(root) {
+			c.p.Reportf(as.Pos(), capescapeHint,
+				"%s escapes to package-level variable %q; capabilities must not outlive their owner's scope",
+				kind, root.Name())
+			continue
+		}
+		// Rule 2: stored through an exported field of a non-carrier type.
+		if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+			c.checkFieldStore(sel, kind, as.Pos())
+		}
+	}
+}
+
+// checkFieldStore flags `x.Field = cap` when Field is exported and x's type
+// is not an audited //demi:carrier transfer record.
+func (c *capChecker) checkFieldStore(sel *ast.SelectorExpr, kind string, pos token.Pos) {
+	info := c.p.Pkg.Info
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	fv, ok := s.Obj().(*types.Var)
+	if !ok || !fv.Exported() {
+		return
+	}
+	if tn := namedOwner(s.Recv()); tn == nil || c.p.Mod.IsCarrier(tn) {
+		return
+	} else {
+		c.p.Reportf(pos, capescapeHint,
+			"%s escapes through exported field %s.%s of a type not annotated //demi:carrier",
+			kind, tn.Name(), fv.Name())
+	}
+}
+
+// checkCompositeLit flags capability values placed in exported fields of
+// non-carrier struct literals.
+func (c *capChecker) checkCompositeLit(lit *ast.CompositeLit) {
+	info := c.p.Pkg.Info
+	tv, ok := info.Types[lit]
+	if !ok {
+		return
+	}
+	tn := namedOwner(tv.Type)
+	if tn == nil || c.p.Mod.IsCarrier(tn) {
+		return
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, elt := range lit.Elts {
+		var value ast.Expr
+		var field *types.Var
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			value = kv.Value
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				field, _ = info.Uses[id].(*types.Var)
+			}
+		} else {
+			value = elt
+			if i < st.NumFields() {
+				field = st.Field(i)
+			}
+		}
+		if field == nil || !field.Exported() {
+			continue
+		}
+		if kind := c.exprCapKind(value); kind != "" {
+			c.p.Reportf(value.Pos(), capescapeHint,
+				"%s escapes through exported field %s.%s of a type not annotated //demi:carrier",
+				kind, tn.Name(), field.Name())
+		}
+	}
+}
+
+// namedOwner unwraps a (possibly pointer) type to its named type's
+// TypeName.
+func namedOwner(t types.Type) *types.TypeName {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj()
+	}
+	return nil
+}
+
+// checkFuncLit flags closures that capture a capability from the enclosing
+// scope AND outlive the call: returned, stored in a package variable or
+// struct field, or launched with go. Closures passed as plain call
+// arguments (scheduler Spawn bodies, pipeline stages) are the normal way
+// to hand work to the runtime and are not flagged.
+func (c *capChecker) checkFuncLit(lit *ast.FuncLit, stack []ast.Node) {
+	how := c.escapingContext(stack, lit)
+	if how == "" {
+		return
+	}
+	v, kind := c.capturedCapability(lit)
+	if v == nil {
+		return
+	}
+	c.p.Reportf(lit.Pos(), capescapeHint,
+		"closure %s captures %s %q, which then outlives the call that owns it",
+		how, kind, v.Name())
+}
+
+// escapingContext classifies how a closure outlives its call, or "".
+func (c *capChecker) escapingContext(stack []ast.Node, lit *ast.FuncLit) string {
+	info := c.p.Pkg.Info
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch x := stack[i].(type) {
+		case *ast.ReturnStmt:
+			return "returned from the function"
+		case *ast.GoStmt:
+			return "launched with go"
+		case *ast.AssignStmt:
+			// Only stores that themselves escape: a package variable or a
+			// struct field. `f := func(){...}` stays function-scoped.
+			for _, lhs := range x.Lhs {
+				if root := rootObject(info, lhs); root != nil && isPackageLevel(root) {
+					return "stored in a package variable"
+				}
+				if _, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+					return "stored in a struct field"
+				}
+			}
+			return ""
+		case *ast.KeyValueExpr, *ast.CompositeLit:
+			continue // stored inside a literal: keep climbing to the store
+		case *ast.CallExpr:
+			if x.Fun == lit {
+				continue // immediately-invoked literal: does not outlive
+			}
+			return "" // plain call argument: consumed by the callee
+		case *ast.ExprStmt, *ast.DeferStmt:
+			return ""
+		}
+	}
+	return ""
+}
+
+// capturedCapability finds a capability-typed variable referenced inside
+// the literal but declared outside it (and below package scope — package
+// vars are rule 1's business).
+func (c *capChecker) capturedCapability(lit *ast.FuncLit) (*types.Var, string) {
+	info := c.p.Pkg.Info
+	var found *types.Var
+	var kind string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || isPackageLevel(v) {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // declared inside the closure (or its params)
+		}
+		if k := c.capKind(v.Type()); k != "" {
+			found, kind = v, k
+		}
+		return true
+	})
+	return found, kind
+}

@@ -1,0 +1,425 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// cfg.go builds the per-function control-flow graph the path-sensitive
+// analyzers run on. One Block is a maximal straight-line run of statements;
+// edges follow Go's control statements: if/else, for (all three clauses),
+// range, switch/type-switch (with fallthrough), select, labeled
+// break/continue, and goto. Return statements edge to the function exit;
+// panic (and test Fatal) terminate a path without reaching it, so leaks on
+// panicking paths are not charged. Deferred statements are collected
+// separately: they run at every exit, so a consuming use inside a defer
+// discharges an obligation on all paths.
+
+// A Block is one basic block of a function CFG.
+type Block struct {
+	Index int
+	// Nodes are the block's statements (and branch-condition expressions)
+	// in execution order. Appended conditions let use-scanners see
+	// consuming uses inside `if l.Wait(qt) == nil { ... }` style branches.
+	Nodes []ast.Node
+	// Cond is the boolean branch expression when the block ends in a
+	// two-way conditional: Succs[0] is the true edge, Succs[1] the false
+	// edge. Nil for unconditional blocks and multi-way branches (range,
+	// switch, select), whose successors are not condition-prunable.
+	Cond ast.Expr
+	// Succs are the successor blocks. Empty for blocks ending the
+	// function: a Return, a panic, or falling off the end of the body.
+	Succs []*Block
+	// Return is set when the block ends in an explicit return statement.
+	Return *ast.ReturnStmt
+	// Panics is set when the block ends in panic()/t.Fatal()/log.Fatal():
+	// the path terminates without reaching a normal exit.
+	Panics bool
+}
+
+// A CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry  *Block
+	Blocks []*Block
+	// Defers are the function's defer statements, in source order. Their
+	// bodies execute at every exit reached after the defer runs.
+	Defers []*ast.DeferStmt
+	// pos locates each appended statement node in its block, for starting
+	// a path walk at a producer statement.
+	pos map[ast.Node]blockPos
+}
+
+type blockPos struct {
+	block *Block
+	index int // index into block.Nodes
+}
+
+// Lookup returns the block and intra-block index of a statement node that
+// was appended to the CFG, or (nil, -1) when the node is not part of it
+// (e.g. it lives inside a nested function literal).
+func (g *CFG) Lookup(n ast.Node) (*Block, int) {
+	if p, ok := g.pos[n]; ok {
+		return p.block, p.index
+	}
+	return nil, -1
+}
+
+// loopFrame tracks the break/continue targets of one enclosing loop,
+// switch, or select, plus its label when it has one.
+type loopFrame struct {
+	label     string
+	breakTo   *Block
+	contTo    *Block // nil for switch/select: continue skips them
+	isLoop    bool
+	savedCont *Block
+}
+
+type cfgBuilder struct {
+	g      *CFG
+	cur    *Block
+	frames []loopFrame
+	labels map[string]*Block // goto targets
+	gotos  []pendingGoto
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// BuildCFG constructs the control-flow graph of a function body. Nested
+// function literals are not descended into: each gets its own CFG.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	g := &CFG{pos: make(map[ast.Node]blockPos)}
+	b := &cfgBuilder{g: g, labels: make(map[string]*Block)}
+	b.cur = b.newBlock()
+	g.Entry = b.cur
+	b.stmtList(body.List)
+	// Resolve forward gotos now that every label has a block.
+	for _, pg := range b.gotos {
+		if tgt, ok := b.labels[pg.label]; ok {
+			pg.from.Succs = append(pg.from.Succs, tgt)
+		}
+	}
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// startBlock finishes cur with an edge to a fresh block and makes it
+// current.
+func (b *cfgBuilder) startBlock() *Block {
+	nb := b.newBlock()
+	b.edge(b.cur, nb)
+	b.cur = nb
+	return nb
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from.Return != nil || from.Panics {
+		return // terminated blocks have no fallthrough edge
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *cfgBuilder) append(n ast.Node) {
+	if n == nil {
+		return
+	}
+	b.g.pos[n] = blockPos{block: b.cur, index: len(b.cur.Nodes)}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, "")
+	case *ast.RangeStmt:
+		b.rangeStmt(s, "")
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body, "")
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body, "")
+	case *ast.SelectStmt:
+		b.selectStmt(s, "")
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.ReturnStmt:
+		b.append(s)
+		b.cur.Return = s
+		b.cur = b.newBlock() // anything after is unreachable
+	case *ast.DeferStmt:
+		b.g.Defers = append(b.g.Defers, s)
+	case *ast.ExprStmt:
+		b.append(s)
+		if isPanicStmt(s) {
+			b.cur.Panics = true
+			b.cur = b.newBlock()
+		}
+	default:
+		// Assign, IncDec, Send, Go, Decl, Empty: straight-line.
+		b.append(s)
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.append(s.Init)
+	}
+	b.append(s.Cond)
+	condBlk := b.cur
+	condBlk.Cond = s.Cond
+
+	thenBlk := b.newBlock()
+	condBlk.Succs = append(condBlk.Succs, thenBlk) // true edge
+	b.cur = thenBlk
+	b.stmtList(s.Body.List)
+	thenEnd := b.cur
+
+	join := b.newBlock()
+	if s.Else != nil {
+		elseBlk := b.newBlock()
+		condBlk.Succs = append(condBlk.Succs, elseBlk) // false edge
+		b.cur = elseBlk
+		b.stmt(s.Else)
+		b.edge(b.cur, join)
+	} else {
+		condBlk.Succs = append(condBlk.Succs, join) // false edge
+	}
+	b.edge(thenEnd, join)
+	b.cur = join
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.append(s.Init)
+	}
+	header := b.startBlock()
+	after := b.newBlock()
+	post := header
+	if s.Post != nil {
+		post = b.newBlock()
+		post.Succs = append(post.Succs, header)
+	}
+
+	if s.Cond != nil {
+		b.append(s.Cond)
+		header.Cond = s.Cond
+	}
+	bodyBlk := b.newBlock()
+	header.Succs = append(header.Succs, bodyBlk) // true (or only) edge
+	if s.Cond != nil {
+		header.Succs = append(header.Succs, after) // false edge
+	}
+
+	b.pushFrame(loopFrame{label: label, breakTo: after, contTo: post, isLoop: true})
+	b.cur = bodyBlk
+	b.stmtList(s.Body.List)
+	if s.Post != nil {
+		b.edge(b.cur, post)
+		b.cur = post
+		b.append(s.Post)
+	} else {
+		b.edge(b.cur, header)
+	}
+	b.popFrame()
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt, label string) {
+	b.append(s.X)
+	header := b.cur
+	bodyBlk := b.newBlock()
+	after := b.newBlock()
+	// A range header is a multi-way branch (iterate vs. done), not
+	// condition-prunable.
+	header.Succs = append(header.Succs, bodyBlk, after)
+
+	b.pushFrame(loopFrame{label: label, breakTo: after, contTo: header, isLoop: true})
+	b.cur = bodyBlk
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, header)
+	b.popFrame()
+	b.cur = after
+}
+
+// switchStmt handles both expression and type switches: tag/assign
+// evaluated in the header, each case body its own block, fallthrough
+// edging into the next body, and an implicit edge past the switch when
+// there is no default case.
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, label string) {
+	if init != nil {
+		b.append(init)
+	}
+	if tag != nil {
+		b.append(tag)
+	}
+	if assign != nil {
+		b.append(assign)
+	}
+	header := b.cur
+	after := b.newBlock()
+	b.pushFrame(loopFrame{label: label, breakTo: after})
+
+	var caseBlks []*Block
+	var clauses []*ast.CaseClause
+	hasDefault := false
+	for _, cs := range body.List {
+		cc, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock()
+		header.Succs = append(header.Succs, blk)
+		caseBlks = append(caseBlks, blk)
+		clauses = append(clauses, cc)
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		header.Succs = append(header.Succs, after)
+	}
+	for i, cc := range clauses {
+		b.cur = caseBlks[i]
+		for _, e := range cc.List {
+			b.append(e)
+		}
+		fallsThrough := false
+		for _, cs := range cc.Body {
+			if br, ok := cs.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				continue
+			}
+			b.stmt(cs)
+		}
+		if fallsThrough && i+1 < len(caseBlks) {
+			b.edge(b.cur, caseBlks[i+1])
+		} else {
+			b.edge(b.cur, after)
+		}
+	}
+	b.popFrame()
+	b.cur = after
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt, label string) {
+	header := b.cur
+	after := b.newBlock()
+	b.pushFrame(loopFrame{label: label, breakTo: after})
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock()
+		header.Succs = append(header.Succs, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.append(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, after)
+	}
+	b.popFrame()
+	b.cur = after
+}
+
+func (b *cfgBuilder) labeledStmt(s *ast.LabeledStmt) {
+	// A label is a goto target: start a fresh block for it.
+	tgt := b.startBlock()
+	b.labels[s.Label.Name] = tgt
+	switch inner := s.Stmt.(type) {
+	case *ast.ForStmt:
+		b.forStmt(inner, s.Label.Name)
+	case *ast.RangeStmt:
+		b.rangeStmt(inner, s.Label.Name)
+	case *ast.SwitchStmt:
+		b.switchStmt(inner.Init, inner.Tag, nil, inner.Body, s.Label.Name)
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(inner.Init, nil, inner.Assign, inner.Body, s.Label.Name)
+	case *ast.SelectStmt:
+		b.selectStmt(inner, s.Label.Name)
+	default:
+		b.stmt(s.Stmt)
+	}
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.BREAK:
+		if f := b.findFrame(s.Label, false); f != nil {
+			b.edge(b.cur, f.breakTo)
+		}
+	case token.CONTINUE:
+		if f := b.findFrame(s.Label, true); f != nil && f.contTo != nil {
+			b.edge(b.cur, f.contTo)
+		}
+	case token.GOTO:
+		if s.Label != nil {
+			if tgt, ok := b.labels[s.Label.Name]; ok {
+				b.edge(b.cur, tgt)
+			} else {
+				b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+			}
+		}
+	}
+	// FALLTHROUGH is handled by switchStmt; anything after an
+	// unconditional branch is unreachable.
+	if s.Tok != token.FALLTHROUGH {
+		b.cur = b.newBlock()
+	}
+}
+
+func (b *cfgBuilder) pushFrame(f loopFrame) { b.frames = append(b.frames, f) }
+func (b *cfgBuilder) popFrame()             { b.frames = b.frames[:len(b.frames)-1] }
+
+// findFrame resolves the target frame of a break (any frame) or continue
+// (loops only), innermost first, honoring labels.
+func (b *cfgBuilder) findFrame(label *ast.Ident, loopOnly bool) *loopFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if loopOnly && !f.isLoop {
+			continue
+		}
+		if label == nil || f.label == label.Name {
+			return f
+		}
+	}
+	return nil
+}
+
+// isPanicStmt matches statements that terminate the path without a normal
+// return: panic(...), (*testing.T).Fatal(f), log.Fatal(f), os.Exit.
+func isPanicStmt(s *ast.ExprStmt) bool {
+	call, ok := s.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Fatal", "Fatalf", "Exit", "Fatalln":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,306 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// cfg_test.go unit-tests BuildCFG's shapes directly on parsed (untyped)
+// function bodies: branches, loops, defers, gotos, switch fallthrough,
+// and path termination.
+
+// cfgOf parses one function declaration and builds its CFG.
+func cfgOf(t *testing.T, fnSrc string) (*CFG, *ast.FuncDecl) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test_src.go", "package p\n\n"+fnSrc, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(fd.Body), fd
+}
+
+// findNode returns the first node under root matching pred.
+func findNode(t *testing.T, root ast.Node, what string, pred func(ast.Node) bool) ast.Node {
+	t.Helper()
+	var found ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found == nil && n != nil && pred(n) {
+			found = n
+		}
+		return found == nil
+	})
+	if found == nil {
+		t.Fatalf("no %s in test function", what)
+	}
+	return found
+}
+
+// reachable reports whether to can be reached from from by following at
+// least one edge.
+func reachable(from, to *Block) bool {
+	seen := make(map[*Block]bool)
+	var walk func(b *Block) bool
+	walk = func(b *Block) bool {
+		for _, s := range b.Succs {
+			if s == to {
+				return true
+			}
+			if !seen[s] {
+				seen[s] = true
+				if walk(s) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+// predCount counts in-edges of b across the graph.
+func predCount(g *CFG, b *Block) int {
+	n := 0
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			if s == b {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestCFGBranch(t *testing.T) {
+	g, fd := cfgOf(t, `func f(n int) int {
+	if n > 0 {
+		n++
+	} else {
+		n--
+	}
+	return n
+}`)
+	inc := findNode(t, fd.Body, "n++", func(n ast.Node) bool {
+		s, ok := n.(*ast.IncDecStmt)
+		return ok && s.Tok == token.INC
+	})
+	dec := findNode(t, fd.Body, "n--", func(n ast.Node) bool {
+		s, ok := n.(*ast.IncDecStmt)
+		return ok && s.Tok == token.DEC
+	})
+	thenBlk, _ := g.Lookup(inc)
+	elseBlk, _ := g.Lookup(dec)
+	if thenBlk == nil || elseBlk == nil {
+		t.Fatal("branch arms not in the CFG")
+	}
+	cond := g.Entry
+	if cond.Cond == nil || len(cond.Succs) != 2 {
+		t.Fatalf("entry block: Cond=%v, %d succs; want a two-way conditional", cond.Cond, len(cond.Succs))
+	}
+	if cond.Succs[0] != thenBlk {
+		t.Error("Succs[0] is not the true (then) edge")
+	}
+	if cond.Succs[1] != elseBlk {
+		t.Error("Succs[1] is not the false (else) edge")
+	}
+	ret := findNode(t, fd.Body, "return", func(n ast.Node) bool {
+		_, ok := n.(*ast.ReturnStmt)
+		return ok
+	})
+	retBlk, _ := g.Lookup(ret)
+	if retBlk == nil || retBlk.Return == nil {
+		t.Fatal("return block missing or unmarked")
+	}
+	if len(retBlk.Succs) != 0 {
+		t.Errorf("return block has %d succs, want 0", len(retBlk.Succs))
+	}
+	if !reachable(thenBlk, retBlk) || !reachable(elseBlk, retBlk) {
+		t.Error("both branch arms must rejoin at the return")
+	}
+}
+
+func TestCFGLoop(t *testing.T) {
+	g, fd := cfgOf(t, `func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`)
+	var header *Block
+	for _, b := range g.Blocks {
+		if b.Cond != nil {
+			header = b
+		}
+	}
+	if header == nil {
+		t.Fatal("no loop-header block with a condition")
+	}
+	if !reachable(header, header) {
+		t.Error("loop header has no back edge (body -> post -> header cycle missing)")
+	}
+	ret := findNode(t, fd.Body, "return", func(n ast.Node) bool {
+		_, ok := n.(*ast.ReturnStmt)
+		return ok
+	})
+	retBlk, _ := g.Lookup(ret)
+	if len(header.Succs) != 2 || !reachable(header, retBlk) {
+		t.Error("loop exit (false edge) does not lead to the return")
+	}
+	body := findNode(t, fd.Body, "s += i", func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		return ok && a.Tok == token.ADD_ASSIGN
+	})
+	bodyBlk, _ := g.Lookup(body)
+	if bodyBlk == nil {
+		t.Fatal("loop body not in the CFG")
+	}
+	if header.Succs[0] != bodyBlk {
+		t.Error("Succs[0] of the loop header is not the body (true edge)")
+	}
+}
+
+func TestCFGDefer(t *testing.T) {
+	g, fd := cfgOf(t, `func f(b fakeBuf) int {
+	defer b.Free()
+	return b.Len()
+}`)
+	if len(g.Defers) != 1 {
+		t.Fatalf("got %d defers, want 1", len(g.Defers))
+	}
+	def := findNode(t, fd.Body, "defer", func(n ast.Node) bool {
+		_, ok := n.(*ast.DeferStmt)
+		return ok
+	})
+	if blk, _ := g.Lookup(def); blk != nil {
+		t.Error("defer statement appended to a block; it must live only in Defers (it runs at every exit)")
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	g, fd := cfgOf(t, `func f(n int) {
+	if n == 0 {
+		goto done
+	}
+	n++
+done:
+	n--
+}`)
+	dec := findNode(t, fd.Body, "n--", func(n ast.Node) bool {
+		s, ok := n.(*ast.IncDecStmt)
+		return ok && s.Tok == token.DEC
+	})
+	target, _ := g.Lookup(dec)
+	if target == nil {
+		t.Fatal("goto target statement not in the CFG")
+	}
+	// The labeled block is entered both by the forward goto and by the
+	// fallthrough from n++.
+	if got := predCount(g, target); got < 2 {
+		t.Errorf("goto target has %d in-edges, want >= 2 (goto + fallthrough)", got)
+	}
+	inc := findNode(t, fd.Body, "n++", func(n ast.Node) bool {
+		s, ok := n.(*ast.IncDecStmt)
+		return ok && s.Tok == token.INC
+	})
+	incBlk, _ := g.Lookup(inc)
+	if !reachable(incBlk, target) {
+		t.Error("fallthrough path does not reach the labeled block")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g, fd := cfgOf(t, `func f(n int) int {
+	switch n {
+	case 0:
+		n++
+		fallthrough
+	case 1:
+		n += 2
+	default:
+		n = 9
+	}
+	return n
+}`)
+	inc := findNode(t, fd.Body, "n++", func(n ast.Node) bool {
+		s, ok := n.(*ast.IncDecStmt)
+		return ok && s.Tok == token.INC
+	})
+	add := findNode(t, fd.Body, "n += 2", func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		return ok && a.Tok == token.ADD_ASSIGN
+	})
+	case0, _ := g.Lookup(inc)
+	case1, _ := g.Lookup(add)
+	if case0 == nil || case1 == nil {
+		t.Fatal("case bodies not in the CFG")
+	}
+	direct := false
+	for _, s := range case0.Succs {
+		if s == case1 {
+			direct = true
+		}
+	}
+	if !direct {
+		t.Error("fallthrough does not edge case 0 directly into case 1")
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	g, fd := cfgOf(t, `func f(n int) int {
+	if n < 0 {
+		panic("neg")
+	}
+	return n
+}`)
+	pn := findNode(t, fd.Body, "panic", func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	})
+	blk, _ := g.Lookup(pn)
+	if blk == nil {
+		t.Fatal("panic statement not in the CFG")
+	}
+	if !blk.Panics {
+		t.Error("panic block not marked Panics")
+	}
+	if len(blk.Succs) != 0 {
+		t.Errorf("panic block has %d succs, want 0 (the path terminates)", len(blk.Succs))
+	}
+}
+
+func TestCFGFuncLitOpaque(t *testing.T) {
+	g, fd := cfgOf(t, `func f() int {
+	a := 1
+	g := func() int {
+		b := 2
+		return b
+	}
+	return a + g()
+}`)
+	outer := findNode(t, fd.Body, "a := 1", func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		return ok && a.Tok == token.DEFINE && a.Pos() == fd.Body.List[0].Pos()
+	})
+	if blk, idx := g.Lookup(outer); blk == nil || idx != 0 {
+		t.Errorf("Lookup(first stmt) = (%v, %d), want (entry, 0)", blk, idx)
+	}
+	inner := findNode(t, fd.Body, "b := 2", func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		return ok && a.Tok == token.DEFINE && a.Pos() != fd.Body.List[0].Pos() && a.Pos() != fd.Body.List[1].Pos()
+	})
+	if blk, _ := g.Lookup(inner); blk != nil {
+		t.Error("statement inside a nested FuncLit appears in the outer CFG; closures must get their own graphs")
+	}
+}

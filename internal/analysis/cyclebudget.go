@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CyclebudgetAnalyzer checks //demi:budget=<duration> annotations against
+// the engine's static worst-case cost estimate (CostEstimate, DESIGN.md
+// §13). The paper's argument is that datapath operations must stay in the
+// sub-microsecond regime (§2, Table 2); a budget annotation pins a hot
+// function's cost so that code growth past the model's estimate fails the
+// build instead of quietly regressing the tail. The estimate is coarse and
+// deterministic — the gate is a regression tripwire, not a cycle count.
+func CyclebudgetAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "cyclebudget",
+		Doc:  "//demi:budget functions must fit the static worst-case cost estimate",
+	}
+	a.Run = func(p *Pass) { runCyclebudget(p) }
+	return a
+}
+
+const budgetHint = "trim the hot path (or raise the //demi:budget with a rationale); use demi-vet -costs to see current estimates"
+
+func runCyclebudget(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			budget, ok := p.Mod.BudgetOf(fn)
+			if !ok {
+				continue
+			}
+			est := p.Mod.CostEstimate(fn)
+			if est == CostUnbounded {
+				p.Reportf(fd.Name.Pos(), budgetHint,
+					"%s declares //demi:budget=%s but its worst-case cost is unbounded (recursion)",
+					fd.Name.Name, budget.Duration())
+				continue
+			}
+			if est > budget {
+				p.Reportf(fd.Name.Pos(), budgetHint,
+					"%s estimates %s worst-case, over its //demi:budget=%s",
+					fd.Name.Name, est.Duration(), budget.Duration())
+			}
+		}
+	}
+}

@@ -224,6 +224,14 @@ type objUse struct {
 	id        *ast.Ident
 	consuming bool
 	how       string // what the use does, for diagnostics
+
+	// call and argIndex are set when the use consumes by being passed as a
+	// call argument: the interprocedural engine re-resolves these against
+	// the callee's parameter summary (a callee that merely borrows the
+	// value does not consume it).
+	call     *ast.CallExpr
+	argIndex int
+	borrowed bool // downgraded by the callee's summary (ParamBorrows)
 }
 
 // collectUses finds every use of obj inside body and classifies it. The
@@ -236,16 +244,18 @@ func collectUses(info *types.Info, body ast.Node, obj types.Object, consumingMet
 		if !ok || info.Uses[id] != obj {
 			return true
 		}
-		consuming, how := classifyUse(stack, id, consumingMethod)
-		uses = append(uses, objUse{id: id, consuming: consuming, how: how})
+		u := objUse{id: id, argIndex: -1}
+		u.consuming, u.how, u.call, u.argIndex = classifyUse(stack, id, consumingMethod)
+		uses = append(uses, u)
 		return true
 	})
 	return uses
 }
 
 // classifyUse walks outward from an identifier to decide whether this use
-// consumes the tracked value.
-func classifyUse(stack []ast.Node, id *ast.Ident, consumingMethod func(string) bool) (bool, string) {
+// consumes the tracked value. For consuming call-argument uses it also
+// returns the call and the argument position the value flows into.
+func classifyUse(stack []ast.Node, id *ast.Ident, consumingMethod func(string) bool) (bool, string, *ast.CallExpr, int) {
 	cur := ast.Node(id)
 	for i := len(stack) - 1; i >= 0; i-- {
 		switch a := stack[i].(type) {
@@ -253,82 +263,88 @@ func classifyUse(stack []ast.Node, id *ast.Ident, consumingMethod func(string) b
 			cur = a.(ast.Node)
 		case *ast.SelectorExpr:
 			if a.X != cur {
-				return false, "selector"
+				return false, "selector", nil, -1
 			}
 			// Method call on the object?
 			if i > 0 {
 				if call, ok := stack[i-1].(*ast.CallExpr); ok && call.Fun == a {
 					if consumingMethod != nil && consumingMethod(a.Sel.Name) {
-						return true, "." + a.Sel.Name + "()"
+						return true, "." + a.Sel.Name + "()", nil, -1
 					}
-					return false, "." + a.Sel.Name + "()"
+					return false, "." + a.Sel.Name + "()", nil, -1
 				}
 			}
-			return false, "field access"
+			return false, "field access", nil, -1
 		case *ast.CallExpr:
 			if cur == a.Fun {
-				return false, "called"
+				return false, "called", nil, -1
 			}
-			return true, "passed to " + exprString(a.Fun)
+			arg := -1
+			for k, e := range a.Args {
+				if e == cur {
+					arg = k
+				}
+			}
+			return true, "passed to " + exprString(a.Fun), a, arg
 		case *ast.ReturnStmt:
-			return true, "returned"
+			return true, "returned", nil, -1
 		case *ast.AssignStmt:
 			for k, r := range a.Rhs {
 				if r == cur {
 					// `_ = x` keeps the compiler quiet but consumes nothing.
 					if len(a.Lhs) == len(a.Rhs) {
 						if lid, ok := a.Lhs[k].(*ast.Ident); ok && lid.Name == "_" {
-							return false, "discarded with _"
+							return false, "discarded with _", nil, -1
 						}
 					}
-					return true, "stored"
+					return true, "stored", nil, -1
 				}
 			}
-			return false, "assigned over"
+			return false, "assigned over", nil, -1
 		case *ast.ValueSpec:
 			for _, v := range a.Values {
 				if v == cur {
-					return true, "stored"
+					return true, "stored", nil, -1
 				}
 			}
-			return false, "declared"
+			return false, "declared", nil, -1
 		case *ast.CompositeLit:
-			return true, "stored in composite literal"
+			return true, "stored in composite literal", nil, -1
 		case *ast.KeyValueExpr:
 			if a.Value == cur {
 				cur = a
 				continue
 			}
-			return false, "map key"
+			return false, "map key", nil, -1
 		case *ast.SendStmt:
 			if a.Value == cur {
-				return true, "sent on channel"
+				return true, "sent on channel", nil, -1
 			}
-			return false, "channel expr"
+			return false, "channel expr", nil, -1
 		case *ast.IndexExpr:
 			if a.X == cur {
 				cur = a
 				continue
 			}
-			return false, "index"
+			return false, "index", nil, -1
 		case *ast.SliceExpr:
 			if a.X == cur {
 				cur = a
 				continue
 			}
-			return false, "slice bound"
+			return false, "slice bound", nil, -1
 		case *ast.UnaryExpr:
 			if a.Op == token.AND {
-				return true, "address taken"
+				return true, "address taken", nil, -1
 			}
-			return false, "operand"
+			return false, "operand", nil, -1
 		case *ast.BinaryExpr:
-			return false, "compared"
+			return false, "compared", nil, -1
 		default:
-			return false, "read"
+			return false, "read", nil, -1
 		}
 	}
-	return false, "read"
+	return false, "read", nil, -1
 }
 
 // containsIdentOf reports whether the subtree contains an identifier

@@ -42,6 +42,8 @@ type Module struct {
 	indexed  int // number of packages already indexed
 
 	allocMemo map[*types.Func]int8 // allocation summary memo (see nonalloc.go)
+
+	sums *summaries // interprocedural summary engine state (see summary.go)
 }
 
 // FindModuleRoot walks up from dir to the directory containing go.mod.

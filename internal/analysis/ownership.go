@@ -26,12 +26,43 @@ import (
 //
 // The memory package itself is exempt — it is the allocator and
 // manipulates slot ownership by design.
+//
+// Since the interprocedural engine (cfg.go, summary.go) the analyzer is
+// path- and call-graph-aware:
+//
+//   - producers include module helpers whose results carry a freshly-owned
+//     buffer (OwnedResults), so `b, err := c.copyIn(p)` is tracked like a
+//     direct allocation;
+//   - a buffer passed to a helper that only borrows it (ParamBorrows) is
+//     NOT consumed — leaks through read-only helpers are caught;
+//   - a helper summarized ParamConsumesOnSuccess (a push-like transfer) is
+//     held to the push contract at its call sites: the error branch must
+//     free the buffer;
+//   - leak detection walks the control-flow graph instead of comparing
+//     source positions, so a consume on one branch no longer excuses a
+//     leak on the other;
+//   - helpers that consume a buffer parameter on some same-class exit
+//     paths but not others (ParamMixed) are reported where they are
+//     declared.
 func OwnershipAnalyzer() *Analyzer {
 	a := &Analyzer{
 		Name: "ownership",
 		Doc:  "DMA buffers must be freed/pushed/returned/stored on all paths; pushed buffers are immutable",
 	}
-	a.Run = func(p *Pass) { runOwnership(p) }
+	a.Run = func(p *Pass) { runOwnership(p, false) }
+	return a
+}
+
+// ownershipAnalyzerIntra is the pre-engine, single-function variant: no
+// helper summaries, position-based early-return detection. It exists so
+// the regression tests can demonstrate cross-function leaks the old
+// checker misses.
+func ownershipAnalyzerIntra() *Analyzer {
+	a := &Analyzer{
+		Name: "ownership",
+		Doc:  "intra-function ownership checks (regression baseline)",
+	}
+	a.Run = func(p *Pass) { runOwnership(p, true) }
 	return a
 }
 
@@ -45,7 +76,7 @@ var bufAllocators = map[string]bool{
 // obligation.
 func bufConsumingMethod(name string) bool { return name == "Free" }
 
-func runOwnership(p *Pass) {
+func runOwnership(p *Pass, intra bool) {
 	if strings.HasSuffix(p.Pkg.Path, "internal/memory") {
 		return // the allocator owns its own slots
 	}
@@ -62,29 +93,46 @@ func runOwnership(p *Pass) {
 		return ok && n.Obj() == buf.Obj()
 	}
 	info := p.Pkg.Info
-	isAllocator := func(call *ast.CallExpr) bool {
+	okCall := func(call *ast.CallExpr) bool {
 		fn := staticCallee(info, call)
-		return fn != nil && fn.Pkg() != nil &&
-			strings.HasSuffix(fn.Pkg().Path(), "internal/memory") &&
-			bufAllocators[fn.Name()]
+		if fn == nil {
+			return false
+		}
+		if fn.Pkg() != nil && strings.HasSuffix(fn.Pkg().Path(), "internal/memory") && bufAllocators[fn.Name()] {
+			return true
+		}
+		// Interprocedural: module helpers whose result carries a
+		// freshly-owned buffer are producers too.
+		return !intra && p.Mod.OwnedResults(fn)[trackBuf]
 	}
 	for _, file := range p.Pkg.Files {
-		for _, prod := range findProducers(info, file, isBuf, isAllocator) {
+		for _, prod := range findProducers(info, file, isBuf, okCall) {
 			callee := exprString(prod.call.Fun)
 			switch {
 			case prod.dropped, prod.blank:
 				p.Reportf(prod.call.Pos(), "keep the buffer and Free it when done",
 					"buffer allocated by %s is discarded without Free", callee)
 			case prod.obj != nil:
-				checkBufferLifecycle(p, prod, callee)
+				checkBufferLifecycle(p, prod, callee, intra)
 			}
+		}
+		if !intra {
+			checkBufParamModes(p, file, isBuf)
 		}
 	}
 }
 
-func checkBufferLifecycle(p *Pass, prod producer, callee string) {
+func checkBufferLifecycle(p *Pass, prod producer, callee string, intra bool) {
+	if prod.fn == nil {
+		return // package-scope initializer: stored by construction
+	}
 	info := p.Pkg.Info
-	uses := collectUses(info, prod.fn, prod.obj, bufConsumingMethod)
+	var uses []objUse
+	if intra {
+		uses = collectUses(info, prod.fn, prod.obj, bufConsumingMethod)
+	} else {
+		uses = p.Mod.adjustedUses(p.Pkg, prod.fn, prod.obj, trackBuf)
+	}
 	var consumes []objUse
 	for _, u := range uses {
 		if u.consuming {
@@ -97,8 +145,127 @@ func checkBufferLifecycle(p *Pass, prod producer, callee string) {
 			"buffer %q allocated by %s is never freed, pushed, returned, or stored", prod.obj.Name(), callee)
 		return
 	}
-	checkEarlyReturns(p, prod, consumes)
-	checkPushPaths(p, prod, consumes)
+	if intra {
+		checkEarlyReturns(p, prod, consumes)
+	} else {
+		checkPathLeaks(p, prod, callee, consumes)
+	}
+	checkPushPaths(p, prod, consumes, intra)
+}
+
+// checkPathLeaks walks the CFG from the producing statement along paths
+// with no consuming use; any return (or the end of a void function) such a
+// path reaches leaks the buffer. Edges whose condition proves the buffer
+// absent — the allocation's error is non-nil, or the buffer itself is nil
+// — are pruned.
+func checkPathLeaks(p *Pass, prod producer, callee string, consumes []objUse) {
+	info := p.Pkg.Info
+	// The CFG must be the innermost function body holding the allocation:
+	// a buffer produced and consumed inside a closure is not answerable to
+	// the enclosing function's returns.
+	g := p.Mod.bodyCFG(innermostFuncBody(prod.fn, prod.call))
+	if deferConsumes(info, g, prod.obj, trackBuf, p.Mod) {
+		return // a deferred Free runs at every exit
+	}
+	start, idx := g.Lookup(prod.stmt)
+	if start == nil {
+		start, idx = lookupEnclosing(g, prod.call)
+	}
+	if start == nil {
+		return // producer inside a nested function literal: out of CFG scope
+	}
+	consumed := consumingPositions(consumes)
+	prune := func(cond ast.Expr, trueEdge bool) bool {
+		if op, obj := condNilTest(info, cond); obj != nil {
+			if obj == prod.errObj {
+				// err != nil (true) / err == nil (false): the allocation
+				// failed, no buffer was handed out.
+				return (op == token.NEQ) == trueEdge
+			}
+			if obj == prod.obj {
+				// b == nil (true) / b != nil (false): nothing to free.
+				return (op == token.EQL) == trueEdge
+			}
+		}
+		return false
+	}
+	leaks, fellOff := leakyExits(g, start, idx+1, consumed, prune)
+	allocLine := p.Mod.Fset.Position(prod.call.Pos()).Line
+	for _, ret := range leaks {
+		p.Reportf(ret.Pos(), "Free the buffer before this return (or on a deferred path)",
+			"buffer %q (allocated at line %d) leaks on this return path",
+			prod.obj.Name(), allocLine)
+	}
+	if fellOff {
+		p.Reportf(prod.call.Pos(), "Free the buffer on every path through the function",
+			"buffer %q allocated by %s leaks on a path that falls off the end of the function",
+			prod.obj.Name(), callee)
+	}
+}
+
+// innermostFuncBody returns the body of the innermost function literal in
+// outer that contains n, or outer itself when n is not inside a closure.
+func innermostFuncBody(outer *ast.BlockStmt, n ast.Node) *ast.BlockStmt {
+	body := outer
+	ast.Inspect(outer, func(x ast.Node) bool {
+		if fl, ok := x.(*ast.FuncLit); ok && fl.Body.Pos() <= n.Pos() && n.End() <= fl.Body.End() {
+			body = fl.Body // visited outer-to-inner: the last match is innermost
+		}
+		return true
+	})
+	return body
+}
+
+// lookupEnclosing finds the CFG node (and its block position) whose source
+// range covers n — the fallback when the producing statement itself was
+// not appended (ValueSpec producers, if-init forms).
+func lookupEnclosing(g *CFG, n ast.Node) (*Block, int) {
+	for _, blk := range g.Blocks {
+		for i, node := range blk.Nodes {
+			if node.Pos() <= n.Pos() && n.End() <= node.End() {
+				return blk, i
+			}
+		}
+	}
+	return nil, -1
+}
+
+// checkBufParamModes reports helpers that treat an owned buffer parameter
+// inconsistently: consumed on some same-class exit paths, leaked on
+// others. Borrowing (no path consumes) and transfer (every success path
+// consumes) are both legitimate contracts; mixing them is a bug in the
+// helper.
+func checkBufParamModes(p *Pass, file *ast.File, isBuf func(types.Type) bool) {
+	for _, d := range file.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		for i, info := range p.Mod.ParamModes(fn) {
+			if info.Mode != ParamMixed {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			name := sig.Params().At(i).Name()
+			if !isBuf(sig.Params().At(i).Type()) {
+				continue // qtoken params are the qtoken analyzer's business
+			}
+			for _, ret := range info.Leaks {
+				p.Reportf(ret.Pos(), "consume the parameter on every path (transfer) or on none (borrow)",
+					"buffer parameter %q of %s is freed or transferred on some paths but leaks on this return path",
+					name, fd.Name.Name)
+			}
+			if info.FallsOff {
+				p.Reportf(fd.Body.Rbrace, "consume the parameter on every path (transfer) or on none (borrow)",
+					"buffer parameter %q of %s is freed or transferred on some paths but leaks when the function falls off the end",
+					name, fd.Name.Name)
+			}
+		}
+	}
 }
 
 // checkEarlyReturns flags return statements between the allocation and the
@@ -155,8 +322,11 @@ func guardedByAllocError(info *types.Info, stack []ast.Node, errObj types.Object
 }
 
 // checkPushPaths verifies rule 3 (the error branch of a push frees the
-// buffer) and rule 4 (no writes through the buffer after a push).
-func checkPushPaths(p *Pass, prod producer, consumes []objUse) {
+// buffer) and rule 4 (no writes through the buffer after a push). In
+// interprocedural mode the same error-branch contract is enforced at call
+// sites of any helper summarized ParamConsumesOnSuccess — a push-like
+// transfer wrapped in module code.
+func checkPushPaths(p *Pass, prod producer, consumes []objUse, intra bool) {
 	info := p.Pkg.Info
 	firstPush := token.Pos(-1)
 	walkStack(prod.fn, func(n ast.Node, stack []ast.Node) bool {
@@ -164,13 +334,29 @@ func checkPushPaths(p *Pass, prod producer, consumes []objUse) {
 		if !ok {
 			return true
 		}
-		if !isPushCall(call) || !callArgsContain(info, call, prod.obj) {
+		if !callArgsContain(info, call, prod.obj) {
 			return true
 		}
-		if firstPush < 0 || call.Pos() < firstPush {
-			firstPush = call.Pos()
+		if isPushCall(call) {
+			if firstPush < 0 || call.Pos() < firstPush {
+				firstPush = call.Pos()
+			}
+			checkPushErrorBranch(p, prod, call, stack)
+			return true
 		}
-		checkPushErrorBranch(p, prod, call, stack)
+		if intra {
+			return true
+		}
+		// The buffer flows (as a direct argument) into a helper that
+		// consumes it only on success: its failure branch is a push-failure
+		// branch and must discharge ownership.
+		for argIdx, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && info.Uses[id] == prod.obj {
+				if mode, _ := p.Mod.ParamModeAt(p.Pkg, call, argIdx); mode == ParamConsumesOnSuccess {
+					checkPushErrorBranch(p, prod, call, stack)
+				}
+			}
+		}
 		return true
 	})
 	if firstPush >= 0 {
@@ -307,6 +493,31 @@ func assignedError(info *types.Info, assign *ast.AssignStmt) types.Object {
 		}
 	}
 	return nil
+}
+
+// condNilTest decodes an `x != nil` / `x == nil` condition against any
+// identifier, returning the comparison operator and the object tested.
+func condNilTest(info *types.Info, cond ast.Expr) (token.Token, types.Object) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.NEQ && be.Op != token.EQL) {
+		return token.ILLEGAL, nil
+	}
+	id, nilSide := be.X, be.Y
+	if isNilIdent(id) {
+		id, nilSide = be.Y, be.X
+	}
+	if !isNilIdent(nilSide) {
+		return token.ILLEGAL, nil
+	}
+	e, ok := ast.Unparen(id).(*ast.Ident)
+	if !ok {
+		return token.ILLEGAL, nil
+	}
+	obj := info.Uses[e]
+	if obj == nil {
+		return token.ILLEGAL, nil
+	}
+	return be.Op, obj
 }
 
 // condErrorTest decodes a `err != nil` / `err == nil` condition.

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PolldisciplineAnalyzer enforces the scheduler's run-to-completion
+// contract (paper §3.2, §5.1) on poll paths: coroutine Poll methods and
+// //demi:nonalloc functions execute inside the datapath OS's cooperative
+// scheduler, where a single blocking operation stalls every I/O the core
+// serves. On those paths the analyzer forbids, transitively through module
+// calls (PollFacts):
+//
+//   - channel operations (send, receive, select, range-over-channel);
+//   - blocking mutex acquisition (sync.Mutex/RWMutex Lock/RLock);
+//   - go statements (the scheduler owns concurrency; spawning kernel
+//     threads from a poll handler defeats core partitioning);
+//   - condition-less for loops with no exit (a poll must return, not spin).
+//
+// Offenses inherited through a callee are reported at the call site with
+// the callee named, so the finding lands where the poll path enters the
+// blocking code.
+func PolldisciplineAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "polldiscipline",
+		Doc:  "Poll methods and //demi:nonalloc functions must not block, spawn, or spin",
+	}
+	a.Run = func(p *Pass) { runPolldiscipline(p) }
+	return a
+}
+
+const pollHint = "poll paths run inside the cooperative scheduler: return instead of blocking, and let the scheduler provide concurrency"
+
+func runPolldiscipline(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			isPoll := fd.Name.Name == "Poll" && fd.Recv != nil
+			if !isPoll && !p.Mod.IsNonAlloc(fn) {
+				continue
+			}
+			kind := "//demi:nonalloc function"
+			if isPoll {
+				kind = "coroutine poll method"
+			}
+			reportPollFacts(p, fn, kind, p.Mod.PollFacts(fn))
+		}
+	}
+}
+
+func reportPollFacts(p *Pass, fn *types.Func, kind string, facts pollFacts) {
+	report := func(o offense, what string) {
+		if !o.found() {
+			return
+		}
+		if o.Via != nil {
+			p.Reportf(o.Pos, pollHint,
+				"%s %s reaches %s via call to %s", kind, fn.Name(), what, o.Via.Name())
+			return
+		}
+		p.Reportf(o.Pos, pollHint,
+			"%s %s performs %s", kind, fn.Name(), what)
+	}
+	report(facts.Chan, "a channel operation")
+	report(facts.Lock, "a blocking mutex acquisition")
+	report(facts.Go, "a goroutine spawn")
+	report(facts.Loop, "an unbounded loop")
+}

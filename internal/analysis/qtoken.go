@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // QTokenAnalyzer enforces qtoken discipline (paper §4.2): every qtoken
@@ -15,6 +16,14 @@ import (
 // buffers — is stranded forever. The chaos soak (PR 4) detects stranded
 // tokens at run time on the paths it happens to drive; this analyzer
 // rejects them on every path at build time.
+//
+// Since the interprocedural engine (summary.go) the redemption test is
+// call-graph-aware: a token handed to a module helper that only reads it
+// (ParamBorrows) is NOT redeemed — stranding a token through a logging or
+// inspection helper is caught. Wait/WaitAny/WaitAll/TryTake always redeem
+// by PDPIX contract (sacredConsumers), whatever their bodies look like.
+// Helpers that redeem a token parameter on some same-class exit paths but
+// strand it on others (ParamMixed) are reported where they are declared.
 func QTokenAnalyzer() *Analyzer {
 	a := &Analyzer{
 		Name: "qtoken",
@@ -27,6 +36,9 @@ func QTokenAnalyzer() *Analyzer {
 const qtokenHint = "redeem the qtoken with Wait/WaitAny/WaitAll, return it, or store it for a later wait"
 
 func runQToken(p *Pass) {
+	if strings.HasSuffix(p.Pkg.Path, "internal/core") {
+		return // the token table is the redemption authority for its own ops
+	}
 	qtok := p.Mod.LookupNamed("internal/core", "QToken")
 	if qtok == nil {
 		return
@@ -47,25 +59,71 @@ func runQToken(p *Pass) {
 				p.Reportf(prod.call.Pos(), qtokenHint,
 					"qtoken returned by %s is assigned to _ and never redeemed", callee)
 			case prod.obj != nil:
-				if !hasConsumingUse(info, prod.fn, prod.obj) {
-					p.Reportf(prod.call.Pos(), qtokenHint,
-						"qtoken %q returned by %s is never waited, returned, or stored", prod.obj.Name(), callee)
-				}
+				checkQTokenRedemption(p, prod, callee)
 			}
 		}
+		checkQTokParamModes(p, file, isTok)
 	}
 }
 
-// hasConsumingUse reports whether obj has at least one consuming use in
-// body (nil body — package scope — counts as stored).
-func hasConsumingUse(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
-	if body == nil {
-		return true
+// checkQTokenRedemption verifies the token reaches at least one consuming
+// use, resolving helper calls against their parameter summaries: passing
+// the token to a borrowing helper does not redeem it.
+func checkQTokenRedemption(p *Pass, prod producer, callee string) {
+	if prod.fn == nil {
+		return // package scope: stored
 	}
-	for _, u := range collectUses(info, body, obj, nil) {
+	var borrowed string
+	for _, u := range p.Mod.adjustedUses(p.Pkg, prod.fn, prod.obj, trackQTok) {
 		if u.consuming {
-			return true
+			return
+		}
+		if u.borrowed {
+			borrowed = u.how
 		}
 	}
-	return false
+	if borrowed != "" {
+		p.Reportf(prod.call.Pos(), qtokenHint,
+			"qtoken %q returned by %s is never redeemed: %s", prod.obj.Name(), callee, borrowed)
+		return
+	}
+	p.Reportf(prod.call.Pos(), qtokenHint,
+		"qtoken %q returned by %s is never waited, returned, or stored", prod.obj.Name(), callee)
+}
+
+// checkQTokParamModes reports helpers that treat a token parameter
+// inconsistently: redeemed on some same-class exit paths, stranded on
+// others. Borrowing (inspection) and transfer (redeem-or-store) are both
+// legitimate contracts; mixing them strands ops on the leaky paths.
+func checkQTokParamModes(p *Pass, file *ast.File, isTok func(types.Type) bool) {
+	for _, d := range file.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		for i, pi := range p.Mod.ParamModes(fn) {
+			if pi.Mode != ParamMixed {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			if !isTok(sig.Params().At(i).Type()) {
+				continue // buffer params are the ownership analyzer's business
+			}
+			name := sig.Params().At(i).Name()
+			for _, ret := range pi.Leaks {
+				p.Reportf(ret.Pos(), qtokenHint,
+					"qtoken parameter %q of %s is redeemed on some paths but stranded on this return path",
+					name, fd.Name.Name)
+			}
+			if pi.FallsOff {
+				p.Reportf(fd.Body.Rbrace, qtokenHint,
+					"qtoken parameter %q of %s is redeemed on some paths but stranded when the function falls off the end",
+					name, fd.Name.Name)
+			}
+		}
+	}
 }

@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StateguardAnalyzer enforces complete-or-error mutation discipline on
+// struct fields annotated //demi:stateguard: protocol state that must only
+// advance when the operation it records actually happened (TCP rcvNxt,
+// tenant quota counters). A write to a guarded field on any path that goes
+// on to return a non-nil error means a failed operation mutated state it
+// had no right to touch — the bug class behind sequence-number
+// desynchronization and quota leaks.
+//
+// The check is path-sensitive over the CFG: the write is a violation only
+// if an error-class exit (exitClassesOf) is reachable from it. Writes in
+// functions with no error (or trailing bool) result are always clean —
+// there is no failure path to guard against.
+func StateguardAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "stateguard",
+		Doc:  "//demi:stateguard fields may not be written on paths that return a non-nil error",
+	}
+	a.Run = func(p *Pass) { runStateguard(p) }
+	return a
+}
+
+const stateguardHint = "complete the operation before mutating guarded state, or roll the write back on the error path"
+
+func runStateguard(p *Pass) {
+	if !p.Mod.HasGuardedFields() {
+		return
+	}
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			classes := p.Mod.exitClassesOf(p.Pkg, fd)
+			hasErrorExit := false
+			for _, c := range classes {
+				if c == exitError {
+					hasErrorExit = true
+					break
+				}
+			}
+			if !hasErrorExit {
+				continue // nothing to guard against on this function's exits
+			}
+			g := p.Mod.bodyCFG(fd.Body)
+			checkGuardedWrites(p, fd, g, classes, info)
+		}
+	}
+}
+
+// checkGuardedWrites walks fd's body (closures excluded — they return on
+// their own signatures) for writes to guarded fields and tests whether an
+// error-class exit is reachable from each.
+func checkGuardedWrites(p *Pass, fd *ast.FuncDecl, g *CFG, classes map[*ast.ReturnStmt]exitClass, info *types.Info) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		var targets []ast.Expr
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			targets = x.Lhs
+		case *ast.IncDecStmt:
+			targets = []ast.Expr{x.X}
+		default:
+			return true
+		}
+		for _, lhs := range targets {
+			fv := guardedFieldOf(info, p.Mod, lhs)
+			if fv == nil {
+				continue
+			}
+			reportGuardedWrite(p, g, classes, n, lhs, fv)
+		}
+		return true
+	})
+}
+
+// guardedFieldOf resolves lhs to a //demi:stateguard field variable, or nil.
+func guardedFieldOf(info *types.Info, m *Module, lhs ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	var fv *types.Var
+	if s, ok := info.Selections[sel]; ok {
+		fv, _ = s.Obj().(*types.Var)
+	} else if v, ok := info.Uses[sel.Sel].(*types.Var); ok {
+		fv = v
+	}
+	if fv == nil || !m.IsGuardedField(fv) {
+		return nil
+	}
+	return fv
+}
+
+// reportGuardedWrite flags the write if an error-class return is reachable
+// downstream of it in the CFG.
+func reportGuardedWrite(p *Pass, g *CFG, classes map[*ast.ReturnStmt]exitClass, write ast.Node, lhs ast.Expr, fv *types.Var) {
+	blk, idx := g.Lookup(write)
+	if blk == nil {
+		blk, idx = lookupEnclosing(g, write)
+	}
+	if blk == nil {
+		return
+	}
+	// An empty consumed set makes leakyExits enumerate every normal exit
+	// reachable from the statement after the write.
+	exits, _ := leakyExits(g, blk, idx+1, nil, nil)
+	for _, ret := range exits {
+		if classes[ret] != exitError {
+			continue
+		}
+		p.Reportf(lhs.Pos(), stateguardHint,
+			"guarded field %q (//demi:stateguard) is written on a path that returns a non-nil error (return at line %d)",
+			fv.Name(), p.Mod.Fset.Position(ret.Pos()).Line)
+		return // one report per write, citing the first offending exit
+	}
+}

@@ -1,0 +1,1199 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"time"
+)
+
+// summary.go is the interprocedural half of the engine: a fixpoint over the
+// module call graph computing, per function, (1) how each tracked parameter
+// (*memory.Buf, core.QToken) is treated — borrowed, always consumed,
+// consumed only on success, or inconsistently consumed across paths; (2)
+// whether results carry a freshly-owned tracked value, making the
+// function's call sites producers; (3) poll-discipline facts (channel
+// operations, mutex acquisition, go statements, unbounded loops) closed
+// over static calls; and (4) a costmodel-weighted worst-case cycle
+// estimate for the //demi:budget gate. All four are memoized recursive
+// solutions over finite lattices; cycles resolve to documented defaults
+// (parameters: consumes, like the intra-procedural analyzer assumed;
+// flags: clean; cost: unbounded, because recursion has no static bound).
+
+// ParamMode says how a callee treats a tracked parameter.
+type ParamMode int8
+
+const (
+	// ParamUntracked: the parameter does not carry a tracked type (or the
+	// callee is outside the module and has no summary).
+	ParamUntracked ParamMode = iota
+	// ParamBorrows: no path through the callee consumes the value; the
+	// caller still owns it after the call.
+	ParamBorrows
+	// ParamConsumes: every path consumes the value (frees, transfers,
+	// stores, or returns it); the caller is discharged unconditionally.
+	ParamConsumes
+	// ParamConsumesOnSuccess: success-class exits always consume; error
+	// exits leave ownership with the caller — the Push contract. The
+	// caller must discharge the value on the callee's error path.
+	ParamConsumesOnSuccess
+	// ParamMixed: some same-class exit paths consume and others leak.
+	// This is a bug in the callee; its declaring package gets a finding.
+	ParamMixed
+)
+
+func (m ParamMode) String() string {
+	switch m {
+	case ParamBorrows:
+		return "borrows"
+	case ParamConsumes:
+		return "consumes"
+	case ParamConsumesOnSuccess:
+		return "consumes-on-success"
+	case ParamMixed:
+		return "mixed"
+	}
+	return "untracked"
+}
+
+// trackKind selects which tracked value family a summary speaks about.
+type trackKind int8
+
+const (
+	trackBuf trackKind = iota
+	trackQTok
+	numTrackKinds
+)
+
+// An offense records where a poll-discipline violation enters a function:
+// directly (Via == nil) or through a call to Via.
+type offense struct {
+	Pos token.Pos
+	Via *types.Func
+}
+
+func (o offense) found() bool { return o.Pos != token.NoPos && o.Pos != 0 }
+
+// pollFacts are the transitively-closed poll-discipline facts.
+type pollFacts struct {
+	Chan offense // channel send/receive/range, select
+	Lock offense // sync.Mutex/RWMutex acquisition
+	Go   offense // go statement
+	Loop offense // unbounded for{} with no exit
+}
+
+// Cost is a worst-case cycle estimate in nanoseconds. CostUnbounded marks
+// recursion, which has no static bound.
+type Cost int64
+
+const CostUnbounded Cost = -1
+
+func (c Cost) Duration() time.Duration { return time.Duration(c) }
+
+// addCost saturates on unboundedness.
+func addCost(a, b Cost) Cost {
+	if a == CostUnbounded || b == CostUnbounded {
+		return CostUnbounded
+	}
+	return a + b
+}
+
+func maxCost(a, b Cost) Cost {
+	if a == CostUnbounded || b == CostUnbounded {
+		return CostUnbounded
+	}
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func mulCost(a Cost, k int64) Cost {
+	if a == CostUnbounded {
+		return CostUnbounded
+	}
+	return a * Cost(k)
+}
+
+// The static cost model, in model-nanoseconds. The absolute values are
+// coarse (DESIGN.md §13); what the //demi:budget gate needs is a metric
+// that is deterministic, monotone in code growth, and roughly proportional
+// to dynamic cost — growth past a budget is the regression signal.
+const (
+	costStmt     Cost = 1   // any statement
+	costCall     Cost = 2   // call entry/exit overhead, on top of the callee
+	costStdlib   Cost = 5   // audited allocation-free stdlib call
+	costExtern   Cost = 25  // unresolved, external, or interface call
+	costAlloc    Cost = 100 // heap allocation (make/new/literal/box/append)
+	costChanOp   Cost = 50  // channel operation or lock
+	costMemOp    Cost = 30  // copy / string conversion
+	costGo       Cost = 400 // goroutine spawn
+	costLoopIter      = 16  // assumed worst-case trip count of a loop
+)
+
+// paramInfo is one tracked parameter's summary.
+type paramInfo struct {
+	Mode ParamMode
+	// Leaks are the exits that make a Mixed parameter mixed: same-class
+	// exit paths that can be reached without consuming the value.
+	Leaks []*ast.ReturnStmt
+	// FallsOff marks a consume-free path to the end of a function body
+	// (implicit return) for a Mixed parameter.
+	FallsOff bool
+}
+
+// A FuncSummary aggregates everything the engine knows about one function.
+type FuncSummary struct {
+	Params       map[int]*paramInfo // tracked signature params by index
+	ReturnsOwned [numTrackKinds]bool
+	Facts        pollFacts
+	Cost         Cost
+}
+
+// summaries is the engine state hung off the Module. All maps are written
+// only during Precompute (single-goroutine); afterwards frozen is set and
+// the memo accessors compute cache misses without writing, so parallel
+// per-package analysis passes need no locking here.
+type summaries struct {
+	trackedNamed [numTrackKinds]*types.Named
+	frozen       bool
+
+	params  map[*types.Func]map[int]*paramInfo
+	inParam map[*types.Func]bool
+	owned   map[*types.Func]*[numTrackKinds]bool
+	inOwned map[*types.Func]bool
+	facts   map[*types.Func]*pollFacts
+	inFacts map[*types.Func]bool
+	cost    map[*types.Func]Cost
+	inCost  map[*types.Func]bool
+
+	exitClasses map[*ast.FuncDecl]map[*ast.ReturnStmt]exitClass
+	cfgs        map[*ast.BlockStmt]*CFG
+
+	// Annotation indexes (see annot.go): //demi:stateguard fields,
+	// //demi:budget functions, //demi:carrier types.
+	guarded      map[*types.Var]bool
+	budgets      map[*types.Func]Cost
+	carriers     map[*types.TypeName]bool
+	annotIndexed int // number of packages already annotation-scanned
+}
+
+func (m *Module) summaryState() *summaries {
+	if m.sums == nil {
+		m.sums = &summaries{
+			params:      make(map[*types.Func]map[int]*paramInfo),
+			inParam:     make(map[*types.Func]bool),
+			owned:       make(map[*types.Func]*[numTrackKinds]bool),
+			inOwned:     make(map[*types.Func]bool),
+			facts:       make(map[*types.Func]*pollFacts),
+			inFacts:     make(map[*types.Func]bool),
+			cost:        make(map[*types.Func]Cost),
+			inCost:      make(map[*types.Func]bool),
+			exitClasses: make(map[*ast.FuncDecl]map[*ast.ReturnStmt]exitClass),
+			cfgs:        make(map[*ast.BlockStmt]*CFG),
+			guarded:     make(map[*types.Var]bool),
+			budgets:     make(map[*types.Func]Cost),
+			carriers:    make(map[*types.TypeName]bool),
+		}
+		m.sums.trackedNamed[trackBuf] = m.LookupNamed("internal/memory", "Buf")
+		m.sums.trackedNamed[trackQTok] = m.LookupNamed("internal/core", "QToken")
+	}
+	return m.sums
+}
+
+// trackedKind classifies a type as one of the tracked families: *memory.Buf
+// or core.QToken. It returns (kind, true) on a match.
+func (s *summaries) trackedKind(t types.Type) (trackKind, bool) {
+	if t == nil {
+		return 0, false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		if n, ok := ptr.Elem().(*types.Named); ok && s.trackedNamed[trackBuf] != nil && n.Obj() == s.trackedNamed[trackBuf].Obj() {
+			return trackBuf, true
+		}
+		return 0, false
+	}
+	if n, ok := t.(*types.Named); ok && s.trackedNamed[trackQTok] != nil && n.Obj() == s.trackedNamed[trackQTok].Obj() {
+		return trackQTok, true
+	}
+	return 0, false
+}
+
+// consumingMethodFor returns the method hook for a tracked kind: Buf.Free
+// discharges a buffer; qtokens have no consuming methods.
+func consumingMethodFor(k trackKind) func(string) bool {
+	if k == trackBuf {
+		return bufConsumingMethod
+	}
+	return nil
+}
+
+// Precompute builds every summary the analyzers read: the cross-package
+// index, annotation index, parameter modes, owned-result and poll facts,
+// cost estimates, CFGs, exit classes, and allocation summaries. It runs
+// single-threaded; afterwards the memo maps are frozen, so the parallel
+// per-package analysis phase only reads them (cache misses — external
+// functions, nested function literals — are recomputed without caching).
+func (m *Module) Precompute() {
+	m.index()
+	m.annotIndex()
+	s := m.summaryState()
+	s.frozen = false
+	for fn, fd := range m.decls {
+		m.ParamModes(fn)
+		m.OwnedResults(fn)
+		m.PollFacts(fn)
+		m.CostEstimate(fn)
+		if fd.Body == nil {
+			continue
+		}
+		m.bodyCFG(fd.Body)
+		m.exitClassesOf(m.declPkg[fn], fd)
+		if m.nonalloc[fn] {
+			// Walk the annotated body in summary mode: this visits exactly
+			// the calls the analysis phase will re-resolve, warming the
+			// transitive allocation memo for stdlib and module callees.
+			c := &nonallocChecker{m: m, pkg: m.declPkg[fn]}
+			c.checkDecl(fd)
+		} else {
+			m.allocates(fn)
+		}
+	}
+	s.frozen = true
+}
+
+// ParamModes returns the tracked-parameter summaries of fn (nil when fn has
+// none or was not declared in the module).
+func (m *Module) ParamModes(fn *types.Func) map[int]*paramInfo {
+	m.index()
+	s := m.summaryState()
+	if pm, ok := s.params[fn]; ok {
+		return pm
+	}
+	fd := m.decls[fn]
+	if fd == nil || fd.Body == nil {
+		return nil // external: no summary, and nothing worth caching
+	}
+	if s.inParam[fn] {
+		return nil // recursion: callers fall back to the consuming default
+	}
+	s.inParam[fn] = true
+	defer delete(s.inParam, fn)
+
+	sig := fn.Type().(*types.Signature)
+	var pm map[int]*paramInfo
+	for i := 0; i < sig.Params().Len(); i++ {
+		pv := sig.Params().At(i)
+		kind, ok := s.trackedKind(pv.Type())
+		if !ok || pv.Name() == "" || pv.Name() == "_" {
+			continue
+		}
+		info := m.analyzeParam(fn, fd, pv, kind)
+		if info == nil {
+			continue
+		}
+		if pm == nil {
+			pm = make(map[int]*paramInfo)
+		}
+		pm[i] = info
+	}
+	if !s.frozen {
+		s.params[fn] = pm
+	}
+	return pm
+}
+
+// analyzeParam computes one parameter's mode by classifying its uses and
+// walking the CFG: which exit classes are reachable without a consuming
+// use?
+func (m *Module) analyzeParam(fn *types.Func, fd *ast.FuncDecl, pv *types.Var, kind trackKind) *paramInfo {
+	pkg := m.declPkg[fn]
+	if pkg == nil {
+		return nil
+	}
+	// The allocator manipulates its own slots by design.
+	if kind == trackBuf && strings.HasSuffix(pkg.Path, "internal/memory") {
+		return nil
+	}
+	uses := m.adjustedUses(pkg, fd.Body, pv, kind)
+	consumed := consumingPositions(uses)
+	if len(consumed) == 0 {
+		return &paramInfo{Mode: ParamBorrows}
+	}
+	g := m.bodyCFG(fd.Body)
+	if deferConsumes(pkg.Info, g, pv, kind, m) {
+		return &paramInfo{Mode: ParamConsumes}
+	}
+	classes := m.exitClassesOf(pkg, fd)
+	leaks, fallsOff := leakyExits(g, g.Entry, 0, consumed, nil)
+
+	var successLeaks []*ast.ReturnStmt
+	errLeak := false
+	for _, ret := range leaks {
+		switch classes[ret] {
+		case exitError:
+			errLeak = true
+		default: // success and unknown exits must consume
+			successLeaks = append(successLeaks, ret)
+		}
+	}
+	switch {
+	case len(successLeaks) == 0 && !fallsOff && !errLeak:
+		return &paramInfo{Mode: ParamConsumes}
+	case len(successLeaks) == 0 && !fallsOff:
+		return &paramInfo{Mode: ParamConsumesOnSuccess}
+	default:
+		return &paramInfo{Mode: ParamMixed, Leaks: successLeaks, FallsOff: fallsOff}
+	}
+}
+
+// ParamModeAt resolves the mode of the callee parameter an argument flows
+// into, with the intra-procedural default (consumes) for everything the
+// engine cannot see: external code, interface methods, variadic tails,
+// recursion in progress.
+func (m *Module) ParamModeAt(pkg *Package, call *ast.CallExpr, argIndex int) (ParamMode, *types.Func) {
+	if argIndex < 0 {
+		return ParamConsumes, nil
+	}
+	fn := staticCallee(pkg.Info, call)
+	if fn == nil {
+		return ParamConsumes, nil
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type()) {
+		return ParamConsumes, fn
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Variadic() && argIndex >= sig.Params().Len()-1 {
+		return ParamConsumes, fn
+	}
+	pm := m.ParamModes(fn)
+	if pm == nil {
+		return ParamConsumes, fn
+	}
+	info, ok := pm[argIndex]
+	if !ok {
+		return ParamConsumes, fn
+	}
+	return info.Mode, fn
+}
+
+// sacredConsumers are callee names that consume a tracked argument by
+// PDPIX contract regardless of what their bodies look like: Wait redeems a
+// qtoken even though its implementation only reads the token's bits, and
+// Push/PushTo transfer a buffer (their error-branch semantics are enforced
+// separately by the push rule).
+var sacredConsumers = [numTrackKinds]map[string]bool{
+	trackBuf:  {"Push": true, "PushTo": true},
+	trackQTok: {"Wait": true, "WaitAny": true, "WaitAll": true, "TryTake": true},
+}
+
+// calleeName returns the syntactic name a call is made under.
+func calleeName(call *ast.CallExpr) string {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+// resultsCarry reports whether callee's results include a value of the
+// tracked kind: such callees are transformers (tagQT, untagQT) — the
+// tracked value's identity continues through the result, which is itself
+// tracked at the call site, so the argument counts as consumed even when
+// the callee's body only reads it.
+func (m *Module) resultsCarry(callee *types.Func, kind trackKind) bool {
+	if callee == nil {
+		return false
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	s := m.summaryState()
+	for i := 0; i < sig.Results().Len(); i++ {
+		if k, ok := s.trackedKind(sig.Results().At(i).Type()); ok && k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// adjustedUses classifies every use of obj, then re-resolves consuming
+// call-argument uses against the callee's parameter summary: an argument
+// passed to a borrowing callee is not consumed. Redemption/transfer API
+// calls (sacredConsumers) always consume.
+func (m *Module) adjustedUses(pkg *Package, body ast.Node, obj types.Object, kind trackKind) []objUse {
+	uses := collectUses(pkg.Info, body, obj, consumingMethodFor(kind))
+	for i := range uses {
+		u := &uses[i]
+		if !u.consuming || u.call == nil {
+			continue
+		}
+		if sacredConsumers[kind][calleeName(u.call)] {
+			continue
+		}
+		mode, callee := m.ParamModeAt(pkg, u.call, u.argIndex)
+		if mode == ParamBorrows && !m.resultsCarry(callee, kind) {
+			u.consuming = false
+			u.borrowed = true
+			if callee != nil {
+				u.how = "passed to " + callee.Name() + ", which only borrows it"
+			}
+		}
+	}
+	return uses
+}
+
+// consumingPositions flattens consuming uses into a position set for the
+// CFG walk.
+func consumingPositions(uses []objUse) map[token.Pos]bool {
+	out := make(map[token.Pos]bool)
+	for _, u := range uses {
+		if u.consuming {
+			out[u.id.Pos()] = true
+		}
+	}
+	return out
+}
+
+// deferConsumes reports whether any deferred statement consumes obj —
+// defers run at every exit, discharging the obligation on all paths.
+func deferConsumes(info *types.Info, g *CFG, obj types.Object, kind trackKind, m *Module) bool {
+	for _, d := range g.Defers {
+		for _, u := range collectUses(info, d, obj, consumingMethodFor(kind)) {
+			if u.consuming {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// bodyCFG memoizes CFG construction per function body.
+func (m *Module) bodyCFG(body *ast.BlockStmt) *CFG {
+	s := m.summaryState()
+	if g, ok := s.cfgs[body]; ok {
+		return g
+	}
+	g := BuildCFG(body)
+	if !s.frozen {
+		s.cfgs[body] = g
+	}
+	return g
+}
+
+// An exitClass says which contract class a return statement belongs to.
+type exitClass int8
+
+const (
+	exitUnknown exitClass = iota // cannot tell statically: treated like success
+	exitSuccess                  // error result is nil (or bool result is true)
+	exitError                    // error result provably non-nil (or bool result false)
+)
+
+// exitClassesOf classifies every return statement of fd by its error (or,
+// failing that, trailing bool) result:
+//
+//   - a nil error literal is a success exit;
+//   - a non-nil sentinel (package-level error var), an error-constructor
+//     call (errors.New, fmt.Errorf), or an error-typed identifier returned
+//     under its own `!= nil` guard is an error exit;
+//   - anything else (e.g. `return w.Wait(qt)`) is unknown, and unknown
+//     exits are held to the success contract.
+//
+// Functions with no error result but a trailing bool result follow the
+// try-idiom: `return true` is success, `return false` is the failure exit.
+func (m *Module) exitClassesOf(pkg *Package, fd *ast.FuncDecl) map[*ast.ReturnStmt]exitClass {
+	s := m.summaryState()
+	if c, ok := s.exitClasses[fd]; ok {
+		return c
+	}
+	classes := make(map[*ast.ReturnStmt]exitClass)
+	if !s.frozen {
+		s.exitClasses[fd] = classes
+	}
+
+	fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return classes
+	}
+	res := fn.Type().(*types.Signature).Results()
+	errIdx, boolIdx := -1, -1
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			errIdx = i
+		} else if b, ok := res.At(i).Type().Underlying().(*types.Basic); ok && b.Kind() == types.Bool {
+			boolIdx = i
+		}
+	}
+	if errIdx < 0 && boolIdx < 0 {
+		return classes // every return is success-class (the zero map value is unknown; absent = success below)
+	}
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		classes[ret] = classifyReturn(pkg.Info, ret, stack, errIdx, boolIdx)
+		return true
+	})
+	return classes
+}
+
+func classifyReturn(info *types.Info, ret *ast.ReturnStmt, stack []ast.Node, errIdx, boolIdx int) exitClass {
+	if errIdx >= 0 {
+		if errIdx >= len(ret.Results) {
+			return exitUnknown // bare return with named results
+		}
+		e := ast.Unparen(ret.Results[errIdx])
+		switch x := e.(type) {
+		case *ast.Ident:
+			if x.Name == "nil" {
+				return exitSuccess
+			}
+			obj := info.Uses[x]
+			if obj == nil {
+				return exitUnknown
+			}
+			if v, ok := obj.(*types.Var); ok && v.Parent() == v.Pkg().Scope() {
+				return exitError // package-level sentinel (ErrFoo)
+			}
+			// `return err` under its own non-nil guard.
+			for i := len(stack) - 1; i >= 0; i-- {
+				if ifs, ok := stack[i].(*ast.IfStmt); ok {
+					if op, condObj := condErrorTest(info, ifs.Cond); condObj == obj && op == token.NEQ {
+						return exitError
+					}
+				}
+			}
+			return exitUnknown
+		case *ast.SelectorExpr:
+			if obj := info.Uses[x.Sel]; obj != nil {
+				if v, ok := obj.(*types.Var); ok && v.Parent() == v.Pkg().Scope() {
+					return exitError // qualified sentinel (core.ErrTenantQuota)
+				}
+			}
+			return exitUnknown
+		case *ast.CallExpr:
+			if fn := staticCallee(info, x); fn != nil && fn.Pkg() != nil {
+				p, n := fn.Pkg().Path(), fn.Name()
+				if (p == "errors" && n == "New") || (p == "fmt" && n == "Errorf") {
+					return exitError
+				}
+			}
+			return exitUnknown
+		}
+		return exitUnknown
+	}
+	// try-idiom: trailing bool result.
+	if boolIdx < len(ret.Results) {
+		if id, ok := ast.Unparen(ret.Results[boolIdx]).(*ast.Ident); ok {
+			switch id.Name {
+			case "true":
+				return exitSuccess
+			case "false":
+				return exitError
+			}
+		}
+	}
+	return exitUnknown
+}
+
+// leakyExits walks the CFG from (start, idx) along paths containing no
+// consuming use, returning every return statement such a path can reach
+// plus whether one falls off the end of the body. prune, when non-nil,
+// drops condition edges that are infeasible for the value being tracked
+// (e.g. the allocation-failed branch). Paths ending in panic report
+// nothing: they never reach a normal exit.
+func leakyExits(g *CFG, start *Block, idx int, consumed map[token.Pos]bool, prune func(cond ast.Expr, trueEdge bool) bool) ([]*ast.ReturnStmt, bool) {
+	var leaks []*ast.ReturnStmt
+	fellOff := false
+	seen := make(map[*Block]bool)
+	reported := make(map[*ast.ReturnStmt]bool)
+
+	var walk func(b *Block, from int)
+	walk = func(b *Block, from int) {
+		if from == 0 {
+			if seen[b] {
+				return
+			}
+			seen[b] = true
+		}
+		for i := from; i < len(b.Nodes); i++ {
+			if nodeConsumes(b.Nodes[i], consumed) {
+				return // obligation discharged on this path
+			}
+		}
+		if b.Panics {
+			return
+		}
+		if b.Return != nil {
+			if !reported[b.Return] {
+				reported[b.Return] = true
+				leaks = append(leaks, b.Return)
+			}
+			return
+		}
+		if len(b.Succs) == 0 {
+			fellOff = true
+			return
+		}
+		for i, succ := range b.Succs {
+			if b.Cond != nil && prune != nil && i < 2 && prune(b.Cond, i == 0) {
+				continue
+			}
+			walk(succ, 0)
+		}
+	}
+	walk(start, idx)
+	return leaks, fellOff
+}
+
+// nodeConsumes reports whether the node's source range covers a consuming
+// use position.
+func nodeConsumes(n ast.Node, consumed map[token.Pos]bool) bool {
+	for pos := range consumed {
+		if n.Pos() <= pos && pos < n.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// OwnedResults reports, per tracked kind, whether fn's call sites receive a
+// freshly-owned value: some return path hands back the result of an
+// allocator (or of another owned-returning function), possibly through a
+// local. Accessors returning stored values stay un-owned, so pop-queue
+// getters do not create false producers.
+func (m *Module) OwnedResults(fn *types.Func) [numTrackKinds]bool {
+	m.index()
+	s := m.summaryState()
+	if o, ok := s.owned[fn]; ok {
+		return *o
+	}
+	var res [numTrackKinds]bool
+	fd := m.decls[fn]
+	if fd == nil || fd.Body == nil || s.inOwned[fn] {
+		return res // no source, or recursion: not a producer
+	}
+	s.inOwned[fn] = true
+	defer delete(s.inOwned, fn)
+
+	pkg := m.declPkg[fn]
+	sig := fn.Type().(*types.Signature)
+	trackedResults := make(map[int]trackKind)
+	for i := 0; i < sig.Results().Len(); i++ {
+		if k, ok := s.trackedKind(sig.Results().At(i).Type()); ok {
+			trackedResults[i] = k
+		}
+	}
+	// QToken-returning functions are producers by type alone (the existing
+	// qtoken rule); ownership summaries only need the buffer direction.
+	for _, k := range trackedResults {
+		if k == trackQTok {
+			res[trackQTok] = true
+		}
+	}
+	if len(trackedResults) > 0 && pkg != nil {
+		walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			for i, e := range ret.Results {
+				k, tracked := trackedResults[i]
+				if !tracked || k != trackBuf {
+					continue
+				}
+				if m.exprYieldsOwned(pkg, fd, ast.Unparen(e)) {
+					res[trackBuf] = true
+				}
+			}
+			return true
+		})
+	}
+	if !s.frozen {
+		s.owned[fn] = &res
+	}
+	return res
+}
+
+// exprYieldsOwned reports whether e is an allocator call, a call to an
+// owned-returning function, or a local whose definition is one of those.
+func (m *Module) exprYieldsOwned(pkg *Package, fd *ast.FuncDecl, e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		fn := staticCallee(pkg.Info, x)
+		if fn == nil {
+			return false
+		}
+		if fn.Pkg() != nil && strings.HasSuffix(fn.Pkg().Path(), "internal/memory") && bufAllocators[fn.Name()] {
+			return true
+		}
+		return m.OwnedResults(fn)[trackBuf]
+	case *ast.Ident:
+		obj := pkg.Info.Uses[x]
+		if obj == nil {
+			return false
+		}
+		owned := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if owned {
+				return false
+			}
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, l := range as.Lhs {
+				if id, ok := l.(*ast.Ident); ok && (pkg.Info.Defs[id] == obj || pkg.Info.Uses[id] == obj) {
+					if m.exprYieldsOwned(pkg, fd, call) {
+						owned = true
+					}
+				}
+			}
+			return true
+		})
+		return owned
+	}
+	return false
+}
+
+// IsOwnedProducer reports whether a call's static callee returns a
+// freshly-owned buffer, making the call site an ownership producer.
+func (m *Module) IsOwnedProducer(pkg *Package, call *ast.CallExpr) bool {
+	fn := staticCallee(pkg.Info, call)
+	if fn == nil {
+		return false
+	}
+	return m.OwnedResults(fn)[trackBuf]
+}
+
+// PollFacts computes the transitively-closed poll-discipline facts of fn.
+func (m *Module) PollFacts(fn *types.Func) pollFacts {
+	m.index()
+	s := m.summaryState()
+	if f, ok := s.facts[fn]; ok {
+		return *f
+	}
+	var facts pollFacts
+	fd := m.decls[fn]
+	if fd == nil || fd.Body == nil || s.inFacts[fn] {
+		return facts // external or recursion: assumed clean; nonalloc covers externals
+	}
+	s.inFacts[fn] = true
+	defer delete(s.inFacts, fn)
+
+	pkg := m.declPkg[fn]
+	merge := func(dst *offense, pos token.Pos, via *types.Func) {
+		if !dst.found() {
+			*dst = offense{Pos: pos, Via: via}
+		}
+	}
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a closure runs on its own schedule
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			merge(&facts.Chan, x.Pos(), nil)
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				merge(&facts.Chan, x.Pos(), nil)
+			}
+		case *ast.SelectStmt:
+			merge(&facts.Chan, x.Pos(), nil)
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[x.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					merge(&facts.Chan, x.Pos(), nil)
+				}
+			}
+		case *ast.GoStmt:
+			merge(&facts.Go, x.Pos(), nil)
+		case *ast.ForStmt:
+			if x.Cond == nil && !loopHasExit(x) {
+				merge(&facts.Loop, x.Pos(), nil)
+			}
+		case *ast.CallExpr:
+			if callee := staticCallee(pkg.Info, x); callee != nil {
+				if isSyncAcquire(callee) {
+					merge(&facts.Lock, x.Pos(), nil)
+				} else if callee.Pkg() != nil && m.decls[callee] != nil {
+					sub := m.PollFacts(callee)
+					if sub.Chan.found() {
+						merge(&facts.Chan, x.Pos(), callee)
+					}
+					if sub.Lock.found() {
+						merge(&facts.Lock, x.Pos(), callee)
+					}
+					if sub.Go.found() {
+						merge(&facts.Go, x.Pos(), callee)
+					}
+					if sub.Loop.found() {
+						merge(&facts.Loop, x.Pos(), callee)
+					}
+				}
+			}
+		}
+		return true
+	})
+	if !s.frozen {
+		s.facts[fn] = &facts
+	}
+	return facts
+}
+
+// isSyncAcquire matches blocking lock acquisition on sync.Mutex/RWMutex.
+func isSyncAcquire(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return true
+	}
+	return false
+}
+
+// loopHasExit reports whether a condition-less for loop can terminate:
+// a return, an unlabeled break at its own level, or any labeled
+// break/goto (assumed to leave it).
+func loopHasExit(loop *ast.ForStmt) bool {
+	exits := false
+	depth := 0
+	var scan func(stmts []ast.Stmt)
+	scan = func(stmts []ast.Stmt) {
+		for _, s := range stmts {
+			if exits {
+				return
+			}
+			switch x := s.(type) {
+			case *ast.ReturnStmt:
+				exits = true
+			case *ast.BranchStmt:
+				switch {
+				case x.Label != nil:
+					exits = true // labeled break/continue/goto: assume it leaves
+				case x.Tok == token.BREAK && depth == 0:
+					exits = true
+				}
+			case *ast.BlockStmt:
+				scan(x.List)
+			case *ast.IfStmt:
+				scan(x.Body.List)
+				if x.Else != nil {
+					scan([]ast.Stmt{x.Else})
+				}
+			case *ast.ForStmt:
+				depth++
+				scan(x.Body.List)
+				depth--
+			case *ast.RangeStmt:
+				depth++
+				scan(x.Body.List)
+				depth--
+			case *ast.SwitchStmt:
+				depth++
+				for _, c := range x.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						scan(cc.Body)
+					}
+				}
+				depth--
+			case *ast.TypeSwitchStmt:
+				depth++
+				for _, c := range x.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						scan(cc.Body)
+					}
+				}
+				depth--
+			case *ast.SelectStmt:
+				depth++
+				for _, c := range x.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok {
+						scan(cc.Body)
+					}
+				}
+				depth--
+			case *ast.LabeledStmt:
+				scan([]ast.Stmt{x.Stmt})
+			}
+		}
+	}
+	scan(loop.Body.List)
+	return exits
+}
+
+// A CostEntry is one module function's static cost estimate, for the
+// demi-vet -costs report that helps pick //demi:budget values.
+type CostEntry struct {
+	Pkg    string // import path
+	Func   string // receiver-qualified name
+	Cost   Cost
+	Budget Cost // //demi:budget if annotated, else 0
+}
+
+// CostReport estimates every module function, most expensive first, so
+// budgets can be chosen with observed headroom.
+func (m *Module) CostReport() []CostEntry {
+	m.index()
+	m.annotIndex()
+	var out []CostEntry
+	for fn := range m.decls {
+		e := CostEntry{Func: fn.Name(), Cost: m.CostEstimate(fn)}
+		if fn.Pkg() != nil {
+			e.Pkg = fn.Pkg().Path()
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if tn := namedOwner(sig.Recv().Type()); tn != nil {
+				e.Func = tn.Name() + "." + e.Func
+			}
+		}
+		if b, ok := m.BudgetOf(fn); ok {
+			e.Budget = b
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := out[i].Cost, out[j].Cost
+		if ci == CostUnbounded {
+			ci = 1<<62 - 1
+		}
+		if cj == CostUnbounded {
+			cj = 1<<62 - 1
+		}
+		if ci != cj {
+			return ci > cj
+		}
+		if out[i].Pkg != out[j].Pkg {
+			return out[i].Pkg < out[j].Pkg
+		}
+		return out[i].Func < out[j].Func
+	})
+	return out
+}
+
+// CostEstimate returns fn's worst-case cycle estimate under the static
+// cost model, CostUnbounded for (mutual) recursion.
+func (m *Module) CostEstimate(fn *types.Func) Cost {
+	m.index()
+	s := m.summaryState()
+	if c, ok := s.cost[fn]; ok {
+		return c
+	}
+	fd := m.decls[fn]
+	if fd == nil || fd.Body == nil {
+		if fn.Pkg() != nil && stdlibClean(fn) {
+			return costStdlib
+		}
+		return costExtern
+	}
+	if s.inCost[fn] {
+		return CostUnbounded // recursion: no static bound
+	}
+	s.inCost[fn] = true
+	c := m.costStmts(m.declPkg[fn], fd.Body.List)
+	delete(s.inCost, fn)
+	if !s.frozen {
+		s.cost[fn] = c
+	}
+	return c
+}
+
+func (m *Module) costStmts(pkg *Package, list []ast.Stmt) Cost {
+	var c Cost
+	for _, s := range list {
+		c = addCost(c, m.costStmt(pkg, s))
+	}
+	return c
+}
+
+// costStmt charges one statement: structural statements take the most
+// expensive branch, loops multiply their body by the assumed worst-case
+// trip count, and expressions are scanned for calls and allocations.
+func (m *Module) costStmt(pkg *Package, s ast.Stmt) Cost {
+	if s == nil {
+		return 0
+	}
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		return m.costStmts(pkg, x.List)
+	case *ast.IfStmt:
+		c := addCost(costStmt, m.costStmt(pkg, x.Init))
+		c = addCost(c, m.costExpr(pkg, x.Cond))
+		thenC := m.costStmts(pkg, x.Body.List)
+		var elseC Cost
+		if x.Else != nil {
+			elseC = m.costStmt(pkg, x.Else)
+		}
+		return addCost(c, maxCost(thenC, elseC))
+	case *ast.ForStmt:
+		body := addCost(m.costExpr(pkg, x.Cond), m.costStmts(pkg, x.Body.List))
+		body = addCost(body, m.costStmt(pkg, x.Post))
+		return addCost(addCost(costStmt, m.costStmt(pkg, x.Init)), mulCost(body, costLoopIter))
+	case *ast.RangeStmt:
+		body := m.costStmts(pkg, x.Body.List)
+		return addCost(addCost(costStmt, m.costExpr(pkg, x.X)), mulCost(body, costLoopIter))
+	case *ast.SwitchStmt:
+		c := addCost(costStmt, addCost(m.costStmt(pkg, x.Init), m.costExpr(pkg, x.Tag)))
+		var worst Cost
+		for _, cs := range x.Body.List {
+			if cc, ok := cs.(*ast.CaseClause); ok {
+				worst = maxCost(worst, m.costStmts(pkg, cc.Body))
+			}
+		}
+		return addCost(c, worst)
+	case *ast.TypeSwitchStmt:
+		c := addCost(costStmt, m.costStmt(pkg, x.Init))
+		var worst Cost
+		for _, cs := range x.Body.List {
+			if cc, ok := cs.(*ast.CaseClause); ok {
+				worst = maxCost(worst, m.costStmts(pkg, cc.Body))
+			}
+		}
+		return addCost(c, worst)
+	case *ast.SelectStmt:
+		c := addCost(costStmt, costChanOp)
+		var worst Cost
+		for _, cs := range x.Body.List {
+			if cc, ok := cs.(*ast.CommClause); ok {
+				worst = maxCost(worst, m.costStmts(pkg, cc.Body))
+			}
+		}
+		return addCost(c, worst)
+	case *ast.LabeledStmt:
+		return m.costStmt(pkg, x.Stmt)
+	case *ast.GoStmt:
+		return addCost(costGo, m.costExpr(pkg, x.Call))
+	case *ast.DeferStmt:
+		return addCost(costStmt, m.costExpr(pkg, x.Call))
+	case *ast.SendStmt:
+		return addCost(costChanOp, addCost(m.costExpr(pkg, x.Chan), m.costExpr(pkg, x.Value)))
+	case *ast.ReturnStmt:
+		c := costStmt
+		for _, e := range x.Results {
+			c = addCost(c, m.costExpr(pkg, e))
+		}
+		return c
+	case *ast.AssignStmt:
+		c := costStmt
+		for _, e := range x.Rhs {
+			c = addCost(c, m.costExpr(pkg, e))
+		}
+		for _, e := range x.Lhs {
+			c = addCost(c, m.costExpr(pkg, e))
+		}
+		return c
+	case *ast.ExprStmt:
+		return addCost(costStmt, m.costExpr(pkg, x.X))
+	case *ast.IncDecStmt:
+		return addCost(costStmt, m.costExpr(pkg, x.X))
+	case *ast.DeclStmt:
+		c := costStmt
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c = addCost(c, m.costExpr(pkg, v))
+					}
+				}
+			}
+		}
+		return c
+	case *ast.BranchStmt, *ast.EmptyStmt:
+		return costStmt
+	}
+	return costStmt
+}
+
+// costExpr scans an expression for calls, allocating constructs, and
+// channel receives, skipping nested function literals (they run on their
+// own schedule and are charged where they are polled).
+func (m *Module) costExpr(pkg *Package, e ast.Expr) Cost {
+	if e == nil {
+		return 0
+	}
+	var c Cost
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			c = addCost(c, m.costCall(pkg, x))
+			return true // still descend: argument subexpressions are charged too
+		case *ast.CompositeLit:
+			if tv, ok := pkg.Info.Types[x]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					c = addCost(c, costAlloc)
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				c = addCost(c, costChanOp)
+			}
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					c = addCost(c, costAlloc)
+				}
+			}
+		}
+		return true
+	})
+	return c
+}
+
+// costCall charges one call expression (the call itself, not its argument
+// subexpressions, which the surrounding costExpr walk charges).
+func (m *Module) costCall(pkg *Package, call *ast.CallExpr) Cost {
+	info := pkg.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion. String<->[]byte copies; everything else is free-ish.
+		if len(call.Args) == 1 {
+			if at, ok := info.Types[call.Args[0]]; ok {
+				if isByteString(tv.Type, at.Type) || isByteString(at.Type, tv.Type) {
+					return costMemOp
+				}
+			}
+		}
+		return 0
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new", "append":
+				return costAlloc
+			case "copy":
+				return costMemOp
+			case "len", "cap", "min", "max":
+				return 0
+			default:
+				return costStmt
+			}
+		}
+	}
+	fn := staticCallee(info, call)
+	if fn == nil {
+		return costExtern // dynamic call
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type()) {
+		return costExtern // interface dispatch: implementations unknown
+	}
+	return addCost(costCall, m.CostEstimate(fn))
+}

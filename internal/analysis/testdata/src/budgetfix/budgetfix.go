@@ -1,0 +1,45 @@
+// Package budgetfix seeds //demi:budget violations for the cyclebudget
+// analyzer tests: a budget the static cost model says the body cannot
+// meet, a recursive body with no static bound, and a budget with headroom.
+package budgetfix
+
+// checksum declares a budget far below what its loop costs under the
+// model: the gate trips.
+//
+//demi:budget=5ns deliberately impossible
+func checksum(data []byte) uint32 { // want `checksum estimates \S+ worst-case, over its //demi:budget=5ns`
+	var sum uint32
+	for _, b := range data {
+		sum = sum<<5 + sum + uint32(b)
+	}
+	return sum
+}
+
+// depth recurses: the model cannot bound it, so any budget is a finding.
+//
+//demi:budget=1us tree walks have no static bound
+func depth(n int) int { // want `depth declares //demi:budget=1µs but its worst-case cost is unbounded \(recursion\)`
+	if n <= 0 {
+		return 0
+	}
+	return depth(n-1) + 1
+}
+
+// header fits comfortably inside its budget: clean.
+//
+//demi:budget=1ms generous on purpose
+func header(dst []byte, v uint16) {
+	dst[0] = byte(v >> 8)
+	dst[1] = byte(v)
+}
+
+// unbudgeted functions are never checked, whatever they cost.
+func unbudgeted(data []byte) uint32 {
+	var sum uint32
+	for i := 0; i < 1000; i++ {
+		for _, b := range data {
+			sum += uint32(b)
+		}
+	}
+	return sum
+}

@@ -1,0 +1,92 @@
+// Package capescapefix seeds capability-escape violations for the
+// capescape analyzer tests: buffers, qtokens, and tenant views stored in
+// package variables, non-carrier exported fields, and escaping closures.
+package capescapefix
+
+import (
+	"demikernel/internal/core"
+	"demikernel/internal/memory"
+	"demikernel/internal/tenant"
+)
+
+var (
+	stash   *memory.Buf
+	allBufs []*memory.Buf
+	curView *tenant.View
+)
+
+func stashBuf(b *memory.Buf) {
+	stash = b // want `buffer escapes to package-level variable "stash"; capabilities must not outlive their owner's scope`
+}
+
+func hoardBufs(b *memory.Buf) {
+	allBufs = append(allBufs, b) // want `buffer escapes to package-level variable "allBufs"; capabilities must not outlive their owner's scope`
+}
+
+func pinView(v *tenant.View) {
+	curView = v // want `tenant view escapes to package-level variable "curView"; capabilities must not outlive their owner's scope`
+}
+
+// Box is NOT a //demi:carrier: its exported field is API surface that
+// would hand the capability to arbitrary importers.
+type Box struct {
+	Buf *memory.Buf
+	Tok core.QToken
+}
+
+func boxField(box *Box, b *memory.Buf) {
+	box.Buf = b // want `buffer escapes through exported field Box.Buf of a type not annotated //demi:carrier`
+}
+
+func boxLiteral(b *memory.Buf, qt core.QToken) Box {
+	return Box{
+		Buf: b,  // want `buffer escapes through exported field Box.Buf of a type not annotated //demi:carrier`
+		Tok: qt, // want `qtoken escapes through exported field Box.Tok of a type not annotated //demi:carrier`
+	}
+}
+
+// Record is an audited transfer record: carrying capabilities is its job.
+//
+//demi:carrier test fixture for the sanctioned-carrier path.
+type Record struct {
+	Buf *memory.Buf
+}
+
+func carrierOK(b *memory.Buf) Record {
+	return Record{Buf: b}
+}
+
+// unexported fields are not API surface; rule 2 leaves them alone.
+type holder struct {
+	buf *memory.Buf
+}
+
+func unexportedFieldOK(h *holder, b *memory.Buf) {
+	h.buf = b
+}
+
+func leakClosure(b *memory.Buf) func() {
+	return func() { // want `closure returned from the function captures buffer "b", which then outlives the call that owns it`
+		b.Free()
+	}
+}
+
+func use(core.QToken) {}
+
+func goClosure(qt core.QToken) {
+	go func() { // want `closure launched with go captures qtoken "qt", which then outlives the call that owns it`
+		use(qt)
+	}()
+}
+
+// localClosureOK stays function-scoped: assigned to a local, then called.
+func localClosureOK(b *memory.Buf) {
+	free := func() { b.Free() }
+	free()
+}
+
+// spawnArgOK hands the closure to a runner as a plain call argument — the
+// normal way to give work to the scheduler — and is not flagged.
+func spawnArgOK(run func(func()), b *memory.Buf) {
+	run(func() { b.Free() })
+}

@@ -1,0 +1,68 @@
+// Package pollfix seeds run-to-completion violations for the
+// polldiscipline analyzer tests: Poll methods and //demi:nonalloc
+// functions that block, spawn, or spin — directly or through a helper.
+package pollfix
+
+import "sync"
+
+// chanPoller blocks its core on a channel receive.
+type chanPoller struct{ ch chan int }
+
+func (p *chanPoller) Poll() bool {
+	v := <-p.ch // want `coroutine poll method Poll performs a channel operation`
+	return v > 0
+}
+
+// lockPoller reaches a mutex through a helper: the finding lands at the
+// call site with the helper named.
+type lockPoller struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (p *lockPoller) slowCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.n
+}
+
+func (p *lockPoller) Poll() bool {
+	return p.slowCount() > 0 // want `coroutine poll method Poll reaches a blocking mutex acquisition via call to slowCount`
+}
+
+// spinPoller never returns: a poll must yield, not spin.
+type spinPoller struct{ n int }
+
+func (p *spinPoller) Poll() bool {
+	for { // want `coroutine poll method Poll performs an unbounded loop`
+		p.n++
+	}
+}
+
+func drain(p *chanPoller) {}
+
+// fastDrain is on the nonalloc hot path: spawning a kernel thread from it
+// defeats core partitioning.
+//
+//demi:nonalloc
+func fastDrain(p *chanPoller) {
+	go drain(p) // want `//demi:nonalloc function fastDrain performs a goroutine spawn`
+}
+
+// cleanPoller does bounded, non-blocking work: no findings.
+type cleanPoller struct {
+	pending []int
+	done    int
+}
+
+func (p *cleanPoller) Poll() bool {
+	for i := 0; i < len(p.pending) && i < 4; i++ {
+		p.done += p.pending[i]
+	}
+	return len(p.pending) > 0
+}
+
+// notAPoll is an ordinary method: the discipline only binds poll paths.
+func (p *lockPoller) notAPoll() int {
+	return p.slowCount()
+}

@@ -1,0 +1,87 @@
+// Package stateguardfix seeds complete-or-error violations for the
+// stateguard analyzer tests: //demi:stateguard fields written before the
+// failure checks that can still bail out with an error.
+package stateguardfix
+
+import "errors"
+
+var errFull = errors.New("full")
+
+// conn stands in for protocol state with guarded fields.
+type conn struct {
+	//demi:stateguard rcvNxt acknowledges bytes to the peer; it may only
+	// advance when the delivery actually happened.
+	rcvNxt uint32
+	//demi:stateguard quota accounting must match reality.
+	quota int
+
+	scratch int // unguarded: mutate freely
+}
+
+func (c *conn) deliverBad(n uint32, ok bool) error {
+	c.rcvNxt += n // want `guarded field "rcvNxt" \(//demi:stateguard\) is written on a path that returns a non-nil error \(return at line \d+\)`
+	if !ok {
+		return errFull
+	}
+	return nil
+}
+
+func (c *conn) deliverOK(n uint32, ok bool) error {
+	if !ok {
+		return errFull
+	}
+	c.rcvNxt += n // past the guard: every downstream exit succeeds
+	return nil
+}
+
+func (c *conn) acquireBad() error {
+	c.quota++ // want `guarded field "quota" \(//demi:stateguard\) is written on a path that returns a non-nil error \(return at line \d+\)`
+	if c.quota > 8 {
+		return errFull
+	}
+	return nil
+}
+
+func (c *conn) acquireOK() error {
+	if c.quota >= 8 {
+		return errFull
+	}
+	c.quota++
+	return nil
+}
+
+// bump has no error result: there is no failure path to guard against.
+func (c *conn) bump(n uint32) {
+	c.rcvNxt += n
+}
+
+// scratchWrite mutates an unguarded field: clean wherever it happens.
+func (c *conn) scratchWrite(ok bool) error {
+	c.scratch++
+	if !ok {
+		return errFull
+	}
+	return nil
+}
+
+// branchOnlyBad writes the guarded field inside the same branch that goes
+// on to fail: the error exit is downstream of the write.
+func (c *conn) branchOnlyBad(n uint32) error {
+	if n > 0 {
+		c.rcvNxt += n // want `guarded field "rcvNxt" \(//demi:stateguard\) is written on a path that returns a non-nil error \(return at line \d+\)`
+		if c.rcvNxt > 1<<30 {
+			return errFull
+		}
+	}
+	return nil
+}
+
+// branchSplitOK writes only on the branch whose every exit is the nil
+// return; the error return is on the other branch.
+func (c *conn) branchSplitOK(n uint32) error {
+	if n == 0 {
+		return errFull
+	}
+	c.rcvNxt += n
+	return nil
+}

@@ -212,9 +212,16 @@ func tenantWorldMain(w *tenantWorld, opts TenantChaosOpts, attack bool,
 		return fmt.Errorf("tenantchaos: victim dial: %w", err)
 	}
 	canary := vv.TenantHeap().CopyFrom([]byte("victim canary"))
+	canaryLive := true
+	defer func() {
+		// Error exits anywhere below must not strand the canary slot; the
+		// happy path frees it explicitly as part of teardown verification.
+		if canaryLive {
+			vv.TenantHeap().TryFree(canary)
+		}
+	}()
 	kvCl, err := chaosDial(kvv, kvAddr, 8)
 	if err != nil {
-		canary.Free()
 		return fmt.Errorf("tenantchaos: kv victim dial: %w", err)
 	}
 
@@ -224,7 +231,6 @@ func tenantWorldMain(w *tenantWorld, opts TenantChaosOpts, attack bool,
 	var atk *attacker
 	if attack {
 		if atk, err = newAttacker(av, echoAddr, opts.MsgSize); err != nil {
-			canary.Free()
 			return err
 		}
 		atk.canary = canary // the victim buffer it will try to free
@@ -272,6 +278,7 @@ func tenantWorldMain(w *tenantWorld, opts TenantChaosOpts, attack bool,
 
 	// Drain and verify teardown: the victims release everything; the
 	// attacker's cleanup must leave nothing behind either.
+	canaryLive = false
 	if err := vv.TenantHeap().TryFree(canary); err != nil {
 		return fmt.Errorf("tenantchaos: canary free: %w", err)
 	}

@@ -256,7 +256,10 @@ type tcpConn struct {
 	pushOps  []pushOp
 
 	// Receive state.
-	irs, rcvNxt uint32
+	irs uint32
+	//demi:stateguard rcvNxt acknowledges bytes to the peer; advancing it on
+	// a failed delivery desynchronizes the sequence space permanently.
+	rcvNxt uint32
 	recvQ       []*memory.Buf
 	recvBytes   int
 	oooQ        []oooSegment

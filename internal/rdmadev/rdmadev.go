@@ -62,6 +62,9 @@ const (
 )
 
 // CQE is a completion queue entry.
+//
+//demi:carrier completion entries hand the posted receive buffer back to
+// the poller; ownership transfers with the entry by the verbs contract.
 type CQE struct {
 	QPN uint32
 	Op  Opcode

@@ -60,7 +60,10 @@ type Tenant struct {
 	name string
 	lim  Limits
 
-	flows  int // live flow-table entries (and reservations)
+	//demi:stateguard quota accounting must match reality: charging a flow
+	// on a rejected acquire leaks quota the tenant never got.
+	flows int // live flow-table entries (and reservations)
+	//demi:stateguard same complete-or-error contract as flows.
 	tokens int // in-flight qtokens
 
 	// Push-rate token bucket in "nanopushes" (1e9 per push), refilled

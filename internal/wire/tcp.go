@@ -83,6 +83,7 @@ func (h *TCPHeader) MarshalLen() int { return TCPHeaderLen + h.optLen() }
 // be at least MarshalLen bytes, and returns the bytes consumed.
 //
 //demi:nonalloc wire codecs run per packet
+//demi:budget=1200ns static estimate 767ns; header marshal is per-segment
 func (h *TCPHeader) Marshal(b []byte, src, dst IPAddr, payload []byte) int {
 	hlen := h.MarshalLen()
 	be.PutUint16(b[0:2], h.SrcPort)
@@ -122,6 +123,7 @@ func (h *TCPHeader) Marshal(b []byte, src, dst IPAddr, payload []byte) int {
 // returns the header and payload.
 //
 //demi:nonalloc wire codecs run per packet
+//demi:budget=1700ns static estimate 1.131us; parse+checksum is per-segment
 func ParseTCP(b []byte, src, dst IPAddr) (TCPHeader, []byte, error) {
 	if len(b) < TCPHeaderLen {
 		return TCPHeader{}, nil, ErrTruncated
